@@ -1,0 +1,119 @@
+// Host-side performance of the simulator itself (google-benchmark).
+//
+// These are NOT paper numbers — the paper reports guest cycles, reproduced
+// by the bench_table* binaries.  This harness tracks how fast the simulation
+// runs on the host, which bounds how much simulated time the examples and
+// property tests can afford.
+#include <benchmark/benchmark.h>
+
+#include "core/platform.h"
+#include "crypto/sha1.h"
+#include "isa/assembler.h"
+
+using namespace tytan;
+
+namespace {
+
+void BM_Sha1Throughput(benchmark::State& state) {
+  const ByteVec data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1Throughput)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Assemble(benchmark::State& state) {
+  const std::string source = R"(
+      .secure
+      .stack 256
+      .entry main
+  main:
+      li   r2, data
+      ldw  r3, [r2]
+      addi r3, 1
+      stw  r3, [r2]
+      movi r0, 1
+      int  0x21
+      jmp  main
+  data:
+      .word 0
+  )";
+  for (auto _ : state) {
+    auto object = isa::assemble(source);
+    benchmark::DoNotOptimize(object);
+  }
+}
+BENCHMARK(BM_Assemble);
+
+void BM_PlatformBoot(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Platform platform;
+    benchmark::DoNotOptimize(platform.boot());
+  }
+}
+BENCHMARK(BM_PlatformBoot);
+
+void BM_GuestExecution(benchmark::State& state) {
+  core::Platform platform;
+  if (!platform.boot().is_ok()) {
+    state.SkipWithError("boot failed");
+    return;
+  }
+  auto task = platform.load_task_source(R"(
+      .secure
+      .stack 128
+      .entry main
+  main:
+      addi r5, 1
+      jmp  main
+  )", {.name = "spin"});
+  if (!task.is_ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = platform.machine().instructions_executed();
+    platform.run_for(100'000);
+    instructions += platform.machine().instructions_executed() - before;
+  }
+  state.counters["guest_instr_per_s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles_per_iter"] = 100'000;
+}
+BENCHMARK(BM_GuestExecution);
+
+void BM_SecureTaskCreate(benchmark::State& state) {
+  core::Platform platform;
+  if (!platform.boot().is_ok()) {
+    state.SkipWithError("boot failed");
+    return;
+  }
+  auto object = isa::assemble(R"(
+      .secure
+      .stack 256
+      .entry main
+  main:
+      movi r0, 1
+      int  0x21
+      jmp  main
+  )");
+  int i = 0;
+  for (auto _ : state) {
+    auto task = platform.load_task(*object, {.name = "t" + std::to_string(i++),
+                                             .auto_start = false});
+    if (!task.is_ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    state.PauseTiming();
+    (void)platform.loader().unload(*task);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_SecureTaskCreate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Secure IPC performance (paper §6, in-text): the IPC proxy runs in 1,208
+// cycles and the receiver's entry routine in 116 cycles — 1,324 overall.
+//
+// Method: two secure tasks; the sender issues INT kVecIpc with a synchronous
+// register message; the proxy's instrumentation gives the breakdown.  Both
+// sync and async deliveries are reported, plus the shared-memory grant cost.
+#include "bench_util.h"
+#include "core/platform.h"
+
+using namespace tytan;
+using core::Platform;
+
+namespace {
+
+constexpr std::string_view kReceiver = R"(
+    .secure
+    .stack 256
+    .entry main
+    .msg on_msg
+main:
+    movi r0, 8
+    int  0x21
+hang:
+    jmp  hang
+on_msg:
+    movi r0, 9
+    int  0x21
+hang2:
+    jmp  hang2
+)";
+
+std::string sender_source(unsigned op) {
+  return R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    li   r5, idr
+    ldw  r1, [r5]
+    ldw  r2, [r5+4]
+    movi r0, )" + std::to_string(op) + R"(
+    movi r3, 0x41
+    movi r4, 0x42
+    movi r5, 0x43
+    movi r6, 0x44
+    int  0x22
+park:
+    movi r0, 1
+    int  0x21
+    jmp  park
+idr:
+    .word 0, 0
+)";
+}
+
+core::IpcProxy::IpcStats run_ipc(unsigned op) {
+  Platform platform;
+  TYTAN_CHECK(platform.boot().is_ok(), "boot failed");
+  auto receiver = platform.load_task_source(kReceiver, {.name = "recv", .priority = 2});
+  TYTAN_CHECK(receiver.is_ok(), receiver.status().to_string());
+  auto sender = platform.load_task_source(sender_source(op),
+                                          {.name = "send", .priority = 2,
+                                           .auto_start = false});
+  TYTAN_CHECK(sender.is_ok(), sender.status().to_string());
+  // Provision id_R into the sender's data section.
+  const rtos::Tcb* s = platform.scheduler().get(*sender);
+  const rtos::Tcb* r = platform.scheduler().get(*receiver);
+  auto probe = isa::assemble(sender_source(op));
+  const std::uint32_t idr = s->region_base + probe->symbols.at("idr");
+  platform.machine().memory().write32(idr, load_le32(r->identity.data()));
+  platform.machine().memory().write32(idr + 4, load_le32(r->identity.data() + 4));
+  TYTAN_CHECK(platform.resume_task(*sender).is_ok(), "resume failed");
+  platform.run_until([&] { return platform.ipc_proxy().last_ipc().delivered; },
+                     30'000'000);
+  return platform.ipc_proxy().last_ipc();
+}
+
+}  // namespace
+
+int main() {
+  const auto sync = run_ipc(core::kIpcSendSync);
+  const auto async = run_ipc(core::kIpcSendAsync);
+
+  bench::Table table("Secure IPC performance (clock cycles; paper reports in-text)");
+  table.columns({"Mechanism", "IPC proxy", "Receiver entry routine", "Overall"});
+  table.row({"sync send (measured)", bench::num(sync.proxy), bench::num(sync.entry),
+             bench::num(sync.total)});
+  table.row({"paper", "1,208", "116", "1,324"});
+  table.row({"async send (measured)", bench::num(async.proxy), "deferred",
+             bench::num(async.total)});
+  table.print();
+
+  std::printf("\nShape check: proxy cost dominates the receiver entry (paper 1208 vs "
+              "116): %s\n",
+              sync.proxy > 4 * sync.entry ? "yes" : "NO");
+  return 0;
+}

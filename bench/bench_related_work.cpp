@@ -1,0 +1,151 @@
+// Related-work comparison (paper §7): SMART, SPM/SANCUS, TrustLite, TyTAN —
+// the qualitative matrix from the paper, with the measurable rows measured
+// on the shared simulator substrate.
+#include "baselines/baselines.h"
+#include "bench_util.h"
+
+using namespace tytan;
+using core::Platform;
+
+namespace {
+
+constexpr std::uint32_t kTick = 32'000;
+
+constexpr std::string_view kControl = R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    li   r4, 0x100200
+    li   r5, 0x100400
+loop:
+    ldw  r2, [r4]
+    stw  r2, [r5]
+    movi r0, 2
+    movi r1, 1
+    int  0x21
+    jmp  loop
+)";
+
+std::string big_payload() {
+  return "    .secure\n    .stack 256\n    .entry main\nmain:\npark:\n"
+         "    movi r0, 1\n    int 0x21\n    jmp park\n    .space 7800\n";
+}
+
+std::uint64_t worst_gap(const sim::EngineActuator& engine, std::uint64_t from,
+                        std::uint64_t to) {
+  std::uint64_t last = from;
+  std::uint64_t worst = 0;
+  for (const auto& command : engine.commands()) {
+    if (command.cycle < from || command.cycle > to) {
+      continue;
+    }
+    worst = std::max(worst, command.cycle - last);
+    last = command.cycle;
+  }
+  return std::max(worst, to - last);
+}
+
+/// Worst control-loop gap while an 8 KiB task is measured, per architecture.
+std::uint64_t measure_gap(bool atomic) {
+  Platform::Config config;
+  config.tick_period = kTick;
+  Platform platform(config);
+  TYTAN_CHECK(platform.boot().is_ok(), "boot failed");
+  platform.pedal().set_value(10);
+  auto control = platform.load_task_source(kControl, {.name = "ctrl", .priority = 6});
+  TYTAN_CHECK(control.is_ok(), control.status().to_string());
+  platform.run_for(20 * kTick);
+  auto object = isa::assemble(big_payload());
+  TYTAN_CHECK(object.is_ok(), object.status().to_string());
+  auto payload = platform.load_task(object.take(), {.name = "payload",
+                                                    .auto_start = false});
+  TYTAN_CHECK(payload.is_ok(), payload.status().to_string());
+
+  const std::uint64_t begin = platform.machine().cycles();
+  if (atomic) {
+    baselines::smart_atomic_attest(platform, *payload);  // SMART/SPM style
+  } else {
+    // TyTAN: re-measure through the preemptible RTM path, driven by the
+    // loader task while the machine runs.
+    auto redo = platform.rtm().begin_measurement(*platform.scheduler().get(*payload), {});
+    TYTAN_CHECK(redo.is_ok(), redo.to_string());
+    while (platform.rtm().measurement_in_progress()) {
+      platform.rtm().measure_quantum();
+      platform.run_for(400);  // scheduler runs between quanta
+    }
+    (void)platform.rtm().take_result();
+  }
+  platform.run_for(10 * kTick);
+  return worst_gap(platform.engine(), begin, platform.machine().cycles());
+}
+
+const char* yn(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace
+
+int main() {
+  // Measured row 1: real-time compatibility of measurement.
+  const std::uint64_t gap_atomic = measure_gap(true);
+  const std::uint64_t gap_tytan = measure_gap(false);
+
+  // Measured row 2: dynamic loading after boot.
+  bool trustlite_dynamic_load = true;
+  {
+    baselines::TrustLitePlatform trustlite;
+    auto object = isa::assemble(kControl);
+    TYTAN_CHECK(trustlite.preload(*object, {.name = "boot-task", .priority = 3}).is_ok(),
+                "preload failed");
+    TYTAN_CHECK(trustlite.boot().is_ok(), "TrustLite boot failed");
+    trustlite_dynamic_load = trustlite.load_task(*object, {.name = "late"}).is_ok();
+  }
+
+  // Measured row 3: relocation / flexible placement (SPM has none).
+  bool spm_loads_at_busy_base = true;
+  {
+    Platform platform;
+    TYTAN_CHECK(platform.boot().is_ok(), "boot failed");
+    // Occupy the first arena region, then try to SPM-load a module linked
+    // exactly there.
+    auto blocker = platform.load_task_source(kControl, {.name = "blocker",
+                                                        .auto_start = false});
+    TYTAN_CHECK(blocker.is_ok(), blocker.status().to_string());
+    const std::uint32_t linked_base =
+        platform.scheduler().get(*blocker)->region_base;
+    isa::ObjectFile fixed;
+    fixed.image.assign(256, 0);  // position-dependent module, no relocations
+    fixed.stack_size = 64;
+    spm_loads_at_busy_base =
+        baselines::spm_load_fixed(platform, std::move(fixed), linked_base,
+                                  {.name = "spm-module", .auto_start = false})
+            .is_ok();
+  }
+
+  bench::Table table("Related work (paper SS7): measured architectural consequences");
+  table.columns({"Property", "SMART", "SPM/SANCUS", "TrustLite", "TyTAN"});
+  table.row({"protected tasks", "1 (ROM)", "N (fixed layout)", "N (boot-time)",
+             "N (dynamic)"});
+  table.row({"load after boot", yn(baselines::SmartProperties::kDynamicLoad), "at linked base only",
+             yn(trustlite_dynamic_load), "yes"});
+  table.row({"relocation", "no", spm_loads_at_busy_base ? "yes!?" : "no (load failed)",
+             "yes", "yes"});
+  table.row({"measurement preemptible", "no", "no", "n/a (boot)", "yes"});
+  table.row({"worst control gap during 8KiB measurement (cycles)",
+             bench::num(gap_atomic), bench::num(gap_atomic), "-", bench::num(gap_tytan)});
+  table.row({"deadline (3 ticks = 96k) held", gap_atomic < 3 * kTick ? "yes" : "NO",
+             gap_atomic < 3 * kTick ? "yes" : "NO", "-",
+             gap_tytan < 3 * kTick ? "yes" : "NO"});
+  table.row({"secure IPC w/ sender auth", "no", "no", "no", "yes"});
+  table.row({"runtime update", "no", "no", "no", "yes (UpdateManager)"});
+  table.print();
+
+  std::printf("\nThe measured rows quantify the paper's §7 arguments: atomic\n"
+              "measurement (SMART/SPM) blocks the control loop for %llu cycles (~%.1f\n"
+              "scheduling periods) while TyTAN's preemptible RTM keeps the gap at %llu\n"
+              "cycles; TrustLite rejects post-boot loading; SPM cannot place a module\n"
+              "whose linked base is taken.\n",
+              static_cast<unsigned long long>(gap_atomic),
+              static_cast<double>(gap_atomic) / kTick,
+              static_cast<unsigned long long>(gap_tytan));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table 4 — Performance of creating a secure task (cycles).
+//
+// Paper (task of 3,962 bytes with 9 relocations, footnote 11):
+//   Secure:  Relocation 3,692 | EA-MPU 225 | RTM 433,433 | Overall 642,241 | Overhead 437,380
+//   Normal:  Relocation 3,692 | EA-MPU 225 | RTM 0       | Overall 208,808 | Overhead 3,917
+//
+// Note: the paper's RTM figure is inconsistent with its own Table 7 model
+// (T ~= 4,300 + b*3,900 + 100 + a*500 gives ~250k cycles for 3,962 bytes);
+// this reproduction follows the Table 7 model, so the secure Overall lands
+// lower while every structural relationship (secure >> normal, overhead
+// dominated by the RTM, normal overhead = relocation + EA-MPU) holds.
+#include "bench_util.h"
+#include "core/platform.h"
+#include "task_gen.h"
+
+using namespace tytan;
+using core::Platform;
+
+namespace {
+
+core::TaskLoader::CreateStats create_once(bool secure) {
+  Platform platform;
+  TYTAN_CHECK(platform.boot().is_ok(), "boot failed");
+  isa::ObjectFile object = bench::make_task(3'962, 9, secure);
+  auto task = platform.load_task(std::move(object),
+                                 {.name = secure ? "secure" : "normal", .auto_start = false});
+  TYTAN_CHECK(task.is_ok(), task.status().to_string());
+  return platform.loader().last_create();
+}
+
+}  // namespace
+
+int main() {
+  const auto secure = create_once(true);
+  const auto normal = create_once(false);
+
+  bench::Table table(
+      "Table 4: creating a task of 3,962 bytes with 9 relocations (clock cycles)");
+  table.columns({"Task type", "Relocation", "EA-MPU", "RTM", "Overall", "Overhead"});
+  table.row({"Secure (measured)", bench::num(secure.reloc), bench::num(secure.eampu),
+             bench::num(secure.rtm), bench::num(secure.total),
+             bench::num(secure.reloc + secure.eampu + secure.rtm)});
+  table.row({"Secure (paper)", "3,692", "225", "433,433", "642,241", "437,380"});
+  table.row({"Normal (measured)", bench::num(normal.reloc), bench::num(normal.eampu),
+             bench::num(normal.rtm), bench::num(normal.total),
+             bench::num(normal.reloc + normal.eampu + normal.rtm)});
+  table.row({"Normal (paper)", "3,692", "225", "0", "208,808", "3,917"});
+  table.print();
+
+  std::printf("\nBreakdown of the measured secure creation: alloc=%llu copy=%llu "
+              "reloc=%llu stack=%llu eampu=%llu rtm=%llu\n",
+              static_cast<unsigned long long>(secure.alloc),
+              static_cast<unsigned long long>(secure.copy),
+              static_cast<unsigned long long>(secure.reloc),
+              static_cast<unsigned long long>(secure.stack),
+              static_cast<unsigned long long>(secure.eampu),
+              static_cast<unsigned long long>(secure.rtm));
+  std::printf("Shape check: secure overall >> normal overall (ratio %.2fx, paper 3.08x); "
+              "RTM dominates the secure overhead: %s\n",
+              static_cast<double>(secure.total) / static_cast<double>(normal.total),
+              secure.rtm > secure.reloc + secure.eampu ? "yes" : "NO");
+  return 0;
+}

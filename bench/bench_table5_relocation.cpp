@@ -1,0 +1,79 @@
+// Table 5 — Performance of relocation vs. number of relocated addresses.
+//
+// Paper: 0 -> 37 | 1 -> 673/703 | 2 -> 1,346/1,372 | 4 -> 2,634/2,711
+// (min / avg over placements); runtime is linear in the address count.
+//
+// Method: load tasks containing exactly n ABS32 relocation records at
+// several arena placements and read the loader's relocation-phase cycles.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/platform.h"
+#include "task_gen.h"
+
+using namespace tytan;
+using core::Platform;
+
+namespace {
+
+struct MinAvg {
+  std::uint64_t min;
+  std::uint64_t avg;
+};
+
+MinAvg measure(unsigned relocs) {
+  Platform platform;
+  TYTAN_CHECK(platform.boot().is_ok(), "boot failed");
+  std::vector<std::uint64_t> samples;
+  std::vector<rtos::TaskHandle> pinned;
+  for (int placement = 0; placement < 5; ++placement) {
+    isa::ObjectFile object = bench::make_task(1'024, relocs, /*secure=*/false);
+    auto task = platform.load_task(std::move(object),
+                                   {.name = "t" + std::to_string(placement),
+                                    .auto_start = false});
+    TYTAN_CHECK(task.is_ok(), task.status().to_string());
+    samples.push_back(platform.loader().last_create().reloc);
+    // Pin a small allocation so the next placement differs.
+    pinned.push_back(*task);
+  }
+  MinAvg out{*std::min_element(samples.begin(), samples.end()), 0};
+  std::uint64_t sum = 0;
+  for (const std::uint64_t s : samples) {
+    sum += s;
+  }
+  out.avg = sum / samples.size();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned counts[] = {0, 1, 2, 4, 8, 16};
+  const std::uint64_t paper_min[] = {37, 673, 1'346, 2'634, 0, 0};
+  const std::uint64_t paper_avg[] = {37, 703, 1'372, 2'711, 0, 0};
+
+  bench::Table table("Table 5: relocation vs number of relocated addresses (clock cycles)");
+  table.columns({"# of addresses", "Runtime min (measured)", "Runtime avg (measured)",
+                 "Runtime min (paper)", "Runtime avg (paper)"});
+  std::vector<MinAvg> results;
+  for (std::size_t i = 0; i < std::size(counts); ++i) {
+    const MinAvg m = measure(counts[i]);
+    results.push_back(m);
+    table.row({bench::num(counts[i]), bench::num(m.min), bench::num(m.avg),
+               paper_min[i] != 0 || counts[i] == 0 ? bench::num(paper_min[i]) : "-",
+               paper_avg[i] != 0 || counts[i] == 0 ? bench::num(paper_avg[i]) : "-"});
+  }
+  table.print();
+
+  // Linearity check: per-address increments should be near-constant.
+  const double per_addr_1 = static_cast<double>(results[1].avg - results[0].avg);
+  const double per_addr_4 =
+      static_cast<double>(results[3].avg - results[0].avg) / 4.0;
+  const double per_addr_16 =
+      static_cast<double>(results[5].avg - results[0].avg) / 16.0;
+  std::printf("\nPer-address cost: n=1 -> %.0f, n=4 -> %.0f, n=16 -> %.0f cycles "
+              "(paper ~660; linear: %s)\n",
+              per_addr_1, per_addr_4, per_addr_16,
+              std::abs(per_addr_1 - per_addr_16) < 0.05 * per_addr_1 + 5 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared helpers for the table-reproduction benches.
+//
+// The paper reports everything in *clock cycles* ("we present all results in
+// clock cycles since the clock-speed of a platform is variable", §6), so the
+// benches read the simulator's cycle clock rather than host wall time, and
+// print paper-reported values next to measured ones.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tytan::bench {
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> names) {
+    header_ = std::move(names);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::printf("|");
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string num(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string fixed(double v, int digits = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+/// "measured (paper: X)" comparison cell.
+inline std::string vs(std::uint64_t measured, std::uint64_t paper) {
+  return num(measured) + " (paper: " + num(paper) + ")";
+}
+
+}  // namespace tytan::bench

@@ -1,0 +1,45 @@
+// Generators for synthetic task binaries with controlled image size and
+// relocation count (the independent variables of Tables 4, 5, and 7).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+#include "isa/assembler.h"
+
+namespace tytan::bench {
+
+/// Assemble a task whose *image* is exactly `image_bytes` long and contains
+/// exactly `abs32_relocs` relocation records (ABS32 via `.word label`).
+/// `secure` controls the `.secure` attribute (and hence the auto-injected
+/// entry routine).  The body parks in a yield loop.
+inline isa::ObjectFile make_task(std::uint32_t image_bytes, unsigned abs32_relocs,
+                                 bool secure) {
+  auto build = [&](std::uint32_t pad) {
+    std::ostringstream os;
+    if (secure) {
+      os << "    .secure\n";
+    }
+    os << "    .stack 256\n    .entry main\nmain:\n";
+    os << "park:\n    movi r0, 1\n    int 0x21\n    jmp park\n";
+    os << "anchor:\n    nop\n";
+    for (unsigned i = 0; i < abs32_relocs; ++i) {
+      os << "    .word anchor\n";
+    }
+    os << "    .space " << pad << "\n";
+    auto object = isa::assemble(os.str());
+    TYTAN_CHECK(object.is_ok(), object.status().to_string());
+    return object.take();
+  };
+  const isa::ObjectFile probe = build(0);
+  TYTAN_CHECK(probe.image.size() <= image_bytes,
+              "requested image smaller than the task skeleton");
+  isa::ObjectFile object =
+      build(image_bytes - static_cast<std::uint32_t>(probe.image.size()));
+  TYTAN_CHECK(object.image.size() == image_bytes, "generator size mismatch");
+  TYTAN_CHECK(object.relocs.size() == abs32_relocs, "generator reloc mismatch");
+  return object;
+}
+
+}  // namespace tytan::bench

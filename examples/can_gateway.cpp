@@ -1,0 +1,129 @@
+// Secure CAN gateway — a firewall ECU as a TyTAN secure task.
+//
+// Automotive attacks routinely pivot from the infotainment bus onto the
+// powertrain bus (paper §1 cites Checkoway'11 / Koscher'10 / Miller-Valasek).
+// A gateway ECU that filters frames is a natural TyTAN workload: the filter
+// logic and its whitelist run as a *secure task* the (possibly compromised)
+// OS cannot tamper with, its binary is remotely attestable, and the frame
+// path is interrupt-driven with real-time bounds.
+//
+// The task parks on the CAN IRQ; for every received frame it forwards
+// whitelisted identifiers (0x010 steering, 0x020 braking) unmodified and
+// drops everything else, keeping a drop counter it prints on demand.
+#include <cstdio>
+
+#include "core/platform.h"
+#include "isa/stdlib.h"
+
+using namespace tytan;
+
+namespace {
+
+constexpr std::string_view kGateway = R"(
+    .secure
+    .stack 512
+    .entry main
+    .equ CAN, 0x100700
+main:
+loop:
+    movi r0, 16            ; kSysWaitIrq(CAN)
+    movi r1, 0x23
+    int  0x21
+drain:
+    li   r2, CAN
+    ldw  r3, [r2]          ; STATUS: frames waiting?
+    cmpi r3, 0
+    jz   loop
+    ldw  r3, [r2+4]        ; RX_ID | dlc<<16
+    mov  r4, r3
+    andi r4, 0x7FF         ; identifier
+    cmpi r4, 0x10
+    jz   forward
+    cmpi r4, 0x20
+    jz   forward
+    ; not whitelisted: drop and count
+    li   r5, drop_count
+    ldw  r6, [r5]
+    addi r6, 1
+    stw  r6, [r5]
+    jmp  next
+forward:
+    stw  r3, [r2+20]       ; TX_ID (id + dlc pass through)
+    ldw  r6, [r2+8]
+    stw  r6, [r2+24]       ; TX_DATA0
+    ldw  r6, [r2+12]
+    stw  r6, [r2+28]       ; TX_DATA1
+    movi r6, 1
+    stw  r6, [r2+32]       ; TX_SEND
+next:
+    movi r6, 1
+    stw  r6, [r2+16]       ; RX_POP
+    jmp  drain
+drop_count:
+    .word 0
+)";
+
+}  // namespace
+
+int main() {
+  core::Platform platform;
+  if (!platform.boot().is_ok()) {
+    std::fprintf(stderr, "boot failed\n");
+    return 1;
+  }
+  auto gateway = platform.load_task_source(kGateway, {.name = "gateway", .priority = 5});
+  if (!gateway.is_ok()) {
+    std::fprintf(stderr, "load failed: %s\n", gateway.status().to_string().c_str());
+    return 1;
+  }
+  const rtos::Tcb* tcb = platform.scheduler().get(*gateway);
+  std::printf("gateway loaded: id_t = %s (attestable filter logic, OS-untouchable)\n",
+              hex_encode(tcb->identity).c_str());
+  platform.run_for(300'000);  // park on the IRQ
+
+  // Traffic: legitimate control frames interleaved with an injection attack.
+  struct TestFrame {
+    std::uint16_t id;
+    const char* what;
+  };
+  const TestFrame traffic[] = {
+      {0x010, "steering angle"},      {0x020, "brake pressure"},
+      {0x7DF, "OBD-II probe"},        {0x010, "steering angle"},
+      {0x3E0, "infotainment spam"},   {0x020, "brake pressure"},
+      {0x555, "forged engine frame"}, {0x010, "steering angle"},
+  };
+  std::printf("\ninjecting %zu frames:\n", std::size(traffic));
+  for (const TestFrame& frame : traffic) {
+    platform.can_bus().inject({.id = frame.id, .dlc = 8,
+                               .data = {0xAA, 0xBB, 0, 0, 0, 0, 0, 0}});
+    platform.run_for(200'000);
+    std::printf("  0x%03x %-20s -> %s\n", frame.id, frame.what,
+                (frame.id == 0x010 || frame.id == 0x020) ? "FORWARDED" : "DROPPED");
+  }
+  platform.run_for(500'000);
+
+  const auto& forwarded = platform.can_bus().transmitted();
+  std::printf("\nforwarded %zu / %zu frames (expected 5)\n", forwarded.size(),
+              std::size(traffic));
+  for (const auto& frame : forwarded) {
+    std::printf("  -> 0x%03x dlc=%u\n", frame.id, frame.dlc);
+  }
+
+  // The drop counter lives in EA-MPU-protected task memory: the OS cannot
+  // zero it to hide an attack.  (Read here through the RTM's trusted view.)
+  auto object = isa::assemble(kGateway);
+  const std::uint32_t drop_addr =
+      tcb->region_base + object->symbols.at("drop_count");
+  auto drops = platform.machine().fw_read32(core::Rtm::kIdent, drop_addr);
+  const bool os_blocked =
+      !platform.mpu().allows(sim::kFwOsKernel + 4, drop_addr, sim::Access::kWrite);
+  std::printf("\ndropped frames (from protected counter): %u; OS write to the counter: "
+              "%s\n",
+              drops.is_ok() ? *drops : 0, os_blocked ? "DENIED" : "ALLOWED!?");
+
+  const bool ok = forwarded.size() == 5 && drops.is_ok() && *drops == 3 && os_blocked;
+  std::printf("%s\n", ok ? "OK: the gateway enforced the whitelist under hardware "
+                           "isolation"
+                         : "UNEXPECTED RESULT");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "baselines/baselines.h"
+
+namespace tytan::baselines {
+
+std::uint64_t smart_atomic_attest(core::Platform& platform, rtos::TaskHandle task) {
+  const rtos::Tcb* tcb = platform.scheduler().get(task);
+  TYTAN_CHECK(tcb != nullptr, "smart_atomic_attest: no such task");
+  // One uninterruptible block: run the RTM state machine to completion
+  // without ever returning to the scheduler (interrupts stay pending), then
+  // MAC the result — exactly what SMART's ROM routine does with interrupts
+  // disabled.  The paper: "The integrity protected task may not be
+  // interrupted rendering SMART incompatible for real-time systems."
+  const std::uint64_t t0 = platform.machine().cycles();
+  auto digest = platform.rtm().measure_now(*tcb, {});
+  TYTAN_CHECK(digest.is_ok(), digest.status().to_string());
+  auto report = platform.remote_attest().attest_identity(
+      core::Rtm::identity_from_digest(*digest), /*nonce=*/1);
+  TYTAN_CHECK(report.is_ok(), report.status().to_string());
+  return platform.machine().cycles() - t0;
+}
+
+Result<rtos::TaskHandle> spm_load_fixed(core::Platform& platform, isa::ObjectFile object,
+                                        std::uint32_t linked_base,
+                                        const core::LoadParams& params) {
+  if (!object.relocs.empty()) {
+    return make_error(Err::kInvalidArgument,
+                      "SPM modules are not relocatable (fixed memory layout)");
+  }
+  // The region must be exactly free at the linked base: probe by allocating
+  // until we land there, then release the probes.  (SPM hardware simply has
+  // the module's protection domain hard-wired to its linked addresses.)
+  auto& arena = platform.loader().arena();
+  std::vector<std::uint32_t> probes;
+  Result<rtos::TaskHandle> result =
+      make_error(Err::kUnavailable, "linked base not reachable");
+  for (int attempts = 0; attempts < 64; ++attempts) {
+    auto base = arena.alloc(object.memory_size());
+    if (!base.is_ok()) {
+      result = base.status();
+      break;
+    }
+    if (*base == linked_base) {
+      arena.free(*base);  // the loader re-allocates; first fit lands here again
+      result = platform.load_task(std::move(object), params);
+      break;
+    }
+    if (*base > linked_base) {
+      arena.free(*base);
+      result = make_error(Err::kAlreadyExists,
+                          "SPM: linked base occupied (no relocation possible)");
+      break;
+    }
+    probes.push_back(*base);  // hole before the linked base; keep probing
+  }
+  for (const std::uint32_t probe : probes) {
+    arena.free(probe);
+  }
+  return result;
+}
+
+TrustLitePlatform::TrustLitePlatform(const core::Platform::Config& config)
+    : platform_(config) {}
+
+Status TrustLitePlatform::preload(isa::ObjectFile object, core::LoadParams params) {
+  if (sealed_) {
+    return make_error(Err::kPermissionDenied,
+                      "TrustLite: configuration sealed at boot");
+  }
+  preloads_.emplace_back(std::move(object), std::move(params));
+  return Status::ok();
+}
+
+Result<std::vector<rtos::TaskHandle>> TrustLitePlatform::boot() {
+  if (sealed_) {
+    return make_error(Err::kAlreadyExists, "already booted");
+  }
+  auto report = platform_.boot();
+  if (!report.is_ok()) {
+    return report.status();
+  }
+  std::vector<rtos::TaskHandle> handles;
+  for (auto& [object, params] : preloads_) {
+    auto handle = platform_.load_task(std::move(object), std::move(params));
+    if (!handle.is_ok()) {
+      return handle.status();
+    }
+    handles.push_back(*handle);
+  }
+  preloads_.clear();
+  sealed_ = true;
+  return handles;
+}
+
+Result<rtos::TaskHandle> TrustLitePlatform::load_task(isa::ObjectFile /*object*/,
+                                                      core::LoadParams /*params*/) {
+  // The defining limitation the paper improves on: "TrustLite requires all
+  // software components to be loaded and their isolation to be configured at
+  // boot time."
+  return make_error(Err::kPermissionDenied,
+                    "TrustLite: dynamic loading after boot is not supported");
+}
+
+}  // namespace tytan::baselines

@@ -1,0 +1,101 @@
+// Models of the related-work architectures the paper compares against (§7),
+// built over the same simulator so their *distinguishing constraints* can be
+// measured side by side with TyTAN:
+//
+//   * SMART (Eldefrawy et al., NDSS'12): one ROM-resident protected routine;
+//     attestation + invocation are ATOMIC (non-interruptible) and the
+//     protected code is fixed at manufacturing (no load, no update).
+//   * SPM / SANCUS (Strackx'10, Noorman'13): hardware-isolated modules with
+//     a FIXED memory layout (no relocation: a module can only load at its
+//     link-time base) and non-interruptible hardware measurement; SANCUS
+//     adds per-module keys.
+//   * TrustLite (Koeberl et al., EuroSys'14): the EA-MPU TyTAN builds on,
+//     but with all software loaded and all rules configured AT BOOT — no
+//     dynamic loading afterwards.
+//
+// Each model deliberately reuses TyTAN's substrate (machine, cost model,
+// EA-MPU) so measured differences isolate the *architectural* choice, not
+// implementation noise.  bench_related_work prints the resulting matrix.
+#pragma once
+
+#include "core/platform.h"
+
+namespace tytan::baselines {
+
+// ---------------------------------------------------------------------------
+// SMART
+// ---------------------------------------------------------------------------
+
+/// Atomic measure-and-report, SMART-style: the whole SHA-1 pass is charged
+/// in one non-preemptible block (interrupts stay pending), exactly like a
+/// ROM routine running with interrupts disabled.  Returns the cycle cost.
+std::uint64_t smart_atomic_attest(core::Platform& platform, rtos::TaskHandle task);
+
+/// SMART's deployment constraints, queryable for the comparison matrix.
+struct SmartProperties {
+  static constexpr bool kDynamicLoad = false;   // ROM code fixed at manufacture
+  static constexpr bool kInterruptibleMeasurement = false;
+  static constexpr bool kMultipleTasks = false;  // one protected region
+  static constexpr bool kSecureIpc = false;
+  static constexpr bool kUpdate = false;
+};
+
+// ---------------------------------------------------------------------------
+// SPM / SANCUS
+// ---------------------------------------------------------------------------
+
+/// SPM-style fixed-layout loader: the object must carry NO relocations (its
+/// code is linked for one absolute base) and can only be placed at exactly
+/// `linked_base`; if that region is occupied the load fails — the paper's
+/// "these tasks have a fixed memory layout".
+Result<rtos::TaskHandle> spm_load_fixed(core::Platform& platform, isa::ObjectFile object,
+                                        std::uint32_t linked_base,
+                                        const core::LoadParams& params);
+
+struct SpmProperties {
+  static constexpr bool kDynamicLoad = true;    // but only at the linked base
+  static constexpr bool kRelocatable = false;
+  static constexpr bool kInterruptibleMeasurement = false;
+  static constexpr bool kSecureIpc = false;     // no authenticated IPC proxy
+  static constexpr bool kUpdate = false;
+};
+
+// ---------------------------------------------------------------------------
+// TrustLite
+// ---------------------------------------------------------------------------
+
+/// TrustLite-style platform: every task must be supplied before boot; the
+/// EA-MPU configuration is sealed afterwards — "TrustLite requires all
+/// software components to be loaded and their isolation to be configured at
+/// boot time" (§7).
+class TrustLitePlatform {
+ public:
+  explicit TrustLitePlatform(const core::Platform::Config& config = {});
+
+  /// Register a task image to be loaded during boot.
+  Status preload(isa::ObjectFile object, core::LoadParams params);
+
+  /// Boot: secure boot, load every preloaded task, then seal.
+  Result<std::vector<rtos::TaskHandle>> boot();
+
+  /// Post-boot loading is rejected — the defining TrustLite limitation.
+  Result<rtos::TaskHandle> load_task(isa::ObjectFile object, core::LoadParams params);
+
+  [[nodiscard]] core::Platform& platform() { return platform_; }
+  [[nodiscard]] bool sealed() const { return sealed_; }
+
+ private:
+  core::Platform platform_;
+  std::vector<std::pair<isa::ObjectFile, core::LoadParams>> preloads_;
+  bool sealed_ = false;
+};
+
+struct TrustLiteProperties {
+  static constexpr bool kDynamicLoad = false;  // boot-time configuration only
+  static constexpr bool kInterruptibleTasks = true;
+  static constexpr bool kMultipleTasks = true;
+  static constexpr bool kSecureIpc = false;  // no sender-authenticating proxy
+  static constexpr bool kUpdate = false;     // implies a reboot
+};
+
+}  // namespace tytan::baselines

@@ -1,0 +1,121 @@
+#include "common/bytes.h"
+
+#include <array>
+
+namespace tytan {
+
+std::uint16_t load_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_le32(p)) |
+         (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
+}
+
+void store_le16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_le64(std::uint8_t* p, std::uint64_t v) {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+void append_le16(ByteVec& out, std::uint16_t v) {
+  std::array<std::uint8_t, 2> buf{};
+  store_le16(buf.data(), v);
+  out.insert(out.end(), buf.begin(), buf.end());
+}
+
+void append_le32(ByteVec& out, std::uint32_t v) {
+  std::array<std::uint8_t, 4> buf{};
+  store_le32(buf.data(), v);
+  out.insert(out.end(), buf.begin(), buf.end());
+}
+
+void append_le64(ByteVec& out, std::uint64_t v) {
+  std::array<std::uint8_t, 8> buf{};
+  store_le64(buf.data(), v);
+  out.insert(out.end(), buf.begin(), buf.end());
+}
+
+std::string hex_encode(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+ByteVec hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return {};
+  }
+  ByteVec out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return {};
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ct_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+bool ranges_overlap(std::uint64_t a_start, std::uint64_t a_size,
+                    std::uint64_t b_start, std::uint64_t b_size) {
+  if (a_size == 0 || b_size == 0) {
+    return false;
+  }
+  return a_start < b_start + b_size && b_start < a_start + a_size;
+}
+
+bool range_contains(std::uint64_t outer_start, std::uint64_t outer_size,
+                    std::uint64_t inner_start, std::uint64_t inner_size) {
+  if (inner_size == 0) {
+    return inner_start >= outer_start && inner_start <= outer_start + outer_size;
+  }
+  return inner_start >= outer_start &&
+         inner_start + inner_size <= outer_start + outer_size;
+}
+
+}  // namespace tytan

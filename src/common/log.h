@@ -1,0 +1,39 @@
+// Tiny leveled logger.  Off by default so tests and benches stay quiet;
+// examples turn on kInfo to narrate the simulated platform.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tytan {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` with a subsystem tag, e.g. log_line(kInfo, "rtm", "...").
+void log_line(LogLevel level, std::string_view tag, std::string_view message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  ~LogStream() { log_line(level_, tag_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define TYTAN_LOG(level, tag) ::tytan::detail::LogStream(level, tag)
+
+}  // namespace tytan

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace tytan {
+
+std::string_view err_name(Err e) {
+  switch (e) {
+    case Err::kOk: return "ok";
+    case Err::kInvalidArgument: return "invalid-argument";
+    case Err::kNotFound: return "not-found";
+    case Err::kAlreadyExists: return "already-exists";
+    case Err::kOutOfMemory: return "out-of-memory";
+    case Err::kPermissionDenied: return "permission-denied";
+    case Err::kFault: return "fault";
+    case Err::kCorrupt: return "corrupt";
+    case Err::kUnavailable: return "unavailable";
+    case Err::kOutOfRange: return "out-of-range";
+    case Err::kDeadline: return "deadline";
+    case Err::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) {
+    return "ok";
+  }
+  std::string out{err_name(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace tytan

@@ -1,0 +1,114 @@
+// Status / Result types used across the TyTAN reproduction.
+//
+// Expected failures (malformed binaries, EA-MPU policy conflicts, IPC to an
+// unknown task, ...) are reported through Status / Result<T>.  Programming
+// errors use TYTAN_CHECK, which throws std::logic_error so tests can assert
+// on them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tytan {
+
+/// Error categories shared by every subsystem.
+enum class Err : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< lookup failed (task id, symbol, slot, ...)
+  kAlreadyExists,     ///< duplicate registration
+  kOutOfMemory,       ///< allocator / slot exhaustion
+  kPermissionDenied,  ///< EA-MPU or key-access denial
+  kFault,             ///< simulated hardware fault
+  kCorrupt,           ///< integrity check failed (bad image, bad MAC)
+  kUnavailable,       ///< component not booted / task not running
+  kOutOfRange,        ///< address or index outside the legal range
+  kDeadline,          ///< real-time deadline violated
+  kInternal,          ///< invariant breach inside the library
+};
+
+/// Human-readable name of an error category ("permission-denied", ...).
+std::string_view err_name(Err e);
+
+/// Lightweight status: an error category plus a context message.
+class Status {
+ public:
+  Status() = default;
+  Status(Err code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Err::kOk; }
+  [[nodiscard]] Err code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "permission-denied: stack of task t1 not writable from 0x4000"
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Err code_ = Err::kOk;
+  std::string message_;
+};
+
+inline Status make_error(Err code, std::string message) {
+  return Status{code, std::move(message)};
+}
+
+/// Minimal expected-like result carrier (C++20, no std::expected yet).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) { // NOLINT(google-explicit-constructor)
+    if (status_.is_ok()) {
+      status_ = Status(Err::kInternal, "Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// Access the value; throws if the result holds an error.
+  T& value() & {
+    require();
+    return *value_;
+  }
+  const T& value() const& {
+    require();
+    return *value_;
+  }
+  T&& take() {
+    require();
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  void require() const {
+    if (!value_.has_value()) {
+      throw std::logic_error("Result::value() on error: " + status_.to_string());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Invariant check for programming errors; throws std::logic_error.
+#define TYTAN_CHECK(cond, msg)                                                  \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      throw std::logic_error(std::string("TYTAN_CHECK failed: ") + (msg) +      \
+                             " at " + __FILE__ + ":" + std::to_string(__LINE__)); \
+    }                                                                           \
+  } while (0)
+
+}  // namespace tytan

@@ -1,0 +1,263 @@
+#include "core/ipc_proxy.h"
+
+#include "common/log.h"
+
+namespace tytan::core {
+
+using rtos::TaskHandle;
+using rtos::TaskIdentity;
+using rtos::Tcb;
+
+void IpcProxy::install() {
+  machine_.register_firmware(kIdent, "ipc-proxy", [this](sim::Machine&) { on_ipc(); });
+  int_mux_.set_vector_handler(sim::kVecIpc, kIdent);
+}
+
+Status IpcProxy::write_mailbox(const RegistryEntry& receiver, const TaskIdentity& sender_id,
+                               const std::array<std::uint32_t, 4>& message) {
+  if (receiver.mailbox == 0) {
+    return make_error(Err::kInvalidArgument, "receiver has no mailbox (normal task?)");
+  }
+  const sim::CostModel& costs = machine_.costs();
+  std::uint32_t addr = receiver.mailbox;
+  machine_.charge(costs.ipc_copy_word);
+  if (Status s = machine_.fw_write32(kIdent, addr, load_le32(sender_id.data())); !s.is_ok()) {
+    return s;
+  }
+  machine_.charge(costs.ipc_copy_word);
+  machine_.fw_write32(kIdent, addr + 4, load_le32(sender_id.data() + 4));
+  for (unsigned i = 0; i < 4; ++i) {
+    machine_.charge(costs.ipc_copy_word);
+    machine_.fw_write32(kIdent, addr + 8 + i * 4, message[i]);
+  }
+  return Status::ok();
+}
+
+void IpcProxy::on_ipc() {
+  const sim::CostModel& costs = machine_.costs();
+  stats_ = IpcStats{};
+  const std::uint64_t t0 = machine_.cycles();
+  machine_.charge(costs.ipc_proxy_base);
+
+  Tcb* sender = scheduler_.current();
+  if (sender == nullptr || sender->kind != rtos::TaskKind::kGuest ||
+      !sender->context_saved) {
+    ++rejected_;
+    kernel_.reschedule();
+    return;
+  }
+
+  // Sender identity from the hardware interrupt origin (paper §4: the proxy
+  // "obtains the origin of the interrupt from the hardware and determines
+  // S's identity id_S") — not from anything the sender could forge.
+  const std::uint32_t origin = machine_.int_origin_eip();
+  const RegistryEntry* sender_entry = nullptr;
+  for (const RegistryEntry& entry : rtm_.entries()) {
+    machine_.charge(costs.ipc_registry_probe);
+    if (origin >= entry.base && origin - entry.base < entry.size) {
+      sender_entry = &entry;
+      break;
+    }
+  }
+  const TaskIdentity sender_id =
+      sender_entry != nullptr ? sender_entry->identity : TaskIdentity{};
+
+  // Message and receiver identity from the sender's *saved* context.
+  auto reg = [&](unsigned r) {
+    auto v = int_mux_.peek_saved_reg(*sender, r);
+    return v.is_ok() ? *v : 0u;
+  };
+  const std::uint32_t op = reg(0);
+  TaskIdentity receiver_id{};
+  store_le32(receiver_id.data(), reg(1));
+  store_le32(receiver_id.data() + 4, reg(2));
+  const std::array<std::uint32_t, 4> message{reg(3), reg(4), reg(5), reg(6)};
+
+  // Receiver lookup.
+  const RegistryEntry* receiver_entry = nullptr;
+  for (const RegistryEntry& entry : rtm_.entries()) {
+    machine_.charge(costs.ipc_registry_probe);
+    if (entry.identity == receiver_id) {
+      receiver_entry = &entry;
+      break;
+    }
+  }
+
+  if (op == kIpcShmGrant) {
+    handle_shm(*sender, sender_entry, receiver_entry, message[0] != 0 ? message[0] : reg(3));
+    return;
+  }
+
+  if (receiver_entry == nullptr) {
+    ++rejected_;
+    int_mux_.poke_saved_reg(*sender, 0, kSysErr);
+    kernel_.resume_specific(sender->handle);
+    return;
+  }
+  Tcb* receiver = scheduler_.get(receiver_entry->handle);
+  if (receiver == nullptr || receiver->handle == sender->handle) {
+    ++rejected_;
+    int_mux_.poke_saved_reg(*sender, 0, kSysErr);
+    kernel_.resume_specific(sender->handle);
+    return;
+  }
+
+  if (Status s = write_mailbox(*receiver_entry, sender_id, message); !s.is_ok()) {
+    ++rejected_;
+    int_mux_.poke_saved_reg(*sender, 0, kSysErr);
+    kernel_.resume_specific(sender->handle);
+    return;
+  }
+  int_mux_.poke_saved_reg(*sender, 0, kSysOk);
+  ++delivered_;
+  stats_.proxy = machine_.cycles() - t0;
+
+  const bool sync = (op == kIpcSendSync) && !int_mux_.message_active(receiver->handle);
+  if (sync) {
+    // Paper: "For synchronous communication, the IPC proxy branches to R,
+    // whose entry routine processes m."  The sender goes back to the ready
+    // queue; the receiver runs now.
+    scheduler_.yield_current();
+    const std::uint64_t t1 = machine_.cycles();
+    if (receiver->state == rtos::TaskState::kBlocked ||
+        receiver->state == rtos::TaskState::kSuspended) {
+      scheduler_.make_ready(receiver->handle);
+    }
+    receiver->message_pending = true;
+    if (Status s = kernel_.activate_message(receiver->handle); !s.is_ok()) {
+      // Could not branch (e.g. handler busy): leave it pending (async).
+      kernel_.reschedule();
+    }
+    // The branch into the receiver is proxy work (paper: proxy 1,208 incl.
+    // the branch; entry routine 116); attribute it accordingly.
+    const std::uint64_t branch = machine_.costs().resume_branch;
+    const std::uint64_t entry_span = machine_.cycles() - t1;
+    stats_.entry = entry_span > branch ? entry_span - branch : entry_span;
+    stats_.proxy += std::min(branch, entry_span);
+    stats_.total = machine_.cycles() - t0;
+    stats_.delivered = true;
+    return;
+  }
+
+  // Async: mark pending; R processes m the next time it is scheduled; the
+  // proxy continues executing S.
+  receiver->message_pending = true;
+  if (receiver->state == rtos::TaskState::kBlocked &&
+      receiver->block_reason == rtos::BlockReason::kMessage) {
+    scheduler_.make_ready(receiver->handle);
+  }
+  stats_.total = machine_.cycles() - t0;
+  stats_.delivered = true;
+  kernel_.resume_specific(sender->handle);
+}
+
+void IpcProxy::handle_shm(Tcb& sender, const RegistryEntry* sender_entry,
+                          const RegistryEntry* receiver_entry, std::uint32_t size) {
+  machine_.charge(machine_.costs().ipc_shm_setup);
+  if (sender_entry == nullptr || receiver_entry == nullptr || size == 0 ||
+      size > 0x10000) {
+    TYTAN_LOG(LogLevel::kWarn, "ipc")
+        << "shm grant rejected: sender_entry=" << (sender_entry != nullptr)
+        << " receiver_entry=" << (receiver_entry != nullptr) << " size=" << size;
+    ++rejected_;
+    int_mux_.poke_saved_reg(sender, 0, kSysErr);
+    kernel_.resume_specific(sender.handle);
+    return;
+  }
+  auto base = arena_.alloc(size);
+  if (!base.is_ok()) {
+    ++rejected_;
+    int_mux_.poke_saved_reg(sender, 0, kSysErr);
+    kernel_.resume_specific(sender.handle);
+    return;
+  }
+  const hw::Rule rule_a{.code_start = sender_entry->base,
+                        .code_size = sender_entry->size,
+                        .data_start = *base,
+                        .data_size = size,
+                        .perms = hw::kPermRead | hw::kPermWrite};
+  const hw::Rule rule_b{.code_start = receiver_entry->base,
+                        .code_size = receiver_entry->size,
+                        .data_start = *base,
+                        .data_size = size,
+                        .perms = hw::kPermRead | hw::kPermWrite};
+  auto slot_a = driver_.configure(rule_a);
+  if (!slot_a.is_ok()) {
+    TYTAN_LOG(LogLevel::kWarn, "ipc") << "shm rule A rejected: "
+                                      << slot_a.status().to_string();
+    arena_.free(*base);
+    ++rejected_;
+    int_mux_.poke_saved_reg(sender, 0, kSysErr);
+    kernel_.resume_specific(sender.handle);
+    return;
+  }
+  auto slot_b = driver_.configure(rule_b);
+  if (!slot_b.is_ok()) {
+    TYTAN_LOG(LogLevel::kWarn, "ipc") << "shm rule B rejected: "
+                                      << slot_b.status().to_string();
+    driver_.unconfigure(*slot_a);
+    arena_.free(*base);
+    ++rejected_;
+    int_mux_.poke_saved_reg(sender, 0, kSysErr);
+    kernel_.resume_specific(sender.handle);
+    return;
+  }
+  grants_.push_back({sender.handle, receiver_entry->handle, *base, size, *slot_a, *slot_b});
+
+  // Tell the receiver where the window lives (async notification message).
+  Tcb* receiver = scheduler_.get(receiver_entry->handle);
+  if (receiver != nullptr) {
+    write_mailbox(*receiver_entry,
+                  sender_entry != nullptr ? sender_entry->identity : TaskIdentity{},
+                  {0x53484D31u /* "SHM1" */, *base, size, 0});
+    receiver->message_pending = true;
+    if (receiver->state == rtos::TaskState::kBlocked &&
+        receiver->block_reason == rtos::BlockReason::kMessage) {
+      scheduler_.make_ready(receiver->handle);
+    }
+  }
+  ++delivered_;
+  int_mux_.poke_saved_reg(sender, 0, *base);
+  kernel_.resume_specific(sender.handle);
+}
+
+Status IpcProxy::deliver(const TaskIdentity& sender_id, const TaskIdentity& receiver_id,
+                         const std::array<std::uint32_t, 4>& message, bool sync) {
+  const RegistryEntry* receiver_entry = rtm_.find_by_identity(receiver_id);
+  if (receiver_entry == nullptr) {
+    return make_error(Err::kNotFound, "deliver: unknown receiver identity");
+  }
+  Tcb* receiver = scheduler_.get(receiver_entry->handle);
+  if (receiver == nullptr) {
+    return make_error(Err::kNotFound, "deliver: receiver task gone");
+  }
+  machine_.charge(machine_.costs().ipc_proxy_base);
+  if (Status s = write_mailbox(*receiver_entry, sender_id, message); !s.is_ok()) {
+    return s;
+  }
+  receiver->message_pending = true;
+  if (receiver->state == rtos::TaskState::kBlocked &&
+      receiver->block_reason == rtos::BlockReason::kMessage) {
+    scheduler_.make_ready(receiver->handle);
+  }
+  ++delivered_;
+  if (sync && scheduler_.current() == nullptr) {
+    return kernel_.activate_message(receiver_entry->handle);
+  }
+  return Status::ok();
+}
+
+Status IpcProxy::release_grant(std::uint32_t base) {
+  for (std::size_t i = 0; i < grants_.size(); ++i) {
+    if (grants_[i].base == base) {
+      driver_.unconfigure(grants_[i].slot_a);
+      driver_.unconfigure(grants_[i].slot_b);
+      arena_.free(base);
+      grants_.erase(grants_.begin() + static_cast<std::ptrdiff_t>(i));
+      return Status::ok();
+    }
+  }
+  return make_error(Err::kNotFound, "no grant at this base");
+}
+
+}  // namespace tytan::core

@@ -1,0 +1,513 @@
+#include "core/kernel.h"
+
+#include "common/log.h"
+#include "core/secure_storage.h"
+
+namespace tytan::core {
+
+using rtos::BlockReason;
+using rtos::TaskHandle;
+using rtos::TaskKind;
+using rtos::TaskState;
+using rtos::Tcb;
+
+Kernel::Kernel(sim::Machine& machine, rtos::Scheduler& scheduler, IntMux& int_mux)
+    : machine_(machine), scheduler_(scheduler), int_mux_(int_mux) {}
+
+void Kernel::install() {
+  machine_.register_firmware(kIdent + kTickHandlerOff, "os-tick",
+                             [this](sim::Machine&) { on_tick(); });
+  machine_.register_firmware(kIdent + kSyscallHandlerOff, "os-syscall",
+                             [this](sim::Machine&) { on_syscall(); });
+  machine_.register_firmware(sim::kFwFaultHandler, "os-fault",
+                             [this](sim::Machine&) { on_fault(); });
+  machine_.register_firmware(kIdent + kDeviceIrqHandlerOff, "os-device-irq",
+                             [this](sim::Machine&) { on_device_irq(); });
+  int_mux_.set_vector_handler(sim::kVecTimer, kIdent + kTickHandlerOff);
+  int_mux_.set_vector_handler(sim::kVecSyscall, kIdent + kSyscallHandlerOff);
+  int_mux_.set_vector_handler(sim::kVecFault, sim::kFwFaultHandler);
+  int_mux_.set_task_lookup([this](std::uint32_t addr) -> Tcb* {
+    for (const TaskHandle handle : scheduler_.handles()) {
+      Tcb* tcb = scheduler_.get(handle);
+      if (tcb != nullptr && tcb->kind == TaskKind::kGuest && addr >= tcb->region_base &&
+          addr - tcb->region_base < tcb->region_size) {
+        return tcb;
+      }
+    }
+    return nullptr;
+  });
+}
+
+Result<TaskHandle> Kernel::create_firmware_task(const std::string& name, unsigned priority,
+                                                std::function<bool()> quantum) {
+  TYTAN_CHECK(loader_ != nullptr, "kernel needs the loader (for the arena) first");
+  auto handle = scheduler_.create(
+      {.name = name, .priority = priority, .secure = false, .kind = TaskKind::kFirmware});
+  if (!handle.is_ok()) {
+    return handle;
+  }
+  Tcb* tcb = scheduler_.get(*handle);
+  tcb->quantum = std::move(quantum);
+
+  // A small stack for hardware interrupt frames.
+  auto stack = loader_->arena().alloc(256);
+  if (!stack.is_ok()) {
+    scheduler_.destroy(*handle);
+    return stack.status();
+  }
+  tcb->region_base = *stack;
+  tcb->region_size = 256;
+  tcb->stack_top = *stack + 256;
+
+  const std::uint32_t entry = kIdent + next_fw_entry_;
+  next_fw_entry_ += kFwTaskEntryStride;
+  tcb->entry = entry;
+  machine_.register_firmware(entry, "fwtask:" + name,
+                             [this](sim::Machine&) { run_firmware_quantum(); });
+  return *handle;
+}
+
+Status Kernel::start(std::uint32_t tick_period_cycles) {
+  TYTAN_CHECK(loader_ != nullptr, "kernel: loader not wired");
+  auto idle = create_firmware_task("idle", rtos::kIdlePriority, [this]() {
+    machine_.charge(20);  // the idle loop burns a few cycles per pass
+    return true;
+  });
+  if (!idle.is_ok()) {
+    return idle.status();
+  }
+  idle_task_ = *idle;
+  scheduler_.make_ready(idle_task_);
+
+  auto loader_task = create_firmware_task("loader", /*priority=*/1, [this]() {
+    return loader_->load_quantum();
+  });
+  if (!loader_task.is_ok()) {
+    return loader_task.status();
+  }
+  loader_task_ = *loader_task;
+  // The loader parks until a job arrives.
+
+  if (timer_ != nullptr && tick_period_cycles != 0) {
+    timer_->write32(sim::TimerDevice::kPeriod, tick_period_cycles);
+    timer_->write32(sim::TimerDevice::kCtrl, 1);
+  }
+  reschedule();
+  return Status::ok();
+}
+
+void Kernel::kick_loader() {
+  Tcb* tcb = scheduler_.get(loader_task_);
+  if (tcb != nullptr && (tcb->state == TaskState::kBlocked ||
+                         tcb->state == TaskState::kSuspended)) {
+    scheduler_.make_ready(loader_task_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void Kernel::reschedule() {
+  machine_.charge(machine_.costs().sched_pick);
+  Tcb* tcb = nullptr;
+  while (true) {
+    const TaskHandle next = scheduler_.pick_next();
+    TYTAN_CHECK(next != rtos::kNoTask, "kernel: no ready task (idle missing?)");
+    tcb = scheduler_.get(next);
+    // Execution-time bounding (paper §5): a task that exhausted its CPU
+    // budget for this tick window is deferred to the next tick.
+    if (tcb->kind == TaskKind::kGuest && tcb->budget_per_tick != 0 &&
+        tcb->budget_used >= tcb->budget_per_tick) {
+      ++tcb->throttle_events;
+      scheduler_.delay_until(next, scheduler_.tick_count() + 1);
+      continue;
+    }
+    const Status s = scheduler_.dispatch(next);
+    TYTAN_CHECK(s.is_ok(), "kernel: dispatch failed: " + s.to_string());
+    break;
+  }
+
+  if (tcb->kind == TaskKind::kFirmware) {
+    auto& cpu = machine_.cpu();
+    cpu.set_sp(tcb->stack_top);
+    cpu.eflags = isa::kFlagIF;
+    cpu.eip = tcb->entry;
+    return;
+  }
+  dispatch_guest(*tcb);
+}
+
+void Kernel::dispatch_guest(Tcb& tcb) {
+  if (tcb.secure) {
+    Status s;
+    if (tcb.context_saved) {
+      s = int_mux_.resume_secure(tcb);
+    } else if (tcb.message_pending) {
+      tcb.message_pending = false;
+      machine_.charge(machine_.costs().ipc_receiver_entry);
+      s = int_mux_.enter_message(tcb);
+    } else {
+      s = int_mux_.start_secure(tcb);
+    }
+    TYTAN_CHECK(s.is_ok(), "kernel: secure dispatch failed: " + s.to_string());
+    return;
+  }
+  // Normal task: the OS restores the context itself (FreeRTOS behaviour).
+  const Status s = int_mux_.resume_normal(tcb);
+  TYTAN_CHECK(s.is_ok(), "kernel: normal dispatch failed: " + s.to_string());
+}
+
+Status Kernel::resume_specific(TaskHandle handle) {
+  Tcb* tcb = scheduler_.get(handle);
+  if (tcb == nullptr) {
+    return make_error(Err::kNotFound, "resume_specific: no such task");
+  }
+  if (scheduler_.current_handle() == handle) {
+    // Still the running task (e.g. returning from a syscall).  Yield only if
+    // something more urgent became ready meanwhile.
+    if (scheduler_.higher_priority_ready()) {
+      scheduler_.preempt_current();
+      reschedule();
+      return Status::ok();
+    }
+    if (tcb->kind == TaskKind::kFirmware) {
+      auto& cpu = machine_.cpu();
+      cpu.set_sp(tcb->stack_top);
+      cpu.eflags = isa::kFlagIF;
+      cpu.eip = tcb->entry;
+    } else {
+      dispatch_guest(*tcb);
+    }
+    return Status::ok();
+  }
+  scheduler_.make_ready(handle);
+  reschedule();
+  return Status::ok();
+}
+
+Status Kernel::activate_message(TaskHandle handle) {
+  Tcb* tcb = scheduler_.get(handle);
+  if (tcb == nullptr || !tcb->secure) {
+    return make_error(Err::kNotFound, "activate_message: no such secure task");
+  }
+  machine_.charge(machine_.costs().ipc_receiver_entry);
+  if (Status s = int_mux_.enter_message(*tcb); !s.is_ok()) {
+    return s;
+  }
+  // The receiver becomes the running task.
+  scheduler_.make_ready(handle);
+  scheduler_.dispatch(handle);
+  tcb->message_pending = false;
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+void Kernel::route_device_irq(std::uint8_t vector) {
+  // The IDT entry itself (vector -> Int Mux) is installed by secure boot and
+  // locked; the kernel only chooses the second-level handler.
+  int_mux_.set_vector_handler(vector, kIdent + kDeviceIrqHandlerOff);
+  routed_irqs_.insert(vector);
+}
+
+void Kernel::on_device_irq() {
+  machine_.charge(machine_.costs().syscall_base);
+  const std::uint8_t vector = machine_.int_vector();
+  // Wake every task parked on this vector (edge-triggered wake).
+  auto& waiters = irq_waiters_[vector];
+  for (const TaskHandle handle : waiters) {
+    Tcb* tcb = scheduler_.get(handle);
+    if (tcb != nullptr && tcb->state == TaskState::kBlocked &&
+        tcb->block_reason == BlockReason::kIrq) {
+      scheduler_.make_ready(handle);
+    }
+  }
+  waiters.clear();
+  if (scheduler_.current() != nullptr) {
+    scheduler_.preempt_current();
+  }
+  reschedule();
+}
+
+void Kernel::on_tick() {
+  machine_.charge(machine_.costs().sched_tick);
+  scheduler_.tick();
+  timers_.advance(scheduler_.tick_count());
+  // Execution-time budgets refill as a leaky bucket: each tick drains one
+  // budget quantum, so a task that used a whole window pays it back over the
+  // following windows — long-run CPU share converges to budget/tick_period.
+  for (const TaskHandle handle : scheduler_.handles()) {
+    if (Tcb* tcb = scheduler_.get(handle); tcb != nullptr) {
+      if (tcb->budget_per_tick == 0) {
+        tcb->budget_used = 0;
+      } else {
+        tcb->budget_used = tcb->budget_used > tcb->budget_per_tick
+                               ? tcb->budget_used - tcb->budget_per_tick
+                               : 0;
+      }
+    }
+  }
+  if (scheduler_.current() != nullptr) {
+    scheduler_.preempt_current();
+  }
+  reschedule();
+}
+
+std::uint32_t Kernel::saved_reg(const Tcb& tcb, unsigned reg) {
+  auto value = int_mux_.peek_saved_reg(tcb, reg);
+  return value.is_ok() ? *value : 0;
+}
+
+void Kernel::syscall_result(Tcb& tcb, std::uint32_t value) {
+  int_mux_.poke_saved_reg(tcb, 0, value);
+}
+
+void Kernel::on_syscall() {
+  ++syscalls_;
+  machine_.charge(machine_.costs().syscall_base);
+  Tcb* tcb = scheduler_.current();
+  if (tcb == nullptr || tcb->kind != TaskKind::kGuest) {
+    // Spurious syscall (e.g. from firmware) — ignore and reschedule.
+    reschedule();
+    return;
+  }
+  const std::uint32_t number = saved_reg(*tcb, 0);
+  const std::uint32_t a1 = saved_reg(*tcb, 1);
+  const std::uint32_t a2 = saved_reg(*tcb, 2);
+  const std::uint32_t a3 = saved_reg(*tcb, 3);
+
+  switch (number) {
+    case kSysYield:
+      syscall_result(*tcb, kSysOk);
+      scheduler_.yield_current();
+      reschedule();
+      return;
+    case kSysDelay: {
+      syscall_result(*tcb, kSysOk);
+      scheduler_.delay_until(tcb->handle, scheduler_.tick_count() + std::max(1u, a1));
+      reschedule();
+      return;
+    }
+    case kSysExit: {
+      const TaskHandle handle = tcb->handle;
+      if (loader_ != nullptr) {
+        loader_->unload(handle);
+      } else {
+        scheduler_.destroy(handle);
+      }
+      reschedule();
+      return;
+    }
+    case kSysPutchar: {
+      if (serial_ != nullptr) {
+        serial_->write32(sim::SerialConsole::kData, a1);
+      }
+      syscall_result(*tcb, kSysOk);
+      resume_specific(tcb->handle);
+      return;
+    }
+    case kSysGetTick:
+      syscall_result(*tcb, static_cast<std::uint32_t>(scheduler_.tick_count()));
+      resume_specific(tcb->handle);
+      return;
+    case kSysWaitMsg: {
+      if (!tcb->secure) {
+        syscall_result(*tcb, kSysErr);
+        resume_specific(tcb->handle);
+        return;
+      }
+      if (tcb->message_pending) {
+        // Deliver immediately: discard the wait frame and run the handler.
+        tcb->context_saved = false;
+        scheduler_.block(tcb->handle, BlockReason::kMessage);
+        scheduler_.make_ready(tcb->handle);
+        activate_message(tcb->handle);
+        return;
+      }
+      tcb->context_saved = false;  // parked; next activation is a fresh entry
+      scheduler_.block(tcb->handle, BlockReason::kMessage);
+      reschedule();
+      return;
+    }
+    case kSysMsgDone: {
+      if (!tcb->secure) {
+        syscall_result(*tcb, kSysErr);
+        resume_specific(tcb->handle);
+        return;
+      }
+      auto had_ctx = int_mux_.finish_message(*tcb);
+      if (!had_ctx.is_ok()) {
+        syscall_result(*tcb, kSysErr);
+        resume_specific(tcb->handle);
+        return;
+      }
+      if (*had_ctx) {
+        // Resume the pre-message context.
+        scheduler_.yield_current();
+        scheduler_.make_ready(tcb->handle);
+        reschedule();
+      } else {
+        scheduler_.block(tcb->handle, BlockReason::kMessage);
+        reschedule();
+      }
+      return;
+    }
+    case kSysSealStore:
+    case kSysSealLoad: {
+      if (storage_ == nullptr) {
+        syscall_result(*tcb, kSysErr);
+        resume_specific(tcb->handle);
+        return;
+      }
+      const std::uint32_t result =
+          (number == kSysSealStore)
+              ? storage_->store_from_guest(*tcb, a1, a2, a3)
+              : storage_->load_to_guest(*tcb, a1, a2, a3);
+      syscall_result(*tcb, result);
+      resume_specific(tcb->handle);
+      return;
+    }
+    case kSysQueueSend:
+    case kSysQueueRecv: {
+      if (tcb->secure) {
+        // Secure tasks use the authenticated IPC proxy, not OS queues (the
+        // OS would have to touch their memory to copy the payload).
+        syscall_result(*tcb, kSysErr);
+        resume_specific(tcb->handle);
+        return;
+      }
+      const auto queue = static_cast<rtos::QueueHandle>(a1);
+      if (number == kSysQueueSend) {
+        rtos::QueueItem item{};
+        bool ok = true;
+        for (unsigned i = 0; i < 4; ++i) {
+          auto word = machine_.fw_read32(kIdent, a2 + i * 4);
+          if (!word.is_ok()) {
+            ok = false;
+            break;
+          }
+          item[i] = *word;
+        }
+        syscall_result(*tcb, ok && queues_.send(queue, item).is_ok() ? kSysOk : kSysErr);
+      } else {
+        auto item = queues_.receive(queue);
+        bool ok = item.is_ok();
+        if (ok) {
+          for (unsigned i = 0; i < 4; ++i) {
+            ok = ok && machine_.fw_write32(kIdent, a2 + i * 4, (*item)[i]).is_ok();
+          }
+        }
+        syscall_result(*tcb, ok ? kSysOk : kSysErr);
+      }
+      resume_specific(tcb->handle);
+      return;
+    }
+    case kSysWaitIrq: {
+      const auto vector = static_cast<std::uint8_t>(a1 & 0x3F);
+      if (!routed_irqs_.contains(vector)) {
+        // Only device vectors routed through the kernel are waitable; a task
+        // must not park on the syscall/IPC/tick vectors.
+        syscall_result(*tcb, kSysErr);
+        resume_specific(tcb->handle);
+        return;
+      }
+      syscall_result(*tcb, kSysOk);
+      irq_waiters_[vector].push_back(tcb->handle);
+      scheduler_.block(tcb->handle, BlockReason::kIrq);
+      reschedule();
+      return;
+    }
+    case kSysGetId: {
+      // The RTM (sole owner of identities) writes the caller's id_t into the
+      // caller-supplied buffer; its background rule reaches task memory.
+      if (rtm_ == nullptr || !tcb->measured) {
+        syscall_result(*tcb, kSysErr);
+        resume_specific(tcb->handle);
+        return;
+      }
+      bool ok = true;
+      for (unsigned i = 0; i < 8; ++i) {
+        ok = ok && machine_.fw_write8(Rtm::kIdent, a1 + i, tcb->identity[i]).is_ok();
+      }
+      syscall_result(*tcb, ok ? kSysOk : kSysErr);
+      resume_specific(tcb->handle);
+      return;
+    }
+    case kSysLocalAttest: {
+      // Local attestation (paper §3): verify that a task with the given id_t
+      // is currently loaded, by consulting the RTM registry.
+      if (rtm_ == nullptr) {
+        syscall_result(*tcb, kSysErr);
+        resume_specific(tcb->handle);
+        return;
+      }
+      rtos::TaskIdentity id{};
+      bool ok = true;
+      for (unsigned i = 0; i < 8; ++i) {
+        auto byte = machine_.fw_read8(Rtm::kIdent, a1 + i);
+        if (!byte.is_ok()) {
+          ok = false;
+          break;
+        }
+        id[i] = *byte;
+      }
+      syscall_result(*tcb, ok && rtm_->find_by_identity(id) != nullptr ? kSysOk : kSysErr);
+      resume_specific(tcb->handle);
+      return;
+    }
+    default:
+      syscall_result(*tcb, kSysErr);
+      resume_specific(tcb->handle);
+      return;
+  }
+}
+
+void Kernel::on_fault() {
+  const sim::FaultInfo& fault = machine_.last_fault();
+  Tcb* tcb = scheduler_.current();
+  TYTAN_LOG(LogLevel::kWarn, "kernel")
+      << "fault: " << fault.to_string() << " current="
+      << (tcb != nullptr ? tcb->name : std::string("<none>"));
+  if (tcb != nullptr && tcb->kind == TaskKind::kGuest) {
+    ++fault_kills_;
+    const TaskHandle handle = tcb->handle;
+    if (loader_ != nullptr) {
+      loader_->unload(handle);
+    } else {
+      scheduler_.destroy(handle);
+    }
+    reschedule();
+    return;
+  }
+  // Fault without a guest task: stop the machine, something is wrong with
+  // the platform configuration itself.
+  machine_.halt(sim::HaltReason::kDoubleFault);
+}
+
+// ---------------------------------------------------------------------------
+// Firmware task execution
+// ---------------------------------------------------------------------------
+
+void Kernel::run_firmware_quantum() {
+  Tcb* tcb = scheduler_.current();
+  if (tcb == nullptr || tcb->kind != TaskKind::kFirmware ||
+      machine_.cpu().eip != tcb->entry) {
+    // Stale entry (task switched away mid-quantum) — just reschedule.
+    reschedule();
+    return;
+  }
+  const std::uint64_t t0 = machine_.cycles();
+  const bool more = tcb->quantum();
+  tcb->cpu_cycles += machine_.cycles() - t0;
+  if (!more) {
+    scheduler_.block(tcb->handle, BlockReason::kQueueRecv);
+    reschedule();
+  }
+  // Otherwise EIP stays at the task entry: the next machine step re-invokes
+  // the quantum, and pending interrupts can preempt in between.
+}
+
+}  // namespace tytan::core

@@ -1,0 +1,108 @@
+// Trusted-data layout, syscall ABI, and IPC ABI of the TyTAN platform.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/memory_map.h"
+
+namespace tytan::core {
+
+// ---------------------------------------------------------------------------
+// Trusted data regions (inside sim::kTrustedDataBase .. +kTrustedDataSize).
+// Each region is protected by a static EA-MPU rule installed by secure boot.
+// ---------------------------------------------------------------------------
+
+/// RTM registry: task identities and locations.  Writable only by the RTM
+/// ("The EA-MPU ensures that only the RTM task can modify id_t", paper §3);
+/// readable by the IPC proxy (receiver lookup) and Remote Attest.
+inline constexpr std::uint32_t kRtmRegistryBase = sim::kTrustedDataBase + 0x0000;
+inline constexpr std::uint32_t kRtmRegistrySize = 0x1000;
+
+/// Shadow TCBs: per-secure-task saved stack pointers, maintained by the Int
+/// Mux.  The OS never sees a secure task's SP.
+inline constexpr std::uint32_t kShadowTcbBase = sim::kTrustedDataBase + 0x1000;
+inline constexpr std::uint32_t kShadowTcbSize = 0x0800;
+
+/// IPC proxy private data (pending queues, shared-memory grant table).
+inline constexpr std::uint32_t kProxyDataBase = sim::kTrustedDataBase + 0x1800;
+inline constexpr std::uint32_t kProxyDataSize = 0x0800;
+
+/// Secure-storage blob area.
+inline constexpr std::uint32_t kStorageBase = sim::kTrustedDataBase + 0x2000;
+inline constexpr std::uint32_t kStorageSize = 0x4000;
+
+/// Attestation scratch (derived-key cache).
+inline constexpr std::uint32_t kAttestDataBase = sim::kTrustedDataBase + 0x6000;
+inline constexpr std::uint32_t kAttestDataSize = 0x0400;
+
+// ---------------------------------------------------------------------------
+// RTM registry entry wire format (one entry per loaded task).
+//   +0   identity (8 bytes; first 64 bits of the SHA-1, paper footnote 9)
+//   +8   full SHA-1 digest (20 bytes)
+//   +28  region base  (u32)
+//   +32  region size  (u32)
+//   +36  entry        (u32)
+//   +40  mailbox      (u32, 0 for normal tasks)
+//   +44  flags        (u32: bit0 = valid, bit1 = secure)
+// ---------------------------------------------------------------------------
+inline constexpr std::uint32_t kRegistryEntrySize = 48;
+inline constexpr std::uint32_t kRegistryMaxEntries = kRtmRegistrySize / kRegistryEntrySize;
+inline constexpr std::uint32_t kRegistryFlagValid = 1u << 0;
+inline constexpr std::uint32_t kRegistryFlagSecure = 1u << 1;
+
+// ---------------------------------------------------------------------------
+// Syscall ABI: INT kVecSyscall with the call number in r0.  Results are
+// written into the caller's saved r0 (the kernel pokes the saved frame).
+// ---------------------------------------------------------------------------
+enum Syscall : std::uint32_t {
+  kSysYield = 1,      ///< give up the CPU, stay ready
+  kSysDelay = 2,      ///< r1 = ticks to sleep
+  kSysExit = 3,       ///< terminate and unload the calling task
+  kSysPutchar = 4,    ///< r1 = byte for the serial console
+  kSysGetTick = 5,    ///< r0 <- current tick count
+  kSysWaitMsg = 8,    ///< park until an IPC message arrives (delivered via the
+                      ///< message handler, not by returning)
+  kSysMsgDone = 9,    ///< message handler finished; resume pre-message context
+  kSysSealStore = 10, ///< r1 = ptr, r2 = len, r3 = slot; r0 <- status
+  kSysSealLoad = 11,  ///< r1 = ptr, r2 = capacity, r3 = slot; r0 <- len | ~0
+  kSysQueueSend = 12, ///< r1 = queue, r2 = ptr to 4 words; r0 <- status
+  kSysQueueRecv = 13, ///< r1 = queue, r2 = ptr to 4 words; r0 <- status
+  kSysGetId = 14,     ///< r1 = ptr to 8 bytes; writes caller id_t; r0 <- status
+  kSysLocalAttest = 15, ///< r1 = ptr to 8-byte id_t; r0 <- kSysOk if a task
+                        ///< with that identity is currently loaded (local
+                        ///< attestation against the RTM registry)
+  kSysWaitIrq = 16,   ///< r1 = interrupt vector; park until it fires
+};
+
+/// Syscall result codes (returned in saved r0).
+inline constexpr std::uint32_t kSysOk = 0;
+inline constexpr std::uint32_t kSysErr = 0xFFFF'FFFFu;
+
+// ---------------------------------------------------------------------------
+// IPC ABI: INT kVecIpc.
+//   r0 = operation, r1/r2 = receiver identity (lo/hi 32 bits of id_R),
+//   r3..r6 = message words.  Result in saved r0.
+// Mailbox layout (24 bytes, written only by the IPC proxy):
+//   +0 id_S lo, +4 id_S hi, +8..+20 message words 0..3
+// ---------------------------------------------------------------------------
+enum IpcOp : std::uint32_t {
+  kIpcSendSync = 0,   ///< deliver and branch to the receiver immediately
+  kIpcSendAsync = 1,  ///< deliver; receiver processes when next scheduled
+  kIpcShmGrant = 2,   ///< r3 = size; allocate shared memory for S and R
+};
+
+/// Entry-reason values passed in r1 by the platform (must match the values
+/// tested by the assembler's secure prologue, isa::EntryReason).
+inline constexpr std::uint32_t kReasonStart = 0;
+inline constexpr std::uint32_t kReasonRestore = 1;
+inline constexpr std::uint32_t kReasonMessage = 2;
+
+/// Saved-context frame layout relative to the saved SP (see Int Mux):
+///   [sp+0]=r6 ... [sp+24]=r0, [sp+28]=EIP, [sp+32]=EFLAGS.
+inline constexpr std::uint32_t kFrameWords = 9;
+inline constexpr std::uint32_t kFrameSize = kFrameWords * 4;
+inline constexpr std::uint32_t kFrameR0Offset = 24;
+inline constexpr std::uint32_t kFrameEipOffset = 28;
+inline constexpr std::uint32_t kFrameEflagsOffset = 32;
+
+}  // namespace tytan::core

@@ -1,0 +1,147 @@
+// The TyTAN platform facade — the library's primary entry point.
+//
+// Owns the simulated machine, the EA-MPU, the MMIO devices, the FreeRTOS-like
+// scheduler, and every TyTAN trusted component, wired exactly as Figure 1 of
+// the paper shows.  Typical use:
+//
+//   tytan::core::Platform platform;
+//   platform.boot();                              // secure boot + kernel start
+//   auto task = platform.load_task_source(asm_src, {.name = "sensor"});
+//   platform.run_for(1'000'000);                  // simulate one million cycles
+//   auto report = platform.remote_attest().attest_task(*task, nonce);
+#pragma once
+
+#include <memory>
+
+#include "core/eampu_driver.h"
+#include "core/int_mux.h"
+#include "core/ipc_proxy.h"
+#include "core/kernel.h"
+#include "core/remote_attest.h"
+#include "core/rtm.h"
+#include "core/secure_boot.h"
+#include "core/secure_storage.h"
+#include "core/task_loader.h"
+#include "core/task_update.h"
+#include "hw/key_register.h"
+#include "isa/assembler.h"
+#include "rtos/scheduler.h"
+#include "sim/devices.h"
+
+namespace tytan::core {
+
+class Platform {
+ public:
+  struct Config {
+    sim::CostModel costs{};
+    /// RTOS tick period in cycles.  Default: 1 kHz at the paper's 48 MHz.
+    std::uint32_t tick_period = 48'000;
+    /// Platform key Kp (fused at manufacturing).
+    crypto::Key128 kp{0x4b, 0x70, 0x2d, 0x74, 0x79, 0x74, 0x61, 0x6e,
+                      0x2d, 0x64, 0x65, 0x76, 0x69, 0x63, 0x65, 0x31};
+  };
+
+  Platform() : Platform(Config{}) {}
+  explicit Platform(const Config& config);
+
+  /// Secure boot + kernel start.  Must be called exactly once before tasks
+  /// are loaded.
+  Result<BootReport> boot();
+
+  // -- task management ------------------------------------------------------------
+  /// Assemble Peak-32 source and load it synchronously (the machine is not
+  /// advanced; cycle costs are charged as if the loader ran uninterrupted).
+  Result<rtos::TaskHandle> load_task_source(std::string_view source, LoadParams params);
+  /// Load a pre-assembled object synchronously.
+  Result<rtos::TaskHandle> load_task(isa::ObjectFile object, LoadParams params);
+  /// Queue an asynchronous load processed by the (interruptible) loader task
+  /// while the machine runs — the paper's dynamic loading path (Table 1).
+  Result<rtos::TaskHandle> load_task_async(isa::ObjectFile object, LoadParams params);
+  Result<rtos::TaskHandle> load_task_source_async(std::string_view source, LoadParams params);
+  [[nodiscard]] bool load_in_progress() const { return loader_->load_in_progress(); }
+
+  Status unload_task(rtos::TaskHandle handle);
+  Status suspend_task(rtos::TaskHandle handle);
+  Status resume_task(rtos::TaskHandle handle);
+
+  /// Bound a task's CPU time (paper §5): at most `cycles_per_tick` cycles of
+  /// execution per scheduler tick; excess is deferred to the next window.
+  /// Pass 0 to lift the bound.
+  Status set_task_budget(rtos::TaskHandle handle, std::uint64_t cycles_per_tick);
+
+  /// Runtime update (paper §8 future work): replace `handle` with a new
+  /// binary.  The synchronous form swaps immediately; the async form loads
+  /// in the background while the old version keeps running and swaps when
+  /// the replacement is measured (downtime = the swap, not the load).
+  Result<rtos::TaskHandle> update_task(rtos::TaskHandle handle, std::string_view source,
+                                       LoadParams params, UpdateParams update = {});
+  Result<rtos::TaskHandle> update_task_async(rtos::TaskHandle handle,
+                                             isa::ObjectFile object, LoadParams params,
+                                             UpdateParams update = {});
+
+  // -- execution --------------------------------------------------------------------
+  /// Advance the simulation by `cycles` clock cycles.
+  sim::HaltReason run_for(std::uint64_t cycles);
+  /// Advance until `predicate()` is true or `max_cycles` elapse; returns
+  /// true if the predicate fired.
+  bool run_until(const std::function<bool()>& predicate, std::uint64_t max_cycles);
+
+  // -- component access ----------------------------------------------------------------
+  [[nodiscard]] sim::Machine& machine() { return *machine_; }
+  [[nodiscard]] hw::EaMpu& mpu() { return *mpu_; }
+  [[nodiscard]] rtos::Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] IntMux& int_mux() { return *int_mux_; }
+  [[nodiscard]] EaMpuDriver& eampu_driver() { return *driver_; }
+  [[nodiscard]] Rtm& rtm() { return *rtm_; }
+  [[nodiscard]] TaskLoader& loader() { return *loader_; }
+  [[nodiscard]] Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] IpcProxy& ipc_proxy() { return *proxy_; }
+  [[nodiscard]] RemoteAttest& remote_attest() { return *attest_; }
+  [[nodiscard]] SecureStorage& secure_storage() { return *storage_; }
+  [[nodiscard]] UpdateManager& updater() { return *updater_; }
+
+  [[nodiscard]] sim::TimerDevice& timer() { return *timer_; }
+  [[nodiscard]] sim::SerialConsole& serial() { return *serial_; }
+  [[nodiscard]] sim::SensorDevice& pedal() { return *pedal_; }
+  [[nodiscard]] sim::SensorDevice& radar() { return *radar_; }
+  [[nodiscard]] sim::EngineActuator& engine() { return *engine_; }
+  [[nodiscard]] sim::RngDevice& rng() { return *rng_; }
+  [[nodiscard]] sim::CanBusDevice& can_bus() { return *can_; }
+  [[nodiscard]] hw::KeyRegister& key_register() { return *key_register_; }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] bool booted() const { return booted_; }
+  [[nodiscard]] const BootReport& boot_report() const { return boot_report_; }
+
+ private:
+  void ensure_scheduled();
+
+  Config config_;
+  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<hw::EaMpu> mpu_;
+  std::unique_ptr<rtos::Scheduler> scheduler_;
+  std::unique_ptr<IntMux> int_mux_;
+  std::unique_ptr<EaMpuDriver> driver_;
+  std::unique_ptr<Rtm> rtm_;
+  std::unique_ptr<TaskLoader> loader_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<IpcProxy> proxy_;
+  std::unique_ptr<RemoteAttest> attest_;
+  std::unique_ptr<SecureStorage> storage_;
+  std::unique_ptr<UpdateManager> updater_;
+  std::unique_ptr<SecureBootRom> boot_rom_;
+
+  std::shared_ptr<sim::TimerDevice> timer_;
+  std::shared_ptr<sim::SerialConsole> serial_;
+  std::shared_ptr<sim::SensorDevice> pedal_;
+  std::shared_ptr<sim::SensorDevice> radar_;
+  std::shared_ptr<sim::EngineActuator> engine_;
+  std::shared_ptr<sim::RngDevice> rng_;
+  std::shared_ptr<sim::CanBusDevice> can_;
+  std::shared_ptr<hw::KeyRegister> key_register_;
+
+  bool booted_ = false;
+  BootReport boot_report_;
+};
+
+}  // namespace tytan::core

@@ -1,0 +1,62 @@
+// Local and remote attestation (paper §3, "Attestation").
+//
+// Local attestation: id_t itself, maintained in the RTM registry, serves as
+// identifier and attestation report — any on-platform component that can
+// read the registry can verify a peer.
+//
+// Remote attestation: "TyTAN uses Message Authentication Codes (MAC) along
+// with an attestation key Ka to prove the authenticity of id_t to a remote
+// verifier.  Ka is derivated from Kp and only accessible to the Remote
+// Attest task."  The service reads Kp through the EA-MPU-gated key register
+// under its own identity and MACs (nonce | id_t).  The verifier side — who
+// obtained Ka from the manufacturer — is provided for tests, benches, and
+// examples.
+#pragma once
+
+#include "core/rtm.h"
+#include "crypto/kdf.h"
+#include "rtos/task.h"
+#include "sim/machine.h"
+
+namespace tytan::core {
+
+/// What the device sends to a remote verifier.
+struct AttestationReport {
+  std::uint64_t nonce = 0;       ///< verifier challenge (freshness)
+  rtos::TaskIdentity identity{}; ///< id_t of the attested task
+  crypto::HmacTag mac{};         ///< HMAC-SHA1(Ka, nonce | id_t)
+
+  [[nodiscard]] ByteVec serialize() const;
+  static Result<AttestationReport> deserialize(std::span<const std::uint8_t> raw);
+};
+
+class RemoteAttest {
+ public:
+  static constexpr std::uint32_t kIdent = sim::kFwRemoteAttest;
+  static constexpr std::string_view kKaLabel = "tytan-attest";
+
+  RemoteAttest(sim::Machine& machine, Rtm& rtm) : machine_(machine), rtm_(rtm) {}
+
+  /// Produce a report for the task currently registered under `handle`.
+  Result<AttestationReport> attest_task(rtos::TaskHandle handle, std::uint64_t nonce);
+  /// Produce a report for an explicit identity (e.g. after local attestation).
+  Result<AttestationReport> attest_identity(const rtos::TaskIdentity& identity,
+                                            std::uint64_t nonce);
+
+  /// Local attestation: read a peer's id_t from the registry.
+  Result<rtos::TaskIdentity> local_attest(rtos::TaskHandle handle);
+
+  // -- verifier side (host; Ka provisioned out of band by the manufacturer) ----
+  static crypto::Key128 derive_ka(const crypto::Key128& kp);
+  static bool verify(const crypto::Key128& ka, const AttestationReport& report,
+                     std::uint64_t expected_nonce,
+                     const rtos::TaskIdentity& expected_identity);
+
+ private:
+  crypto::Key128 attestation_key();
+
+  sim::Machine& machine_;
+  Rtm& rtm_;
+};
+
+}  // namespace tytan::core

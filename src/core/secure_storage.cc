@@ -1,0 +1,158 @@
+#include "core/secure_storage.h"
+
+#include "common/bytes.h"
+
+namespace tytan::core {
+
+crypto::Key128 SecureStorage::read_kp() {
+  crypto::Key128 kp{};
+  for (std::uint32_t i = 0; i < crypto::kKeySize; i += 4) {
+    auto word = machine_.fw_read32(kIdent, sim::kMmioKeyReg + i);
+    TYTAN_CHECK(word.is_ok(), "secure storage denied platform-key access");
+    store_le32(kp.data() + i, *word);
+  }
+  return kp;
+}
+
+crypto::Key128 SecureStorage::task_key(const rtos::TaskIdentity& identity) {
+  const crypto::Key128 kp = read_kp();
+  const crypto::HmacTag tag = crypto::HmacSha1::mac(kp, identity);
+  crypto::Key128 kt{};
+  std::copy(tag.begin(), tag.begin() + crypto::kKeySize, kt.begin());
+  return kt;
+}
+
+SecureStorage::BlobIndex* SecureStorage::find(const rtos::TaskIdentity& owner,
+                                              std::uint32_t slot) {
+  for (BlobIndex& blob : blobs_) {
+    if (blob.valid && blob.owner == owner && blob.slot == slot) {
+      return &blob;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t SecureStorage::blob_count() const {
+  std::size_t n = 0;
+  for (const BlobIndex& blob : blobs_) {
+    n += blob.valid ? 1 : 0;
+  }
+  return n;
+}
+
+Status SecureStorage::store(const rtos::TaskIdentity& caller, std::uint32_t slot,
+                            std::span<const std::uint8_t> data) {
+  const crypto::Key128 kt = task_key(caller);
+  const crypto::SealedBlob sealed = crypto::seal(kt, nonce_counter_++, data);
+  const ByteVec raw = sealed.serialize();
+  machine_.charge(machine_.costs().storage_crypt_block *
+                  ((data.size() + crypto::kXteaBlockSize - 1) / crypto::kXteaBlockSize + 3));
+
+  if (next_offset_ + raw.size() + 8 > kStorageSize) {
+    return make_error(Err::kOutOfMemory, "secure storage area full");
+  }
+  const std::uint32_t addr = kStorageBase + next_offset_;
+  // Wire format: u32 length, blob bytes.
+  if (Status s = machine_.fw_write32(kIdent, addr, static_cast<std::uint32_t>(raw.size()));
+      !s.is_ok()) {
+    return s;
+  }
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    machine_.fw_write8(kIdent, addr + 4 + static_cast<std::uint32_t>(i), raw[i]);
+  }
+  next_offset_ += static_cast<std::uint32_t>(4 + raw.size());
+
+  if (BlobIndex* existing = find(caller, slot); existing != nullptr) {
+    existing->valid = false;  // superseded; area is append-only (flash-like)
+  }
+  blobs_.push_back({caller, slot, addr, static_cast<std::uint32_t>(raw.size()), true});
+  return Status::ok();
+}
+
+Result<ByteVec> SecureStorage::load(const rtos::TaskIdentity& caller, std::uint32_t slot) {
+  BlobIndex* blob = find(caller, slot);
+  if (blob == nullptr) {
+    return make_error(Err::kNotFound, "no sealed blob for this identity/slot");
+  }
+  ByteVec raw(blob->len);
+  for (std::uint32_t i = 0; i < blob->len; ++i) {
+    auto byte = machine_.fw_read8(kIdent, blob->addr + 4 + i);
+    if (!byte.is_ok()) {
+      return byte.status();
+    }
+    raw[i] = *byte;
+  }
+  auto sealed = crypto::SealedBlob::deserialize(raw);
+  if (!sealed.is_ok()) {
+    return sealed.status();
+  }
+  machine_.charge(machine_.costs().storage_crypt_block *
+                  (raw.size() / crypto::kXteaBlockSize + 3));
+  const crypto::Key128 kt = task_key(caller);
+  return crypto::unseal(kt, *sealed);
+}
+
+Result<std::size_t> SecureStorage::migrate(const rtos::TaskIdentity& from,
+                                           const rtos::TaskIdentity& to) {
+  if (from == to) {
+    return make_error(Err::kInvalidArgument, "migrate: identical identities");
+  }
+  // Collect first: store() mutates the index.
+  std::vector<std::uint32_t> slots;
+  for (const BlobIndex& blob : blobs_) {
+    if (blob.valid && blob.owner == from) {
+      slots.push_back(blob.slot);
+    }
+  }
+  std::size_t migrated = 0;
+  for (const std::uint32_t slot : slots) {
+    auto data = load(from, slot);
+    if (!data.is_ok()) {
+      return data.status();
+    }
+    if (Status s = store(to, slot, *data); !s.is_ok()) {
+      return s;
+    }
+    if (BlobIndex* old = find(from, slot); old != nullptr) {
+      old->valid = false;
+    }
+    ++migrated;
+  }
+  return migrated;
+}
+
+std::uint32_t SecureStorage::store_from_guest(const rtos::Tcb& caller, std::uint32_t ptr,
+                                              std::uint32_t len, std::uint32_t slot) {
+  if (!caller.measured || len > 4096) {
+    return kSysErr;
+  }
+  ByteVec data(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    auto byte = machine_.fw_read8(kIdent, ptr + i);
+    if (!byte.is_ok()) {
+      return kSysErr;
+    }
+    data[i] = *byte;
+  }
+  return store(caller.identity, slot, data).is_ok() ? kSysOk : kSysErr;
+}
+
+std::uint32_t SecureStorage::load_to_guest(const rtos::Tcb& caller, std::uint32_t ptr,
+                                           std::uint32_t capacity, std::uint32_t slot) {
+  if (!caller.measured) {
+    return kSysErr;
+  }
+  auto data = load(caller.identity, slot);
+  if (!data.is_ok() || data->size() > capacity) {
+    return kSysErr;
+  }
+  for (std::size_t i = 0; i < data->size(); ++i) {
+    if (!machine_.fw_write8(kIdent, ptr + static_cast<std::uint32_t>(i), (*data)[i])
+             .is_ok()) {
+      return kSysErr;
+    }
+  }
+  return static_cast<std::uint32_t>(data->size());
+}
+
+}  // namespace tytan::core

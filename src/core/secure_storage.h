@@ -1,0 +1,79 @@
+// Secure storage (paper §3, "Secure storage").
+//
+// "For each task a task key Kt = HMAC(id_t | Kp) is generated which is bound
+// to the task identity (id_t) and the platform (Kp). [...] a task that tries
+// to access data stored before will only succeed if it has the same id_t as
+// the task that stored the data."
+//
+// Implemented as a trusted service: it reads Kp through the EA-MPU-gated key
+// register under its own identity, derives Kt per caller identity, and keeps
+// sealed blobs (XTEA-CTR + HMAC-SHA1, encrypt-then-MAC) in a trusted memory
+// region.  Guest tasks reach it through the kSysSealStore/kSysSealLoad
+// syscalls; hosts (tests, benches) may call the typed API directly.
+#pragma once
+
+#include <optional>
+
+#include "core/layout.h"
+#include "core/rtm.h"
+#include "crypto/seal.h"
+#include "rtos/task.h"
+#include "sim/machine.h"
+
+namespace tytan::core {
+
+class SecureStorage {
+ public:
+  static constexpr std::uint32_t kIdent = sim::kFwSecureStorage;
+
+  SecureStorage(sim::Machine& machine, Rtm& rtm) : machine_(machine), rtm_(rtm) {}
+
+  /// Seal `data` under the caller's task key and persist it under `slot`.
+  /// Re-storing a slot replaces the previous blob.
+  Status store(const rtos::TaskIdentity& caller, std::uint32_t slot,
+               std::span<const std::uint8_t> data);
+
+  /// Verify and decrypt the blob at `slot`; fails with kCorrupt if the
+  /// caller's identity (and hence Kt) differs from the sealer's.
+  Result<ByteVec> load(const rtos::TaskIdentity& caller, std::uint32_t slot);
+
+  /// Syscall backends: copy through guest memory under the *storage* identity
+  /// (a static EA-MPU rule lets the service touch task memory; the OS cannot).
+  std::uint32_t store_from_guest(const rtos::Tcb& caller, std::uint32_t ptr,
+                                 std::uint32_t len, std::uint32_t slot);
+  std::uint32_t load_to_guest(const rtos::Tcb& caller, std::uint32_t ptr,
+                              std::uint32_t capacity, std::uint32_t slot);
+
+  /// Task key Kt = HMAC(Kp, id_t) (the paper's HMAC(id_t | Kp) binding).
+  crypto::Key128 task_key(const rtos::TaskIdentity& identity);
+
+  /// Re-seal every blob owned by `from` under `to`'s task key.  Supports the
+  /// paper's future-work runtime task update: after an authorized update the
+  /// new binary (new id_t) inherits the old version's sealed state.  This is
+  /// a trusted-service operation; authorization policy (e.g. a task-provider
+  /// signature over old->new) is the caller's responsibility.
+  Result<std::size_t> migrate(const rtos::TaskIdentity& from, const rtos::TaskIdentity& to);
+
+  [[nodiscard]] std::uint32_t bytes_used() const { return next_offset_; }
+  [[nodiscard]] std::size_t blob_count() const;
+
+ private:
+  struct BlobIndex {
+    rtos::TaskIdentity owner{};
+    std::uint32_t slot = 0;
+    std::uint32_t addr = 0;  ///< serialized blob location in trusted memory
+    std::uint32_t len = 0;
+    bool valid = false;
+  };
+
+  crypto::Key128 read_kp();
+  [[nodiscard]] BlobIndex* find(const rtos::TaskIdentity& owner, std::uint32_t slot);
+
+  sim::Machine& machine_;
+  Rtm& rtm_;
+  std::vector<BlobIndex> blobs_;
+  std::uint32_t next_offset_ = 0;
+  std::uint64_t nonce_counter_ = 1;
+};
+
+}  // namespace tytan::core

@@ -1,0 +1,435 @@
+#include "core/task_loader.h"
+
+#include "common/bytes.h"
+#include "common/log.h"
+#include "tbf/tbf.h"
+
+namespace tytan::core {
+
+using rtos::TaskHandle;
+
+namespace {
+constexpr std::uint32_t align_up(std::uint32_t v, std::uint32_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+/// Words copied per loader quantum (bounded execution time per quantum).
+constexpr std::uint32_t kCopyWordsPerQuantum = 64;
+/// Relocations applied per loader quantum.
+constexpr std::size_t kRelocsPerQuantum = 4;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RamArena
+// ---------------------------------------------------------------------------
+
+RamArena::RamArena(std::uint32_t base, std::uint32_t size) {
+  blocks_.push_back({base, size, false});
+}
+
+Result<std::uint32_t> RamArena::alloc(std::uint32_t size, std::uint32_t align) {
+  if (size == 0) {
+    return make_error(Err::kInvalidArgument, "arena: zero-size allocation");
+  }
+  size = align_up(size, align);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    Block& block = blocks_[i];
+    if (block.used) {
+      continue;
+    }
+    const std::uint32_t aligned = align_up(block.base, align);
+    const std::uint32_t pad = aligned - block.base;
+    if (block.size < pad + size) {
+      continue;
+    }
+    // Split off padding and tail as free blocks.
+    if (pad != 0) {
+      blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(i),
+                     {block.base, pad, false});
+      Block& b = blocks_[i + 1];
+      b.base += pad;
+      b.size -= pad;
+      return alloc(size, align);  // retry with clean layout
+    }
+    if (block.size > size) {
+      blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     {block.base + size, block.size - size, false});
+      blocks_[i].size = size;
+    }
+    blocks_[i].used = true;
+    return blocks_[i].base;
+  }
+  return make_error(Err::kOutOfMemory, "arena: no block large enough");
+}
+
+Status RamArena::free(std::uint32_t base) {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].base == base && blocks_[i].used) {
+      blocks_[i].used = false;
+      // Coalesce with neighbours.
+      if (i + 1 < blocks_.size() && !blocks_[i + 1].used) {
+        blocks_[i].size += blocks_[i + 1].size;
+        blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      }
+      if (i > 0 && !blocks_[i - 1].used) {
+        blocks_[i - 1].size += blocks_[i].size;
+        blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      return Status::ok();
+    }
+  }
+  return make_error(Err::kNotFound, "arena: no allocation at this base");
+}
+
+std::uint32_t RamArena::free_bytes() const {
+  std::uint32_t total = 0;
+  for (const Block& block : blocks_) {
+    total += block.used ? 0 : block.size;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// TaskLoader
+// ---------------------------------------------------------------------------
+
+TaskLoader::TaskLoader(sim::Machine& machine, rtos::Scheduler& scheduler,
+                       EaMpuDriver& driver, Rtm& rtm, IntMux& int_mux)
+    : machine_(machine),
+      scheduler_(scheduler),
+      driver_(driver),
+      rtm_(rtm),
+      int_mux_(int_mux),
+      arena_(sim::kRamBase, sim::kRamEnd - sim::kRamBase) {}
+
+Result<TaskHandle> TaskLoader::begin_load(isa::ObjectFile object, LoadParams params) {
+  if (job_.has_value()) {
+    return make_error(Err::kUnavailable, "loader busy");
+  }
+  if (object.image.empty()) {
+    return make_error(Err::kInvalidArgument, "empty task image");
+  }
+  if (object.entry >= object.image.size()) {
+    return make_error(Err::kInvalidArgument, "entry outside image");
+  }
+  rtos::TaskParams task_params{.name = params.name,
+                               .priority = params.priority,
+                               .secure = object.secure(),
+                               .kind = rtos::TaskKind::kGuest};
+  auto handle = scheduler_.create(task_params);
+  if (!handle.is_ok()) {
+    return handle.status();
+  }
+  Job job;
+  job.object = std::move(object);
+  job.params = std::move(params);
+  job.handle = *handle;
+  job.start_cycles = machine_.cycles();
+  stats_ = CreateStats{};
+  stats_.secure = job.object.secure();
+  stats_.relocations = static_cast<std::uint32_t>(job.object.relocs.size());
+  stats_.image_bytes = static_cast<std::uint32_t>(job.object.image.size());
+  job_ = std::move(job);
+  return *handle;
+}
+
+void TaskLoader::fail_job(Status status) {
+  TYTAN_LOG(LogLevel::kWarn, "loader") << "load failed: " << status.to_string();
+  if (rtos::Tcb* tcb = scheduler_.get(job_->handle); tcb != nullptr) {
+    if (tcb->mpu_slot >= 0) {
+      driver_.unconfigure(static_cast<std::size_t>(tcb->mpu_slot));
+    }
+    if (tcb->exec_region_idx >= 0) {
+      driver_.remove_exec_region(static_cast<std::size_t>(tcb->exec_region_idx));
+    }
+    int_mux_.unregister_secure_task(job_->handle);
+  }
+  scheduler_.destroy(job_->handle);
+  if (job_->base != 0) {
+    arena_.free(job_->base);
+  }
+  job_->failed = true;
+  job_->failure = std::move(status);
+}
+
+bool TaskLoader::load_quantum() {
+  if (!job_.has_value()) {
+    return false;
+  }
+  if (job_->failed) {
+    job_.reset();
+    return false;
+  }
+  switch (job_->phase) {
+    case Phase::kAlloc: return quantum_alloc();
+    case Phase::kCopy: return quantum_copy();
+    case Phase::kReloc: return quantum_reloc();
+    case Phase::kStackPrep: return quantum_stack_prep();
+    case Phase::kMpu: return quantum_mpu();
+    case Phase::kMeasure: return quantum_measure();
+    case Phase::kRegister: return quantum_register();
+    case Phase::kDone:
+      job_.reset();
+      return false;
+  }
+  return false;
+}
+
+bool TaskLoader::quantum_alloc() {
+  Job& job = *job_;
+  const std::uint64_t t0 = machine_.cycles();
+  machine_.charge(machine_.costs().alloc_base);
+  const auto image_end = align_up(static_cast<std::uint32_t>(job.object.image.size()) +
+                                      job.object.bss_size,
+                                  16);
+  job.total_size = image_end + align_up(std::max(job.object.stack_size, 64u), 16);
+  auto base = arena_.alloc(job.total_size);
+  if (!base.is_ok()) {
+    fail_job(base.status());
+    return true;
+  }
+  job.base = *base;
+  stats_.alloc = machine_.cycles() - t0;
+  job.phase = Phase::kCopy;
+  return true;
+}
+
+bool TaskLoader::quantum_copy() {
+  Job& job = *job_;
+  const std::uint64_t t0 = machine_.cycles();
+  const auto image_size = static_cast<std::uint32_t>(job.object.image.size());
+  std::uint32_t copied = 0;
+  while (job.copy_offset < image_size && copied < kCopyWordsPerQuantum * 4) {
+    const std::uint32_t remaining = image_size - job.copy_offset;
+    if (remaining >= 4) {
+      machine_.charge(machine_.costs().load_per_word);
+      const std::uint32_t word = load_le32(job.object.image.data() + job.copy_offset);
+      if (Status s = machine_.fw_write32(kIdent, job.base + job.copy_offset, word);
+          !s.is_ok()) {
+        fail_job(s);
+        return true;
+      }
+      job.copy_offset += 4;
+      copied += 4;
+    } else {
+      machine_.charge(machine_.costs().load_per_word);
+      for (std::uint32_t i = 0; i < remaining; ++i) {
+        machine_.fw_write8(kIdent, job.base + job.copy_offset + i,
+                           job.object.image[job.copy_offset + i]);
+      }
+      job.copy_offset += remaining;
+      copied += remaining;
+    }
+  }
+  stats_.copy += machine_.cycles() - t0;
+  if (job.copy_offset >= image_size) {
+    job.phase = Phase::kReloc;
+    machine_.charge(machine_.costs().reloc_base);
+    stats_.reloc += machine_.costs().reloc_base;
+  }
+  return true;
+}
+
+bool TaskLoader::quantum_reloc() {
+  Job& job = *job_;
+  const std::uint64_t t0 = machine_.cycles();
+  std::size_t applied = 0;
+  while (job.reloc_index < job.object.relocs.size() && applied < kRelocsPerQuantum) {
+    const isa::Relocation& reloc = job.object.relocs[job.reloc_index];
+    machine_.charge(machine_.costs().reloc_per_addr);
+    auto word = machine_.fw_read32(kIdent, job.base + reloc.offset);
+    if (!word.is_ok()) {
+      fail_job(word.status());
+      return true;
+    }
+    std::uint8_t bytes[4];
+    store_le32(bytes, *word);
+    const isa::Relocation local{.offset = 0, .kind = reloc.kind, .addend = reloc.addend};
+    tbf::apply_relocation(local, bytes, job.base);
+    machine_.fw_write32(kIdent, job.base + reloc.offset, load_le32(bytes));
+    ++job.reloc_index;
+    ++applied;
+  }
+  stats_.reloc += machine_.cycles() - t0;
+  if (job.reloc_index >= job.object.relocs.size()) {
+    job.phase = Phase::kStackPrep;
+  }
+  return true;
+}
+
+bool TaskLoader::quantum_stack_prep() {
+  Job& job = *job_;
+  const std::uint64_t t0 = machine_.cycles();
+  machine_.charge(machine_.costs().stack_prep);
+
+  rtos::Tcb* tcb = scheduler_.get(job.handle);
+  TYTAN_CHECK(tcb != nullptr, "loader: TCB vanished");
+  tcb->region_base = job.base;
+  tcb->region_size = job.total_size;
+  tcb->image_size = static_cast<std::uint32_t>(job.object.image.size());
+  tcb->entry = job.base + job.object.entry;
+  tcb->msg_handler = job.object.msg_handler != 0 ? job.base + job.object.msg_handler : 0;
+  tcb->mailbox = job.object.mailbox != 0 ? job.base + job.object.mailbox : 0;
+  tcb->stack_top = job.base + job.total_size;
+
+  // Zero bss + stack.
+  const auto image_size = static_cast<std::uint32_t>(job.object.image.size());
+  machine_.memory().fill(job.base + image_size, job.total_size - image_size, 0);
+
+  if (!tcb->secure) {
+    // Paper: "the OS prepares the stack of this task as if it had been
+    // executed before and was interrupted" — an initial frame so the normal
+    // resume path starts the task.
+    std::uint32_t sp = tcb->stack_top;
+    sp -= 4;
+    machine_.fw_write32(kIdent, sp, isa::kFlagIF);  // EFLAGS
+    sp -= 4;
+    machine_.fw_write32(kIdent, sp, tcb->entry);  // EIP
+    for (unsigned i = 0; i < 7; ++i) {
+      sp -= 4;
+      machine_.fw_write32(kIdent, sp, 0);  // r0..r6 image (stored r6-first)
+    }
+    tcb->saved_sp = sp;
+    tcb->context_saved = true;
+  }
+  stats_.stack = machine_.cycles() - t0;
+  job.phase = Phase::kMpu;
+  return true;
+}
+
+bool TaskLoader::quantum_mpu() {
+  Job& job = *job_;
+  rtos::Tcb* tcb = scheduler_.get(job.handle);
+  const std::uint64_t t0 = machine_.cycles();
+
+  hw::ExecRegion exec{.start = job.base,
+                      .size = job.total_size,
+                      .entry = tcb->secure ? tcb->entry : hw::ExecRegion::kEntryAnywhere};
+  auto exec_idx = driver_.add_exec_region(exec);
+  if (!exec_idx.is_ok()) {
+    fail_job(exec_idx.status());
+    return true;
+  }
+  tcb->exec_region_idx = static_cast<int>(*exec_idx);
+
+  hw::Rule rule{.code_start = job.base,
+                .code_size = job.total_size,
+                .data_start = job.base,
+                .data_size = job.total_size,
+                .perms = hw::kPermRead | hw::kPermWrite,
+                .os_accessible = !tcb->secure};
+  auto slot = driver_.configure(rule);
+  if (!slot.is_ok()) {
+    driver_.remove_exec_region(*exec_idx);
+    tcb->exec_region_idx = -1;
+    fail_job(slot.status());
+    return true;
+  }
+  tcb->mpu_slot = static_cast<int>(*slot);
+  stats_.eampu = machine_.cycles() - t0;
+
+  if (tcb->secure) {
+    if (Status s = int_mux_.register_secure_task(*tcb); !s.is_ok()) {
+      fail_job(s);
+      return true;
+    }
+    job.phase = Phase::kMeasure;
+    if (Status s = rtm_.begin_measurement(*tcb, job.object.relocs); !s.is_ok()) {
+      fail_job(s);
+      return true;
+    }
+  } else {
+    job.phase = Phase::kRegister;
+  }
+  return true;
+}
+
+bool TaskLoader::quantum_measure() {
+  // The RTM state machine does one bounded unit per quantum; the loader task
+  // simply drives it (the paper's RTM task is preemptible in exactly the
+  // same way — see DESIGN.md).
+  const std::uint64_t t0 = machine_.cycles();
+  const bool more = rtm_.measure_quantum();
+  stats_.rtm += machine_.cycles() - t0;
+  if (!more) {
+    job_->phase = Phase::kRegister;
+  }
+  return true;
+}
+
+bool TaskLoader::quantum_register() {
+  Job& job = *job_;
+  rtos::Tcb* tcb = scheduler_.get(job.handle);
+  machine_.charge(machine_.costs().sched_pick);
+
+  if (tcb->secure) {
+    auto digest = rtm_.take_result();
+    if (!digest.is_ok()) {
+      fail_job(digest.status());
+      return true;
+    }
+    if (Status s = rtm_.register_task(*tcb, *digest); !s.is_ok()) {
+      fail_job(s);
+      return true;
+    }
+    tcb->identity = Rtm::identity_from_digest(*digest);
+    tcb->measured = true;
+  }
+  if (job.params.auto_start) {
+    scheduler_.make_ready(job.handle);
+  }
+  stats_.total = machine_.cycles() - job.start_cycles;
+  last_loaded_ = job.handle;
+  job.phase = Phase::kDone;
+  if (job.params.on_loaded) {
+    // Move the callback out: it may start another load, which replaces job_.
+    auto callback = std::move(job.params.on_loaded);
+    const rtos::TaskHandle loaded = job.handle;
+    job_.reset();
+    callback(loaded);
+    return job_.has_value();
+  }
+  return true;
+}
+
+Result<TaskHandle> TaskLoader::load_now(isa::ObjectFile object, LoadParams params) {
+  auto handle = begin_load(std::move(object), std::move(params));
+  if (!handle.is_ok()) {
+    return handle;
+  }
+  Status failure = Status::ok();
+  while (job_.has_value()) {
+    if (job_->failed) {
+      failure = job_->failure;
+    }
+    load_quantum();
+  }
+  if (!failure.is_ok()) {
+    return failure;
+  }
+  return handle;
+}
+
+Status TaskLoader::unload(TaskHandle handle) {
+  rtos::Tcb* tcb = scheduler_.get(handle);
+  if (tcb == nullptr) {
+    return make_error(Err::kNotFound, "unload: no such task");
+  }
+  if (tcb->mpu_slot >= 0) {
+    driver_.unconfigure(static_cast<std::size_t>(tcb->mpu_slot));
+  }
+  if (tcb->exec_region_idx >= 0) {
+    driver_.remove_exec_region(static_cast<std::size_t>(tcb->exec_region_idx));
+  }
+  if (tcb->secure) {
+    rtm_.unregister_task(handle);
+    int_mux_.unregister_secure_task(handle);
+  }
+  if (tcb->region_base != 0) {
+    // Wipe the region so secrets never leak into the next allocation.
+    machine_.memory().fill(tcb->region_base, tcb->region_size, 0);
+    arena_.free(tcb->region_base);
+  }
+  return scheduler_.destroy(handle);
+}
+
+}  // namespace tytan::core

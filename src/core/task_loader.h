@@ -1,0 +1,138 @@
+// Dynamic task loading (paper §4, "Dynamic task handling" / "Loading tasks").
+//
+// A new task t is loaded in the paper's six steps:
+//   (1) the OS allocates memory for t;
+//   (2) loads t into memory performing relocation;
+//   (3) prepares the stack;
+//   (4) the EA-MPU is configured to protect the memory of t;
+//   (5) t is measured (secure tasks);
+//   (6) the OS is notified to schedule t.
+//
+// Loading is implemented as a *resumable job* processed in bounded quanta by
+// a low-priority loader task, so a long load (27.8 ms in the paper's use
+// case) never blocks higher-priority real-time tasks — the property Table 1
+// demonstrates.  load_now() runs the same state machine to completion for
+// tests and benches.
+#pragma once
+
+#include <optional>
+
+#include "core/eampu_driver.h"
+#include "core/int_mux.h"
+#include "core/rtm.h"
+#include "isa/object.h"
+#include "rtos/scheduler.h"
+
+namespace tytan::core {
+
+struct LoadParams {
+  std::string name;
+  unsigned priority = 1;
+  /// Make the task ready immediately after loading (step 6).  When false the
+  /// task stays suspended (paper: tasks are "loadable, unloadable, and
+  /// suspendable at runtime").
+  bool auto_start = true;
+  /// Invoked once when the load completes (step 6 done).  Used by the
+  /// runtime-update manager to swap versions the moment the replacement is
+  /// measured and ready.
+  std::function<void(rtos::TaskHandle)> on_loaded;
+};
+
+/// Simple first-fit allocator over the task RAM arena.
+class RamArena {
+ public:
+  RamArena(std::uint32_t base, std::uint32_t size);
+
+  Result<std::uint32_t> alloc(std::uint32_t size, std::uint32_t align = 64);
+  Status free(std::uint32_t base);
+  [[nodiscard]] std::uint32_t free_bytes() const;
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::uint32_t base;
+    std::uint32_t size;
+    bool used;
+  };
+  std::vector<Block> blocks_;
+};
+
+class TaskLoader {
+ public:
+  /// Cycle breakdown of the last completed load (bench for Tables 4/5).
+  struct CreateStats {
+    std::uint64_t alloc = 0;
+    std::uint64_t copy = 0;
+    std::uint64_t reloc = 0;
+    std::uint64_t stack = 0;
+    std::uint64_t eampu = 0;
+    std::uint64_t rtm = 0;
+    std::uint64_t total = 0;
+    std::uint32_t relocations = 0;
+    std::uint32_t image_bytes = 0;
+    bool secure = false;
+  };
+
+  static constexpr std::uint32_t kIdent = sim::kFwOsKernel;  // loading is OS work
+
+  TaskLoader(sim::Machine& machine, rtos::Scheduler& scheduler, EaMpuDriver& driver,
+             Rtm& rtm, IntMux& int_mux);
+
+  // -- resumable job API -----------------------------------------------------
+  /// Create the TCB and queue the load job.  The returned handle is valid
+  /// immediately but the task stays suspended until the job finishes.
+  Result<rtos::TaskHandle> begin_load(isa::ObjectFile object, LoadParams params);
+  [[nodiscard]] bool load_in_progress() const { return job_.has_value(); }
+  /// Process one bounded quantum; returns true while work remains.
+  bool load_quantum();
+  /// Handle of the most recently completed load.
+  [[nodiscard]] rtos::TaskHandle last_loaded() const { return last_loaded_; }
+
+  // -- synchronous convenience -------------------------------------------------
+  Result<rtos::TaskHandle> load_now(isa::ObjectFile object, LoadParams params);
+
+  /// Unload: remove from the scheduler, clear EA-MPU state, wipe and free the
+  /// task's memory, drop registry and shadow entries.
+  Status unload(rtos::TaskHandle handle);
+
+  [[nodiscard]] const CreateStats& last_create() const { return stats_; }
+  [[nodiscard]] RamArena& arena() { return arena_; }
+
+ private:
+  enum class Phase { kAlloc, kCopy, kReloc, kStackPrep, kMpu, kMeasure, kRegister, kDone };
+
+  struct Job {
+    isa::ObjectFile object;
+    LoadParams params;
+    rtos::TaskHandle handle = rtos::kNoTask;
+    Phase phase = Phase::kAlloc;
+    std::uint32_t base = 0;
+    std::uint32_t total_size = 0;
+    std::uint32_t copy_offset = 0;
+    std::size_t reloc_index = 0;
+    std::uint64_t start_cycles = 0;
+    bool failed = false;
+    Status failure;
+  };
+
+  void fail_job(Status status);
+  bool quantum_alloc();
+  bool quantum_copy();
+  bool quantum_reloc();
+  bool quantum_stack_prep();
+  bool quantum_mpu();
+  bool quantum_measure();
+  bool quantum_register();
+
+  sim::Machine& machine_;
+  rtos::Scheduler& scheduler_;
+  EaMpuDriver& driver_;
+  Rtm& rtm_;
+  IntMux& int_mux_;
+  RamArena arena_;
+  std::optional<Job> job_;
+  rtos::TaskHandle last_loaded_ = rtos::kNoTask;
+  CreateStats stats_;
+};
+
+}  // namespace tytan::core

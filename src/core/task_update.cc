@@ -1,0 +1,98 @@
+#include "core/task_update.h"
+
+#include "common/log.h"
+
+namespace tytan::core {
+
+using rtos::TaskHandle;
+using rtos::Tcb;
+
+Status UpdateManager::swap(TaskHandle old_handle, TaskHandle new_handle,
+                           const UpdateParams& params) {
+  const std::uint64_t t0 = machine_.cycles();
+  Tcb* old_tcb = scheduler_.get(old_handle);
+  Tcb* new_tcb = scheduler_.get(new_handle);
+  if (old_tcb == nullptr || new_tcb == nullptr) {
+    return make_error(Err::kNotFound, "update swap: task vanished");
+  }
+  if (old_tcb->secure != new_tcb->secure) {
+    return make_error(Err::kInvalidArgument, "update swap: task kind changed");
+  }
+
+  // Carry over an undelivered mailbox message (exactly-once delivery).
+  if (old_tcb->message_pending && old_tcb->mailbox != 0 && new_tcb->mailbox != 0) {
+    for (std::uint32_t i = 0; i < 24; i += 4) {
+      auto word = machine_.fw_read32(sim::kFwIpcProxy, old_tcb->mailbox + i);
+      if (word.is_ok()) {
+        machine_.fw_write32(sim::kFwIpcProxy, new_tcb->mailbox + i, *word);
+      }
+    }
+    new_tcb->message_pending = true;
+  }
+
+  // Sealed-state hand-over: the identity changed, so Kt changed — re-seal.
+  if (params.migrate_storage && old_tcb->measured && new_tcb->measured) {
+    auto migrated = storage_.migrate(old_tcb->identity, new_tcb->identity);
+    if (!migrated.is_ok()) {
+      return migrated.status();
+    }
+    TYTAN_LOG(LogLevel::kInfo, "update")
+        << "migrated " << *migrated << " sealed blob(s) to the new identity";
+  }
+
+  const unsigned priority = old_tcb->priority;
+  if (Status s = loader_.unload(old_handle); !s.is_ok()) {
+    return s;
+  }
+  new_tcb->priority = priority;  // the replacement inherits the slot's priority
+  scheduler_.make_ready(new_handle);
+  last_swap_cycles_ = machine_.cycles() - t0;
+  last_updated_ = new_handle;
+  return Status::ok();
+}
+
+Result<TaskHandle> UpdateManager::update_now(TaskHandle old_handle, isa::ObjectFile next,
+                                             LoadParams load_params, UpdateParams params) {
+  if (scheduler_.get(old_handle) == nullptr) {
+    return make_error(Err::kNotFound, "update: no such task");
+  }
+  load_params.auto_start = false;
+  load_params.on_loaded = nullptr;
+  auto new_handle = loader_.load_now(std::move(next), std::move(load_params));
+  if (!new_handle.is_ok()) {
+    return new_handle;
+  }
+  if (Status s = swap(old_handle, *new_handle, params); !s.is_ok()) {
+    loader_.unload(*new_handle);
+    return s;
+  }
+  return new_handle;
+}
+
+Result<TaskHandle> UpdateManager::begin_update(TaskHandle old_handle, isa::ObjectFile next,
+                                               LoadParams load_params, UpdateParams params) {
+  if (pending_) {
+    return make_error(Err::kUnavailable, "update already in progress");
+  }
+  if (scheduler_.get(old_handle) == nullptr) {
+    return make_error(Err::kNotFound, "update: no such task");
+  }
+  load_params.auto_start = false;
+  load_params.on_loaded = [this, old_handle, params](TaskHandle new_handle) {
+    last_swap_status_ = swap(old_handle, new_handle, params);
+    if (!last_swap_status_.is_ok()) {
+      TYTAN_LOG(LogLevel::kWarn, "update")
+          << "swap failed: " << last_swap_status_.to_string();
+      loader_.unload(new_handle);
+    }
+    pending_ = false;
+  };
+  auto new_handle = loader_.begin_load(std::move(next), std::move(load_params));
+  if (!new_handle.is_ok()) {
+    return new_handle;
+  }
+  pending_ = true;
+  return new_handle;
+}
+
+}  // namespace tytan::core

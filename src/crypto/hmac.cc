@@ -1,0 +1,45 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace tytan::crypto {
+
+HmacSha1::HmacSha1(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, kSha1BlockSize> k{};
+  if (key.size() > kSha1BlockSize) {
+    const Sha1Digest kd = Sha1::hash(key);
+    std::memcpy(k.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, kSha1BlockSize> ipad{};
+  for (std::size_t i = 0; i < kSha1BlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  inner_.update(ipad);
+}
+
+void HmacSha1::update(std::span<const std::uint8_t> data) { inner_.update(data); }
+
+HmacTag HmacSha1::finish() {
+  const Sha1Digest inner_digest = inner_.finish();
+  Sha1 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+HmacTag HmacSha1::mac(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+  HmacSha1 ctx(key);
+  ctx.update(data);
+  return ctx.finish();
+}
+
+bool HmacSha1::verify(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data,
+                      std::span<const std::uint8_t> tag) {
+  const HmacTag expected = mac(key, data);
+  return ct_equal(expected, tag);
+}
+
+}  // namespace tytan::crypto

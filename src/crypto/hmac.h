@@ -1,0 +1,35 @@
+// HMAC-SHA1 (RFC 2104).  Used for:
+//   * remote attestation reports:  MAC(Ka, nonce | id_t)        (paper §3)
+//   * task-key derivation:         Kt = HMAC(id_t | Kp)         (paper §3)
+//   * sealed-blob authentication in secure storage.
+#pragma once
+
+#include <span>
+
+#include "crypto/sha1.h"
+
+namespace tytan::crypto {
+
+using HmacTag = Sha1Digest;  // 20 bytes
+
+/// Streaming HMAC-SHA1.
+class HmacSha1 {
+ public:
+  explicit HmacSha1(std::span<const std::uint8_t> key);
+
+  void update(std::span<const std::uint8_t> data);
+  HmacTag finish();
+
+  /// One-shot convenience.
+  static HmacTag mac(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data);
+
+  /// Constant-time verification of a tag.
+  static bool verify(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data,
+                     std::span<const std::uint8_t> tag);
+
+ private:
+  std::array<std::uint8_t, kSha1BlockSize> opad_key_{};
+  Sha1 inner_;
+};
+
+}  // namespace tytan::crypto

@@ -1,0 +1,37 @@
+#include "crypto/kdf.h"
+
+#include <cstring>
+
+namespace tytan::crypto {
+
+ByteVec derive(std::span<const std::uint8_t> key, std::string_view label,
+               std::span<const std::uint8_t> context, std::size_t out_len) {
+  ByteVec out;
+  out.reserve(out_len);
+  std::uint32_t counter = 1;
+  while (out.size() < out_len) {
+    HmacSha1 ctx(key);
+    ctx.update(std::span(reinterpret_cast<const std::uint8_t*>(label.data()), label.size()));
+    const std::uint8_t sep = 0;
+    ctx.update(std::span(&sep, 1));
+    ctx.update(context);
+    std::uint8_t ctr_le[4];
+    store_le32(ctr_le, counter);
+    ctx.update(ctr_le);
+    const HmacTag block = ctx.finish();
+    const std::size_t take = std::min(block.size(), out_len - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+Key128 derive_key128(std::span<const std::uint8_t> key, std::string_view label,
+                     std::span<const std::uint8_t> context) {
+  const ByteVec raw = derive(key, label, context, kKeySize);
+  Key128 out{};
+  std::memcpy(out.data(), raw.data(), kKeySize);
+  return out;
+}
+
+}  // namespace tytan::crypto

@@ -1,0 +1,28 @@
+// Key derivation from the platform key Kp.
+//
+// The paper derives additional keys from Kp, e.g. the attestation key Ka and
+// per-task storage keys Kt = HMAC(id_t | Kp).  We use an HKDF-expand-style
+// construction over HMAC-SHA1: derive(K, label, context) =
+// HMAC(K, label | 0x00 | context | counter) truncated/extended to the
+// requested length.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/hmac.h"
+
+namespace tytan::crypto {
+
+inline constexpr std::size_t kKeySize = 16;  ///< 128-bit symmetric keys
+using Key128 = std::array<std::uint8_t, kKeySize>;
+
+/// Derive `out_len` bytes from `key` bound to (label, context).
+ByteVec derive(std::span<const std::uint8_t> key, std::string_view label,
+               std::span<const std::uint8_t> context, std::size_t out_len);
+
+/// Derive a 128-bit key (the common case for Ka and Kt).
+Key128 derive_key128(std::span<const std::uint8_t> key, std::string_view label,
+                     std::span<const std::uint8_t> context);
+
+}  // namespace tytan::crypto

@@ -1,0 +1,63 @@
+#include "crypto/seal.h"
+
+namespace tytan::crypto {
+
+namespace {
+Key128 enc_subkey(const Key128& key) { return derive_key128(key, "seal-enc", {}); }
+
+ByteVec mac_subkey(const Key128& key) { return derive(key, "seal-mac", {}, kKeySize); }
+
+HmacTag compute_tag(const Key128& key, std::uint64_t nonce,
+                    std::span<const std::uint8_t> ciphertext) {
+  const ByteVec mk = mac_subkey(key);
+  HmacSha1 ctx(mk);
+  std::uint8_t nonce_le[8];
+  store_le64(nonce_le, nonce);
+  ctx.update(nonce_le);
+  ctx.update(ciphertext);
+  return ctx.finish();
+}
+}  // namespace
+
+ByteVec SealedBlob::serialize() const {
+  ByteVec out;
+  out.reserve(8 + ciphertext.size() + tag.size());
+  append_le64(out, nonce);
+  out.insert(out.end(), ciphertext.begin(), ciphertext.end());
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+Result<SealedBlob> SealedBlob::deserialize(std::span<const std::uint8_t> raw) {
+  if (raw.size() < 8 + kSha1DigestSize) {
+    return make_error(Err::kCorrupt, "sealed blob too short");
+  }
+  SealedBlob blob;
+  blob.nonce = load_le64(raw.data());
+  const std::size_t ct_len = raw.size() - 8 - kSha1DigestSize;
+  blob.ciphertext.assign(raw.begin() + 8, raw.begin() + 8 + static_cast<std::ptrdiff_t>(ct_len));
+  std::copy(raw.end() - static_cast<std::ptrdiff_t>(kSha1DigestSize), raw.end(),
+            blob.tag.begin());
+  return blob;
+}
+
+SealedBlob seal(const Key128& key, std::uint64_t nonce, std::span<const std::uint8_t> plaintext) {
+  SealedBlob blob;
+  blob.nonce = nonce;
+  blob.ciphertext.resize(plaintext.size());
+  xtea_ctr_crypt(enc_subkey(key), nonce, plaintext, blob.ciphertext);
+  blob.tag = compute_tag(key, nonce, blob.ciphertext);
+  return blob;
+}
+
+Result<ByteVec> unseal(const Key128& key, const SealedBlob& blob) {
+  const HmacTag expected = compute_tag(key, blob.nonce, blob.ciphertext);
+  if (!ct_equal(expected, blob.tag)) {
+    return make_error(Err::kCorrupt, "sealed blob authentication failed");
+  }
+  ByteVec plaintext(blob.ciphertext.size());
+  xtea_ctr_crypt(enc_subkey(key), blob.nonce, blob.ciphertext, plaintext);
+  return plaintext;
+}
+
+}  // namespace tytan::crypto

@@ -1,0 +1,31 @@
+// Authenticated sealing for TyTAN secure storage (paper §3, "Secure storage").
+//
+// A sealed blob binds ciphertext to the sealing task's identity via
+// Kt = HMAC(id_t | Kp): encrypt-then-MAC with independent subkeys derived
+// from Kt.  A task with a different id_t derives a different Kt and fails
+// the MAC check — exactly the paper's access rule.
+#pragma once
+
+#include "common/status.h"
+#include "crypto/xtea.h"
+
+namespace tytan::crypto {
+
+/// Wire format: nonce (8) | ciphertext (n) | tag (20).
+struct SealedBlob {
+  std::uint64_t nonce = 0;
+  ByteVec ciphertext;
+  HmacTag tag{};
+
+  [[nodiscard]] ByteVec serialize() const;
+  static Result<SealedBlob> deserialize(std::span<const std::uint8_t> raw);
+};
+
+/// Seal `plaintext` under `key`; `nonce` must be unique per (key, message).
+SealedBlob seal(const Key128& key, std::uint64_t nonce, std::span<const std::uint8_t> plaintext);
+
+/// Verify and decrypt; Err::kCorrupt if the tag does not match (wrong key or
+/// tampered data).
+Result<ByteVec> unseal(const Key128& key, const SealedBlob& blob);
+
+}  // namespace tytan::crypto

@@ -1,0 +1,58 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// The paper measures tasks with SHA-1 and uses the first 64 bits of the
+// digest as the task identity (footnote 9).  The streaming interface below
+// is what makes the RTM task *interruptible*: the RTM hashes one 64-byte
+// block at a time and may be preempted between blocks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace tytan::crypto {
+
+inline constexpr std::size_t kSha1DigestSize = 20;
+inline constexpr std::size_t kSha1BlockSize = 64;
+
+using Sha1Digest = std::array<std::uint8_t, kSha1DigestSize>;
+
+/// Streaming SHA-1.  update() may be called any number of times; finish()
+/// consumes the context.  Copyable so the RTM can checkpoint mid-measurement.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  /// Restart hashing from the initial state.
+  void reset();
+
+  /// Absorb `data`.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Pad, finalize, and return the 160-bit digest.  The context is reset.
+  Sha1Digest finish();
+
+  /// Number of full 64-byte compression blocks processed so far (used by the
+  /// cycle-cost accounting in the RTM task).
+  [[nodiscard]] std::uint64_t blocks_processed() const { return blocks_; }
+
+  /// One-shot convenience.
+  static Sha1Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, kSha1BlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+  std::uint64_t blocks_ = 0;
+};
+
+/// Number of 64-byte SHA-1 compression blocks needed to hash `message_len`
+/// bytes including padding (what Table 7's "blocks" column counts).
+std::uint64_t sha1_block_count(std::uint64_t message_len);
+
+}  // namespace tytan::crypto

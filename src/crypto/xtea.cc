@@ -1,0 +1,54 @@
+#include "crypto/xtea.h"
+
+namespace tytan::crypto {
+
+namespace {
+constexpr std::uint32_t kDelta = 0x9E3779B9u;
+
+std::array<std::uint32_t, 4> key_words(const Key128& key) {
+  return {load_le32(key.data()), load_le32(key.data() + 4), load_le32(key.data() + 8),
+          load_le32(key.data() + 12)};
+}
+}  // namespace
+
+void xtea_encrypt_block(const Key128& key, std::uint32_t& v0, std::uint32_t& v1) {
+  const auto k = key_words(key);
+  std::uint32_t sum = 0;
+  for (unsigned i = 0; i < kXteaRounds / 2; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + k[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + k[(sum >> 11) & 3]);
+  }
+}
+
+void xtea_decrypt_block(const Key128& key, std::uint32_t& v0, std::uint32_t& v1) {
+  const auto k = key_words(key);
+  std::uint32_t sum = kDelta * (kXteaRounds / 2);
+  for (unsigned i = 0; i < kXteaRounds / 2; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + k[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + k[sum & 3]);
+  }
+}
+
+void xtea_ctr_crypt(const Key128& key, std::uint64_t nonce,
+                    std::span<const std::uint8_t> in, std::span<std::uint8_t> out) {
+  std::uint64_t counter = 0;
+  std::size_t offset = 0;
+  while (offset < in.size()) {
+    std::uint32_t v0 = static_cast<std::uint32_t>(nonce ^ counter);
+    std::uint32_t v1 = static_cast<std::uint32_t>((nonce >> 32) ^ (counter >> 32) ^ counter);
+    xtea_encrypt_block(key, v0, v1);
+    std::uint8_t ks[kXteaBlockSize];
+    store_le32(ks, v0);
+    store_le32(ks + 4, v1);
+    const std::size_t take = std::min(kXteaBlockSize, in.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[offset + i] = static_cast<std::uint8_t>(in[offset + i] ^ ks[i]);
+    }
+    offset += take;
+    ++counter;
+  }
+}
+
+}  // namespace tytan::crypto

@@ -1,0 +1,28 @@
+// XTEA block cipher (Needham/Wheeler), 64-bit block, 128-bit key, 64 rounds,
+// plus a CTR-mode stream built on it.  XTEA is the kind of cipher actually
+// deployed on MSP430/Cortex-M-class devices the paper targets: tiny code
+// footprint, no tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "crypto/kdf.h"
+
+namespace tytan::crypto {
+
+inline constexpr std::size_t kXteaBlockSize = 8;
+inline constexpr unsigned kXteaRounds = 64;
+
+/// Encrypt/decrypt one 64-bit block in place (two 32-bit halves).
+void xtea_encrypt_block(const Key128& key, std::uint32_t& v0, std::uint32_t& v1);
+void xtea_decrypt_block(const Key128& key, std::uint32_t& v0, std::uint32_t& v1);
+
+/// CTR keystream XOR: identical for encryption and decryption.  `nonce` is a
+/// 64-bit per-message value; the counter occupies the second block half.
+void xtea_ctr_crypt(const Key128& key, std::uint64_t nonce,
+                    std::span<const std::uint8_t> in, std::span<std::uint8_t> out);
+
+}  // namespace tytan::crypto

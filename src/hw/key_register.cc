@@ -1,0 +1,3 @@
+#include "hw/key_register.h"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,58 @@
+// Two-pass assembler for the Peak-32 ISA, the "TyTAN tool chain" of this
+// reproduction.
+//
+// Syntax (one statement per line, `;` or `#` comments):
+//
+//   label:                       define a symbol at the current offset
+//   movi r0, 42                  immediates: decimal, 0x-hex, negative, 'c'
+//   li   r2, buffer              pseudo: moviu+movhi, emits LO16+HI16 relocs
+//   ldw  r1, [r2+4]              memory operands: [reg], [reg+imm], [reg-imm]
+//   stw  r1, [sp]                `sp` aliases r7
+//   jmp  loop                    branches take labels (relative, no reloc)
+//   int  0x21
+//
+// Directives:
+//   .word  <num|label>, ...      32-bit data words (labels emit ABS32 relocs)
+//   .byte  <num>, ...
+//   .space <n>                   n zero bytes
+//   .ascii "text"                raw bytes, supports \n \0 \\ \" escapes
+//   .align <n>                   pad with zeros to an n-byte boundary
+//   .equ   NAME, <num>           assemble-time constant
+//   .entry <label>               program entry point (default: offset 0)
+//   .msg   <label>               IPC message handler (secure tasks)
+//   .stack <n>                   requested stack size (default 256)
+//   .bss   <n>                   zero-initialized space appended after image
+//   .secure                      mark as secure task; the assembler prepends
+//                                the TyTAN secure-task entry routine and an
+//                                IPC mailbox (paper §4: "automatically
+//                                included by the TyTAN tool chain")
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "isa/object.h"
+
+namespace tytan::isa {
+
+/// Offsets within a secure task's auto-generated prologue.
+struct SecureLayout {
+  static constexpr std::uint32_t kEntryOffset = 0;  ///< entry routine start
+  static constexpr std::uint32_t kMailboxWords = 6;  ///< sender id (2) + 4 data words
+  static constexpr std::uint32_t kMailboxSize = kMailboxWords * 4;
+};
+
+/// Reason codes the platform passes in r1 when entering a secure task
+/// (paper §4: "TyTAN provides this information in a CPU register, which is
+/// checked by the entry routine").
+enum class EntryReason : std::uint32_t {
+  kStart = 0,    ///< first activation: fall through to main
+  kRestore = 1,  ///< resume: pop saved context and iret
+  kMessage = 2,  ///< IPC delivery: run the message handler
+};
+
+/// Assemble `source` into a relocatable object.  On error the status message
+/// contains the line number and a description.
+Result<ObjectFile> assemble(std::string_view source);
+
+}  // namespace tytan::isa

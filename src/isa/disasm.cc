@@ -1,0 +1,99 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+namespace tytan::isa {
+
+namespace {
+std::string reg(unsigned r) { return (r == kSpIndex) ? "sp" : "r" + std::to_string(r); }
+
+std::string hex32(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+}  // namespace
+
+std::string disassemble(const Instruction& instr, std::uint32_t pc) {
+  std::ostringstream os;
+  os << mnemonic(instr.opcode);
+  switch (instr.opcode) {
+    case Opcode::kNop:
+    case Opcode::kRet:
+    case Opcode::kIret:
+    case Opcode::kHlt:
+    case Opcode::kCli:
+    case Opcode::kSti:
+      break;
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kMul:
+    case Opcode::kCmp:
+      os << ' ' << reg(instr.rd) << ", " << reg(instr.ra);
+      break;
+    case Opcode::kMovi:
+    case Opcode::kAddi:
+    case Opcode::kSubi:
+    case Opcode::kCmpi:
+      os << ' ' << reg(instr.rd) << ", " << instr.simm();
+      break;
+    case Opcode::kMoviu:
+    case Opcode::kMovhi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kShli:
+    case Opcode::kShri:
+      os << ' ' << reg(instr.rd) << ", " << hex32(instr.imm);
+      break;
+    case Opcode::kLdw:
+    case Opcode::kLdb:
+    case Opcode::kStw:
+    case Opcode::kStb:
+      os << ' ' << reg(instr.rd) << ", [" << reg(instr.ra);
+      if (instr.simm() != 0) {
+        os << (instr.simm() >= 0 ? "+" : "") << instr.simm();
+      }
+      os << ']';
+      break;
+    case Opcode::kJmp:
+    case Opcode::kJz:
+    case Opcode::kJnz:
+    case Opcode::kJlt:
+    case Opcode::kJge:
+    case Opcode::kJc:
+    case Opcode::kJnc:
+    case Opcode::kCall:
+      os << ' ' << hex32(static_cast<std::uint32_t>(
+                     static_cast<std::int64_t>(pc) + kInstrSize + instr.simm()));
+      break;
+    case Opcode::kJmpr:
+    case Opcode::kCallr:
+      os << ' ' << reg(instr.ra);
+      break;
+    case Opcode::kPush:
+    case Opcode::kPop:
+    case Opcode::kRdcyc:
+      os << ' ' << reg(instr.rd);
+      break;
+    case Opcode::kInt:
+      os << ' ' << hex32(instr.imm);
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble_word(std::uint32_t word, std::uint32_t pc) {
+  const auto instr = decode(word);
+  if (!instr) {
+    return "<invalid " + hex32(word) + ">";
+  }
+  return disassemble(*instr, pc);
+}
+
+}  // namespace tytan::isa

@@ -1,0 +1,18 @@
+// Disassembler for the Peak-32 ISA; used by tests, the fault reporter, and
+// debugging output in the examples.
+#pragma once
+
+#include <string>
+
+#include "isa/isa.h"
+
+namespace tytan::isa {
+
+/// "ldw r1, [r2+4]" etc.  `pc` (address of the instruction) is used to print
+/// absolute branch targets.
+std::string disassemble(const Instruction& instr, std::uint32_t pc);
+
+/// Decode and disassemble a raw word; "<invalid 0x...>" if undecodable.
+std::string disassemble_word(std::uint32_t word, std::uint32_t pc);
+
+}  // namespace tytan::isa

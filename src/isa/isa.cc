@@ -1,0 +1,157 @@
+#include "isa/isa.h"
+
+namespace tytan::isa {
+
+std::uint32_t encode(const Instruction& instr) {
+  return (static_cast<std::uint32_t>(instr.opcode) << 24) |
+         (static_cast<std::uint32_t>(instr.rd & 0xF) << 20) |
+         (static_cast<std::uint32_t>(instr.ra & 0xF) << 16) | instr.imm;
+}
+
+bool opcode_valid(std::uint8_t raw) {
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kNop:
+    case Opcode::kMov:
+    case Opcode::kMovi:
+    case Opcode::kMoviu:
+    case Opcode::kMovhi:
+    case Opcode::kAdd:
+    case Opcode::kAddi:
+    case Opcode::kSub:
+    case Opcode::kSubi:
+    case Opcode::kAnd:
+    case Opcode::kAndi:
+    case Opcode::kOr:
+    case Opcode::kOri:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShli:
+    case Opcode::kShr:
+    case Opcode::kShri:
+    case Opcode::kMul:
+    case Opcode::kCmp:
+    case Opcode::kCmpi:
+    case Opcode::kLdw:
+    case Opcode::kStw:
+    case Opcode::kLdb:
+    case Opcode::kStb:
+    case Opcode::kJmp:
+    case Opcode::kJz:
+    case Opcode::kJnz:
+    case Opcode::kJlt:
+    case Opcode::kJge:
+    case Opcode::kJc:
+    case Opcode::kJnc:
+    case Opcode::kJmpr:
+    case Opcode::kCall:
+    case Opcode::kCallr:
+    case Opcode::kRet:
+    case Opcode::kPush:
+    case Opcode::kPop:
+    case Opcode::kInt:
+    case Opcode::kIret:
+    case Opcode::kHlt:
+    case Opcode::kCli:
+    case Opcode::kSti:
+    case Opcode::kRdcyc:
+      return true;
+  }
+  return false;
+}
+
+std::optional<Instruction> decode(std::uint32_t word) {
+  const auto raw = static_cast<std::uint8_t>(word >> 24);
+  if (!opcode_valid(raw)) {
+    return std::nullopt;
+  }
+  Instruction instr;
+  instr.opcode = static_cast<Opcode>(raw);
+  instr.rd = static_cast<std::uint8_t>((word >> 20) & 0xF);
+  instr.ra = static_cast<std::uint8_t>((word >> 16) & 0xF);
+  instr.imm = static_cast<std::uint16_t>(word & 0xFFFF);
+  return instr;
+}
+
+std::string_view mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kMov: return "mov";
+    case Opcode::kMovi: return "movi";
+    case Opcode::kMoviu: return "moviu";
+    case Opcode::kMovhi: return "movhi";
+    case Opcode::kAdd: return "add";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kSub: return "sub";
+    case Opcode::kSubi: return "subi";
+    case Opcode::kAnd: return "and";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOr: return "or";
+    case Opcode::kOri: return "ori";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShli: return "shli";
+    case Opcode::kShr: return "shr";
+    case Opcode::kShri: return "shri";
+    case Opcode::kMul: return "mul";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kCmpi: return "cmpi";
+    case Opcode::kLdw: return "ldw";
+    case Opcode::kStw: return "stw";
+    case Opcode::kLdb: return "ldb";
+    case Opcode::kStb: return "stb";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kJz: return "jz";
+    case Opcode::kJnz: return "jnz";
+    case Opcode::kJlt: return "jlt";
+    case Opcode::kJge: return "jge";
+    case Opcode::kJc: return "jc";
+    case Opcode::kJnc: return "jnc";
+    case Opcode::kJmpr: return "jmpr";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallr: return "callr";
+    case Opcode::kRet: return "ret";
+    case Opcode::kPush: return "push";
+    case Opcode::kPop: return "pop";
+    case Opcode::kInt: return "int";
+    case Opcode::kIret: return "iret";
+    case Opcode::kHlt: return "hlt";
+    case Opcode::kCli: return "cli";
+    case Opcode::kSti: return "sti";
+    case Opcode::kRdcyc: return "rdcyc";
+  }
+  return "?";
+}
+
+unsigned base_cycles(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+      return 3;
+    case Opcode::kLdw:
+    case Opcode::kStw:
+    case Opcode::kLdb:
+    case Opcode::kStb:
+    case Opcode::kPush:
+    case Opcode::kPop:
+      return 2;
+    case Opcode::kJmp:
+    case Opcode::kJz:
+    case Opcode::kJnz:
+    case Opcode::kJlt:
+    case Opcode::kJge:
+    case Opcode::kJc:
+    case Opcode::kJnc:
+    case Opcode::kJmpr:
+      return 1;  // +2 when taken, charged by the machine
+    case Opcode::kCall:
+    case Opcode::kCallr:
+    case Opcode::kRet:
+      return 4;
+    case Opcode::kInt:
+    case Opcode::kIret:
+      return 12;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace tytan::isa

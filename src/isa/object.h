@@ -1,0 +1,59 @@
+// Relocatable object produced by the assembler and consumed by the TBF
+// serializer and the TyTAN task loader.
+//
+// The paper loads relocatable ELF binaries; the essential content — an image,
+// an entry point, a requested stack size, and a list of relocation records
+// that (a) the loader applies at the chosen base address and (b) the RTM task
+// *reverts* to compute a position-independent measurement — is captured here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace tytan::isa {
+
+/// Kinds of relocation.  All carry the original (base-0) addend so the RTM
+/// can revert the patch without arithmetic on the patched value.
+enum class RelocKind : std::uint8_t {
+  kAbs32 = 0,  ///< 32-bit word at `offset` := addend + base
+  kLo16 = 1,   ///< imm16 field of a moviu at `offset` := (addend + base) & 0xFFFF
+  kHi16 = 2,   ///< imm16 field of a movhi at `offset` := (addend + base) >> 16
+};
+
+struct Relocation {
+  std::uint32_t offset = 0;  ///< byte offset of the patched word within the image
+  RelocKind kind = RelocKind::kAbs32;
+  std::uint32_t addend = 0;  ///< link-time value (symbol offset within the image)
+
+  friend bool operator==(const Relocation&, const Relocation&) = default;
+};
+
+/// Task/binary capability flags.
+enum ObjectFlags : std::uint32_t {
+  kObjSecure = 1u << 0,  ///< load as a secure task (isolated from the OS)
+};
+
+struct ObjectFile {
+  ByteVec image;                    ///< code + data, base address 0
+  std::uint32_t bss_size = 0;       ///< zero-initialized space after the image
+  std::uint32_t stack_size = 256;   ///< requested stack allocation
+  std::uint32_t entry = 0;          ///< entry offset within the image
+  std::uint32_t msg_handler = 0;    ///< message-handler offset (0 = none)
+  std::uint32_t mailbox = 0;        ///< IPC mailbox offset (secure tasks)
+  std::uint32_t flags = 0;          ///< ObjectFlags
+  std::vector<Relocation> relocs;   ///< sorted by offset
+  std::map<std::string, std::uint32_t> symbols;  ///< label -> image offset
+
+  [[nodiscard]] bool secure() const { return (flags & kObjSecure) != 0; }
+
+  /// Total memory footprint when loaded (image + bss + stack).
+  [[nodiscard]] std::uint32_t memory_size() const {
+    return static_cast<std::uint32_t>(image.size()) + bss_size + stack_size;
+  }
+};
+
+}  // namespace tytan::isa

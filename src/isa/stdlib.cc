@@ -1,0 +1,111 @@
+#include "isa/stdlib.h"
+
+namespace tytan::isa {
+
+namespace {
+constexpr std::string_view kStdlib = R"(
+; ---------------------------------------------------------------- stdlib --
+lib_print_str:               ; r2 = NUL-terminated string
+    push r0
+    push r1
+    push r2
+__lib_ps_loop:
+    ldb  r1, [r2]
+    cmpi r1, 0
+    jz   __lib_ps_done
+    movi r0, 4               ; kSysPutchar
+    int  0x21
+    addi r2, 1
+    jmp  __lib_ps_loop
+__lib_ps_done:
+    pop  r2
+    pop  r1
+    pop  r0
+    ret
+
+lib_print_hex:               ; r2 = value -> 8 hex digits
+    push r0
+    push r1
+    push r3
+    movi r3, 28              ; current shift
+__lib_ph_loop:
+    mov  r1, r2
+    shr  r1, r3
+    andi r1, 0xF
+    cmpi r1, 10
+    jlt  __lib_ph_digit
+    addi r1, 87              ; 'a' - 10
+    jmp  __lib_ph_put
+__lib_ph_digit:
+    addi r1, 48              ; '0'
+__lib_ph_put:
+    movi r0, 4
+    int  0x21
+    cmpi r3, 0
+    jz   __lib_ph_done
+    subi r3, 4
+    jmp  __lib_ph_loop
+__lib_ph_done:
+    pop  r3
+    pop  r1
+    pop  r0
+    ret
+
+lib_memcpy:                  ; r2 = dst, r3 = src, r4 = len
+    push r1
+    push r2
+    push r3
+    push r4
+__lib_mc_loop:
+    cmpi r4, 0
+    jz   __lib_mc_done
+    ldb  r1, [r3]
+    stb  r1, [r2]
+    addi r2, 1
+    addi r3, 1
+    subi r4, 1
+    jmp  __lib_mc_loop
+__lib_mc_done:
+    pop  r4
+    pop  r3
+    pop  r2
+    pop  r1
+    ret
+
+lib_memset:                  ; r2 = dst, r3 = byte, r4 = len
+    push r2
+    push r4
+__lib_ms_loop:
+    cmpi r4, 0
+    jz   __lib_ms_done
+    stb  r3, [r2]
+    addi r2, 1
+    subi r4, 1
+    jmp  __lib_ms_loop
+__lib_ms_done:
+    pop  r4
+    pop  r2
+    ret
+
+lib_delay:                   ; r2 = ticks
+    push r0
+    push r1
+    movi r0, 2               ; kSysDelay
+    mov  r1, r2
+    int  0x21
+    pop  r1
+    pop  r0
+    ret
+)";
+}  // namespace
+
+std::string_view stdlib_source() { return kStdlib; }
+
+std::string with_stdlib(std::string_view user) {
+  std::string out(user);
+  out += '\n';
+  out += kStdlib;
+  return out;
+}
+
+}  // namespace tytan::isa

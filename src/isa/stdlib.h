@@ -1,0 +1,26 @@
+// Peak-32 guest standard library — reusable assembly routines the TyTAN
+// tool chain appends to task sources on request.
+//
+// Calling convention: arguments in r2..r4, `call lib_*`, all registers
+// preserved (each routine push/pops what it clobbers).  Routines use only
+// relative branches, so they add no relocations to the binary.
+//
+//   lib_print_str   r2 = address of NUL-terminated string -> serial
+//   lib_print_hex   r2 = 32-bit value -> 8 lowercase hex digits on serial
+//   lib_memcpy      r2 = dst, r3 = src, r4 = length (bytes)
+//   lib_memset      r2 = dst, r3 = byte value, r4 = length (bytes)
+//   lib_delay       r2 = ticks to sleep
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tytan::isa {
+
+/// The library source (labels prefixed lib_ / __lib_).
+std::string_view stdlib_source();
+
+/// User program with the library appended (call lib_* anywhere in `user`).
+std::string with_stdlib(std::string_view user);
+
+}  // namespace tytan::isa

@@ -1,0 +1,96 @@
+#include "rtos/queue.h"
+
+namespace tytan::rtos {
+
+Result<QueueHandle> QueueSet::create(std::size_t capacity) {
+  if (capacity == 0) {
+    return make_error(Err::kInvalidArgument, "queue capacity must be positive");
+  }
+  for (QueueHandle h = 0; h < static_cast<QueueHandle>(queues_.size()); ++h) {
+    if (!queues_[h].used) {
+      queues_[h] = Queue{.used = true, .cap = capacity};
+      return h;
+    }
+  }
+  queues_.push_back(Queue{.used = true, .cap = capacity});
+  return static_cast<QueueHandle>(queues_.size() - 1);
+}
+
+Status QueueSet::destroy(QueueHandle handle) {
+  if (!valid(handle)) {
+    return make_error(Err::kNotFound, "no such queue");
+  }
+  queues_[handle] = Queue{};
+  return Status::ok();
+}
+
+Status QueueSet::send(QueueHandle handle, const QueueItem& item) {
+  if (!valid(handle)) {
+    return make_error(Err::kNotFound, "no such queue");
+  }
+  Queue& queue = queues_[handle];
+  if (queue.items.size() >= queue.cap) {
+    return make_error(Err::kUnavailable, "queue full");
+  }
+  queue.items.push_back(item);
+  return Status::ok();
+}
+
+Result<QueueItem> QueueSet::receive(QueueHandle handle) {
+  if (!valid(handle)) {
+    return make_error(Err::kNotFound, "no such queue");
+  }
+  Queue& queue = queues_[handle];
+  if (queue.items.empty()) {
+    return make_error(Err::kUnavailable, "queue empty");
+  }
+  QueueItem item = queue.items.front();
+  queue.items.pop_front();
+  return item;
+}
+
+Result<std::size_t> QueueSet::depth(QueueHandle handle) const {
+  if (!valid(handle)) {
+    return make_error(Err::kNotFound, "no such queue");
+  }
+  return queues_[handle].items.size();
+}
+
+Result<std::size_t> QueueSet::capacity(QueueHandle handle) const {
+  if (!valid(handle)) {
+    return make_error(Err::kNotFound, "no such queue");
+  }
+  return queues_[handle].cap;
+}
+
+void QueueSet::add_waiter_send(QueueHandle handle, TaskHandle task) {
+  if (valid(handle)) {
+    queues_[handle].waiters_send.push_back(task);
+  }
+}
+
+void QueueSet::add_waiter_recv(QueueHandle handle, TaskHandle task) {
+  if (valid(handle)) {
+    queues_[handle].waiters_recv.push_back(task);
+  }
+}
+
+TaskHandle QueueSet::pop_waiter_send(QueueHandle handle) {
+  if (!valid(handle) || queues_[handle].waiters_send.empty()) {
+    return kNoTask;
+  }
+  const TaskHandle task = queues_[handle].waiters_send.front();
+  queues_[handle].waiters_send.pop_front();
+  return task;
+}
+
+TaskHandle QueueSet::pop_waiter_recv(QueueHandle handle) {
+  if (!valid(handle) || queues_[handle].waiters_recv.empty()) {
+    return kNoTask;
+  }
+  const TaskHandle task = queues_[handle].waiters_recv.front();
+  queues_[handle].waiters_recv.pop_front();
+  return task;
+}
+
+}  // namespace tytan::rtos

@@ -1,0 +1,64 @@
+#include "rtos/timers.h"
+
+namespace tytan::rtos {
+
+Result<TimerHandle> TimerService::create_oneshot(std::uint64_t deadline_tick,
+                                                 TimerCallback cb) {
+  return create_periodic(deadline_tick, 0, std::move(cb));
+}
+
+Result<TimerHandle> TimerService::create_periodic(std::uint64_t first_tick,
+                                                  std::uint64_t period, TimerCallback cb) {
+  if (!cb) {
+    return make_error(Err::kInvalidArgument, "timer needs a callback");
+  }
+  Timer timer{.used = true, .deadline = first_tick, .period = period, .callback = std::move(cb)};
+  for (TimerHandle h = 0; h < static_cast<TimerHandle>(timers_.size()); ++h) {
+    if (!timers_[h].used) {
+      timers_[h] = std::move(timer);
+      return h;
+    }
+  }
+  timers_.push_back(std::move(timer));
+  return static_cast<TimerHandle>(timers_.size() - 1);
+}
+
+Status TimerService::cancel(TimerHandle handle) {
+  if (handle < 0 || handle >= static_cast<TimerHandle>(timers_.size()) ||
+      !timers_[handle].used) {
+    return make_error(Err::kNotFound, "no such timer");
+  }
+  timers_[handle] = Timer{};
+  return Status::ok();
+}
+
+std::size_t TimerService::advance(std::uint64_t now) {
+  std::size_t fired = 0;
+  for (TimerHandle h = 0; h < static_cast<TimerHandle>(timers_.size()); ++h) {
+    Timer& timer = timers_[h];
+    while (timer.used && now >= timer.deadline) {
+      ++fired;
+      // Reschedule before the callback so a callback may cancel the timer.
+      if (timer.period != 0) {
+        timer.deadline += timer.period;
+      } else {
+        timer.used = false;
+      }
+      timer.callback(h);
+      if (timer.period == 0) {
+        break;
+      }
+    }
+  }
+  return fired;
+}
+
+std::size_t TimerService::active_count() const {
+  std::size_t n = 0;
+  for (const Timer& timer : timers_) {
+    n += timer.used ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace tytan::rtos

@@ -1,0 +1,46 @@
+// Software timers: "special alarms and time-outs", requirement (5) of the
+// real-time OS feature list the paper cites ([24], §4).
+//
+// Timers fire on scheduler ticks; callbacks run host-side in the kernel's
+// context (bounded work only, by convention).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tytan::rtos {
+
+using TimerHandle = int;
+inline constexpr TimerHandle kNoTimer = -1;
+
+using TimerCallback = std::function<void(TimerHandle)>;
+
+class TimerService {
+ public:
+  /// One-shot timer firing at `deadline_tick`.
+  Result<TimerHandle> create_oneshot(std::uint64_t deadline_tick, TimerCallback cb);
+  /// Periodic timer firing every `period` ticks starting at `first_tick`.
+  Result<TimerHandle> create_periodic(std::uint64_t first_tick, std::uint64_t period,
+                                      TimerCallback cb);
+  Status cancel(TimerHandle handle);
+
+  /// Fire all timers due at `now`; returns the number fired.
+  std::size_t advance(std::uint64_t now);
+
+  [[nodiscard]] std::size_t active_count() const;
+
+ private:
+  struct Timer {
+    bool used = false;
+    std::uint64_t deadline = 0;
+    std::uint64_t period = 0;  ///< 0 = one-shot
+    TimerCallback callback;
+  };
+
+  std::vector<Timer> timers_;
+};
+
+}  // namespace tytan::rtos

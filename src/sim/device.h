@@ -1,0 +1,62 @@
+// MMIO device interface and bus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace tytan::sim {
+
+/// Callback a device uses to raise an interrupt line.
+using IrqSink = std::function<void(std::uint8_t vector)>;
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::uint32_t base() const = 0;
+  [[nodiscard]] virtual std::uint32_t size() const = 0;
+
+  /// Word access at a device-local byte offset.
+  virtual std::uint32_t read32(std::uint32_t offset) = 0;
+  virtual void write32(std::uint32_t offset, std::uint32_t value) = 0;
+
+  /// Advance device time to the absolute cycle count `now`.
+  virtual void tick(std::uint64_t now) { (void)now; }
+
+  void set_irq_sink(IrqSink sink) { irq_sink_ = std::move(sink); }
+
+ protected:
+  void raise_irq(std::uint8_t vector) {
+    if (irq_sink_) {
+      irq_sink_(vector);
+    }
+  }
+
+ private:
+  IrqSink irq_sink_;
+};
+
+/// Dispatches MMIO-range accesses to registered devices.
+class MmioBus {
+ public:
+  /// Register a device; ranges must not overlap (checked).
+  void attach(std::shared_ptr<Device> device);
+
+  /// Device covering `addr`, or nullptr.
+  [[nodiscard]] Device* find(std::uint32_t addr) const;
+
+  void tick_all(std::uint64_t now);
+
+  [[nodiscard]] const std::vector<std::shared_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Device>> devices_;
+};
+
+}  // namespace tytan::sim

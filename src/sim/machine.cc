@@ -1,0 +1,645 @@
+#include "sim/machine.h"
+
+#include <bit>
+#include <sstream>
+
+#include "common/log.h"
+#include "isa/disasm.h"
+
+namespace tytan::sim {
+
+using isa::Opcode;
+
+const char* fault_name(FaultType t) {
+  switch (t) {
+    case FaultType::kNone: return "none";
+    case FaultType::kBadOpcode: return "bad-opcode";
+    case FaultType::kBusError: return "bus-error";
+    case FaultType::kMpuData: return "mpu-data";
+    case FaultType::kMpuFetch: return "mpu-fetch";
+    case FaultType::kMpuTransfer: return "mpu-transfer";
+    case FaultType::kStackFault: return "stack-fault";
+    case FaultType::kNoHandler: return "no-handler";
+    case FaultType::kPrivileged: return "privileged";
+  }
+  return "?";
+}
+
+std::string FaultInfo::to_string() const {
+  std::ostringstream os;
+  os << fault_name(type) << " at eip=0x" << std::hex << eip << " addr=0x" << addr << " ("
+     << access_name(access) << ")";
+  return os.str();
+}
+
+Machine::Machine(CostModel costs) : costs_(costs) {}
+
+// ---------------------------------------------------------------------------
+// Interrupts and faults
+// ---------------------------------------------------------------------------
+
+void Machine::raise_irq(std::uint8_t vector) {
+  TYTAN_CHECK(vector < 64, "IRQ vector out of range");
+  pending_ |= (1ull << vector);
+}
+
+std::uint32_t Machine::idt_entry(std::uint8_t vector) const {
+  return memory_.read32(kIdtBase + 4u * vector);
+}
+
+void Machine::set_idt_entry(std::uint8_t vector, std::uint32_t handler) {
+  memory_.write32(kIdtBase + 4u * vector, handler);
+}
+
+void Machine::dispatch_interrupt(std::uint8_t vector, std::uint32_t origin_eip,
+                                 std::uint32_t return_eip) {
+  charge(costs_.int_dispatch);
+  const std::uint32_t handler = idt_entry(vector);
+  if (handler == 0) {
+    raise_fault({FaultType::kNoHandler, origin_eip, vector, Access::kExecute});
+    return;
+  }
+  // Hardware latches: the IPC proxy authenticates the sender from these.
+  int_origin_eip_ = origin_eip;
+  int_vector_ = vector;
+  // Exception engine pushes EFLAGS then EIP onto the *current* stack (paper
+  // §4: "The instruction pointer (EIP) and flags register (EFLAGS) are saved
+  // by the exception engine to the stack of the interrupted task").  The
+  // pushes run under the interrupted code's identity, so a task whose SP
+  // points outside its own memory faults here instead of corrupting others.
+  std::uint32_t sp = cpu_.sp();
+  sp -= 4;
+  if (!check(origin_eip, sp, Access::kWrite) || !raw_write32(sp, cpu_.eflags)) {
+    raise_fault({FaultType::kStackFault, origin_eip, sp, Access::kWrite});
+    return;
+  }
+  sp -= 4;
+  if (!check(origin_eip, sp, Access::kWrite) || !raw_write32(sp, return_eip)) {
+    raise_fault({FaultType::kStackFault, origin_eip, sp, Access::kWrite});
+    return;
+  }
+  cpu_.set_sp(sp);
+  cpu_.set_flag(isa::kFlagIF, false);
+  cpu_.eip = handler;
+  ++interrupts_;
+}
+
+void Machine::raise_fault(const FaultInfo& fault) {
+  last_fault_ = fault;
+  ++fault_count_;
+  TYTAN_LOG(LogLevel::kDebug, "machine") << "fault: " << fault.to_string();
+  if (in_fault_dispatch_) {
+    halt(HaltReason::kDoubleFault);
+    in_fault_dispatch_ = false;
+    return;
+  }
+  in_fault_dispatch_ = true;
+  const std::uint32_t handler = idt_entry(kVecFault);
+  if (handler == 0) {
+    halt(HaltReason::kDoubleFault);
+    in_fault_dispatch_ = false;
+    return;
+  }
+  // Fault dispatch does not touch the (possibly bad) guest stack; the fault
+  // handler reads the latched FaultInfo through last_fault().
+  int_origin_eip_ = fault.eip;
+  int_vector_ = kVecFault;
+  cpu_.set_flag(isa::kFlagIF, false);
+  cpu_.eip = handler;
+  in_fault_dispatch_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Firmware registry
+// ---------------------------------------------------------------------------
+
+void Machine::register_firmware(std::uint32_t addr, std::string name,
+                                FirmwareHandler handler) {
+  TYTAN_CHECK(!firmware_.contains(addr), "firmware address already registered");
+  firmware_[addr] = {std::move(name), std::move(handler)};
+}
+
+std::string_view Machine::firmware_name(std::uint32_t addr) const {
+  const auto it = firmware_.find(addr);
+  return it == firmware_.end() ? std::string_view{} : std::string_view{it->second.name};
+}
+
+// ---------------------------------------------------------------------------
+// Memory paths
+// ---------------------------------------------------------------------------
+
+bool Machine::check(std::uint32_t exec_ip, std::uint32_t addr, Access access) const {
+  return policy_ == nullptr || policy_->allows(exec_ip, addr, access);
+}
+
+bool Machine::raw_read32(std::uint32_t addr, std::uint32_t* out) {
+  if (is_mmio(addr)) {
+    if (addr % 4 != 0) {
+      return false;
+    }
+    Device* device = bus_.find(addr);
+    if (device == nullptr) {
+      return false;
+    }
+    charge(costs_.mmio_access);
+    *out = device->read32(addr - device->base());
+    return true;
+  }
+  if (!memory_.in_bounds(addr, 4)) {
+    return false;
+  }
+  *out = memory_.read32(addr);
+  return true;
+}
+
+bool Machine::raw_write32(std::uint32_t addr, std::uint32_t value) {
+  if (is_mmio(addr)) {
+    if (addr % 4 != 0) {
+      return false;
+    }
+    Device* device = bus_.find(addr);
+    if (device == nullptr) {
+      return false;
+    }
+    charge(costs_.mmio_access);
+    device->write32(addr - device->base(), value);
+    return true;
+  }
+  if (!memory_.in_bounds(addr, 4)) {
+    return false;
+  }
+  memory_.write32(addr, value);
+  return true;
+}
+
+bool Machine::raw_read8(std::uint32_t addr, std::uint8_t* out) {
+  if (is_mmio(addr)) {
+    std::uint32_t word = 0;
+    if (!raw_read32(addr & ~3u, &word)) {
+      return false;
+    }
+    *out = static_cast<std::uint8_t>(word >> (8 * (addr % 4)));
+    return true;
+  }
+  if (!memory_.in_bounds(addr, 1)) {
+    return false;
+  }
+  *out = memory_.read8(addr);
+  return true;
+}
+
+bool Machine::raw_write8(std::uint32_t addr, std::uint8_t value) {
+  if (is_mmio(addr)) {
+    // Byte writes to MMIO write the byte into lane 0 (devices are word-based).
+    return raw_write32(addr & ~3u, value);
+  }
+  if (!memory_.in_bounds(addr, 1)) {
+    return false;
+  }
+  memory_.write8(addr, value);
+  return true;
+}
+
+Result<std::uint32_t> Machine::fw_read32(std::uint32_t exec_ip, std::uint32_t addr) {
+  if (!check(exec_ip, addr, Access::kRead)) {
+    return make_error(Err::kPermissionDenied, "EA-MPU denied firmware read");
+  }
+  std::uint32_t value = 0;
+  if (!raw_read32(addr, &value)) {
+    return make_error(Err::kOutOfRange, "firmware read bus error");
+  }
+  return value;
+}
+
+Status Machine::fw_write32(std::uint32_t exec_ip, std::uint32_t addr, std::uint32_t value) {
+  if (!check(exec_ip, addr, Access::kWrite)) {
+    return make_error(Err::kPermissionDenied, "EA-MPU denied firmware write");
+  }
+  if (!raw_write32(addr, value)) {
+    return make_error(Err::kOutOfRange, "firmware write bus error");
+  }
+  return Status::ok();
+}
+
+Result<std::uint8_t> Machine::fw_read8(std::uint32_t exec_ip, std::uint32_t addr) {
+  if (!check(exec_ip, addr, Access::kRead)) {
+    return make_error(Err::kPermissionDenied, "EA-MPU denied firmware read");
+  }
+  std::uint8_t value = 0;
+  if (!raw_read8(addr, &value)) {
+    return make_error(Err::kOutOfRange, "firmware read bus error");
+  }
+  return value;
+}
+
+Status Machine::fw_write8(std::uint32_t exec_ip, std::uint32_t addr, std::uint8_t value) {
+  if (!check(exec_ip, addr, Access::kWrite)) {
+    return make_error(Err::kPermissionDenied, "EA-MPU denied firmware write");
+  }
+  if (!raw_write8(addr, value)) {
+    return make_error(Err::kOutOfRange, "firmware write bus error");
+  }
+  return Status::ok();
+}
+
+bool Machine::guest_read32(std::uint32_t addr, std::uint32_t* out) {
+  if (!check(cpu_.eip, addr, Access::kRead)) {
+    raise_fault({FaultType::kMpuData, cpu_.eip, addr, Access::kRead});
+    return false;
+  }
+  charge(costs_.mem_access);
+  if (!raw_read32(addr, out)) {
+    raise_fault({FaultType::kBusError, cpu_.eip, addr, Access::kRead});
+    return false;
+  }
+  return true;
+}
+
+bool Machine::guest_write32(std::uint32_t addr, std::uint32_t value) {
+  if (!check(cpu_.eip, addr, Access::kWrite)) {
+    raise_fault({FaultType::kMpuData, cpu_.eip, addr, Access::kWrite});
+    return false;
+  }
+  charge(costs_.mem_access);
+  if (!raw_write32(addr, value)) {
+    raise_fault({FaultType::kBusError, cpu_.eip, addr, Access::kWrite});
+    return false;
+  }
+  return true;
+}
+
+bool Machine::guest_read8(std::uint32_t addr, std::uint8_t* out) {
+  if (!check(cpu_.eip, addr, Access::kRead)) {
+    raise_fault({FaultType::kMpuData, cpu_.eip, addr, Access::kRead});
+    return false;
+  }
+  charge(costs_.mem_access);
+  if (!raw_read8(addr, out)) {
+    raise_fault({FaultType::kBusError, cpu_.eip, addr, Access::kRead});
+    return false;
+  }
+  return true;
+}
+
+bool Machine::guest_write8(std::uint32_t addr, std::uint8_t value) {
+  if (!check(cpu_.eip, addr, Access::kWrite)) {
+    raise_fault({FaultType::kMpuData, cpu_.eip, addr, Access::kWrite});
+    return false;
+  }
+  charge(costs_.mem_access);
+  if (!raw_write8(addr, value)) {
+    raise_fault({FaultType::kBusError, cpu_.eip, addr, Access::kWrite});
+    return false;
+  }
+  return true;
+}
+
+bool Machine::guest_push32(std::uint32_t value) {
+  const std::uint32_t sp = cpu_.sp() - 4;
+  if (!guest_write32(sp, value)) {
+    return false;
+  }
+  cpu_.set_sp(sp);
+  return true;
+}
+
+bool Machine::guest_pop32(std::uint32_t* out) {
+  if (!guest_read32(cpu_.sp(), out)) {
+    return false;
+  }
+  cpu_.set_sp(cpu_.sp() + 4);
+  return true;
+}
+
+bool Machine::guest_transfer(std::uint32_t target) {
+  if (policy_ != nullptr && !policy_->allows_transfer(cpu_.eip, target)) {
+    raise_fault({FaultType::kMpuTransfer, cpu_.eip, target, Access::kExecute});
+    return false;
+  }
+  charge(costs_.branch_taken);
+  cpu_.eip = target;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+void Machine::set_alu_flags_logic(std::uint32_t result) {
+  cpu_.set_flag(isa::kFlagZ, result == 0);
+  cpu_.set_flag(isa::kFlagN, (result >> 31) != 0);
+}
+
+void Machine::set_alu_flags_addsub(std::uint64_t wide, std::uint32_t a, std::uint32_t b,
+                                   std::uint32_t result, bool is_sub) {
+  cpu_.set_flag(isa::kFlagZ, result == 0);
+  cpu_.set_flag(isa::kFlagN, (result >> 31) != 0);
+  cpu_.set_flag(isa::kFlagC, (wide >> 32) != 0);
+  const bool sa = (a >> 31) != 0;
+  const bool sb = (b >> 31) != 0;
+  const bool sr = (result >> 31) != 0;
+  const bool overflow = is_sub ? (sa != sb && sr != sa) : (sa == sb && sr != sa);
+  cpu_.set_flag(isa::kFlagV, overflow);
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+StepOutcome Machine::step() {
+  if (halted()) {
+    return StepOutcome::kHalted;
+  }
+  bus_.tick_all(cycles_);
+  if (pending_ != 0 && cpu_.flag(isa::kFlagIF)) {
+    dispatch_pending();
+    return halted() ? StepOutcome::kHalted : StepOutcome::kOk;
+  }
+  const auto fw = firmware_.find(cpu_.eip);
+  if (fw != firmware_.end()) {
+    ++fw_invocations_;
+    if (tracer_ != nullptr) {
+      tracer_->record(cycles_, cpu_.eip, 0, fw->second.name);
+    }
+    fw->second.handler(*this);
+    return halted() ? StepOutcome::kHalted : StepOutcome::kOk;
+  }
+  if (tracer_ != nullptr && memory_.in_bounds(cpu_.eip, 4) && !is_mmio(cpu_.eip)) {
+    tracer_->record(cycles_, cpu_.eip, memory_.read32(cpu_.eip));
+  }
+  execute_one();
+  return halted() ? StepOutcome::kHalted : StepOutcome::kOk;
+}
+
+void Machine::dispatch_pending() {
+  const unsigned vector = static_cast<unsigned>(std::countr_zero(pending_));
+  pending_ &= pending_ - 1;  // clear lowest set bit
+  dispatch_interrupt(static_cast<std::uint8_t>(vector), cpu_.eip, cpu_.eip);
+}
+
+HaltReason Machine::run(std::uint64_t cycle_limit) {
+  while (!halted() && cycles_ < cycle_limit) {
+    step();
+  }
+  return halted() ? halt_reason_ : HaltReason::kCycleLimit;
+}
+
+void Machine::execute_one() {
+  const std::uint32_t pc = cpu_.eip;
+  if (!check(pc, pc, Access::kExecute)) {
+    raise_fault({FaultType::kMpuFetch, pc, pc, Access::kExecute});
+    return;
+  }
+  if (is_mmio(pc) || !memory_.in_bounds(pc, 4)) {
+    raise_fault({FaultType::kBusError, pc, pc, Access::kExecute});
+    return;
+  }
+  const std::uint32_t word = memory_.read32(pc);
+  const auto decoded = isa::decode(word);
+  if (!decoded) {
+    raise_fault({FaultType::kBadOpcode, pc, pc, Access::kExecute});
+    return;
+  }
+  const isa::Instruction instr = *decoded;
+  charge(isa::base_cycles(instr.opcode));
+  ++instructions_;
+
+  auto& regs = cpu_.regs;
+  const std::uint32_t next = pc + isa::kInstrSize;
+  cpu_.eip = next;  // default; branches overwrite below
+
+  auto branch_if = [&](bool taken) {
+    if (taken) {
+      // Relative branches within the running code cannot violate entry
+      // points only when staying in-region; still check the policy so a
+      // crafted displacement into another region faults.
+      const std::uint32_t target =
+          static_cast<std::uint32_t>(static_cast<std::int64_t>(next) + instr.simm());
+      cpu_.eip = pc;  // transfer check sees the branching instruction
+      if (guest_transfer(target)) {
+        return;
+      }
+    }
+  };
+
+  switch (instr.opcode) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kMov:
+      regs[instr.rd] = regs[instr.ra];
+      break;
+    case Opcode::kMovi:
+      regs[instr.rd] = static_cast<std::uint32_t>(instr.simm());
+      break;
+    case Opcode::kMoviu:
+      regs[instr.rd] = instr.imm;
+      break;
+    case Opcode::kMovhi:
+      regs[instr.rd] = (regs[instr.rd] & 0xFFFFu) | (static_cast<std::uint32_t>(instr.imm) << 16);
+      break;
+    case Opcode::kAdd:
+    case Opcode::kAddi: {
+      const std::uint32_t a = regs[instr.rd];
+      const std::uint32_t b = instr.opcode == Opcode::kAdd
+                                  ? regs[instr.ra]
+                                  : static_cast<std::uint32_t>(instr.simm());
+      const std::uint64_t wide = static_cast<std::uint64_t>(a) + b;
+      const auto result = static_cast<std::uint32_t>(wide);
+      set_alu_flags_addsub(wide, a, b, result, /*is_sub=*/false);
+      regs[instr.rd] = result;
+      break;
+    }
+    case Opcode::kSub:
+    case Opcode::kSubi:
+    case Opcode::kCmp:
+    case Opcode::kCmpi: {
+      const std::uint32_t a = regs[instr.rd];
+      const std::uint32_t b =
+          (instr.opcode == Opcode::kSub || instr.opcode == Opcode::kCmp)
+              ? regs[instr.ra]
+              : static_cast<std::uint32_t>(instr.simm());
+      const std::uint64_t wide =
+          static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b);
+      const auto result = static_cast<std::uint32_t>(wide);
+      set_alu_flags_addsub(wide, a, b, result, /*is_sub=*/true);
+      if (instr.opcode == Opcode::kSub || instr.opcode == Opcode::kSubi) {
+        regs[instr.rd] = result;
+      }
+      break;
+    }
+    case Opcode::kAnd:
+      regs[instr.rd] &= regs[instr.ra];
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kAndi:
+      regs[instr.rd] &= instr.imm;
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kOr:
+      regs[instr.rd] |= regs[instr.ra];
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kOri:
+      regs[instr.rd] |= instr.imm;
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kXor:
+      regs[instr.rd] ^= regs[instr.ra];
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kShl:
+      regs[instr.rd] <<= (regs[instr.ra] & 31u);
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kShli:
+      regs[instr.rd] <<= (instr.imm & 31u);
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kShr:
+      regs[instr.rd] >>= (regs[instr.ra] & 31u);
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kShri:
+      regs[instr.rd] >>= (instr.imm & 31u);
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kMul:
+      regs[instr.rd] *= regs[instr.ra];
+      set_alu_flags_logic(regs[instr.rd]);
+      break;
+    case Opcode::kLdw: {
+      std::uint32_t value = 0;
+      if (guest_read32(regs[instr.ra] + static_cast<std::uint32_t>(instr.simm()), &value)) {
+        regs[instr.rd] = value;
+      } else {
+        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
+      }
+      break;
+    }
+    case Opcode::kStw:
+      if (!guest_write32(regs[instr.ra] + static_cast<std::uint32_t>(instr.simm()),
+                         regs[instr.rd])) {
+        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
+      }
+      break;
+    case Opcode::kLdb: {
+      std::uint8_t value = 0;
+      if (guest_read8(regs[instr.ra] + static_cast<std::uint32_t>(instr.simm()), &value)) {
+        regs[instr.rd] = value;
+      } else {
+        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
+      }
+      break;
+    }
+    case Opcode::kStb:
+      if (!guest_write8(regs[instr.ra] + static_cast<std::uint32_t>(instr.simm()),
+                        static_cast<std::uint8_t>(regs[instr.rd]))) {
+        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
+      }
+      break;
+    case Opcode::kJmp:
+      branch_if(true);
+      break;
+    case Opcode::kJz:
+      branch_if(cpu_.flag(isa::kFlagZ));
+      break;
+    case Opcode::kJnz:
+      branch_if(!cpu_.flag(isa::kFlagZ));
+      break;
+    case Opcode::kJlt:
+      branch_if(cpu_.flag(isa::kFlagN) != cpu_.flag(isa::kFlagV));
+      break;
+    case Opcode::kJge:
+      branch_if(cpu_.flag(isa::kFlagN) == cpu_.flag(isa::kFlagV));
+      break;
+    case Opcode::kJc:
+      branch_if(cpu_.flag(isa::kFlagC));
+      break;
+    case Opcode::kJnc:
+      branch_if(!cpu_.flag(isa::kFlagC));
+      break;
+    case Opcode::kJmpr: {
+      const std::uint32_t target = regs[instr.ra];
+      cpu_.eip = pc;
+      guest_transfer(target);
+      break;
+    }
+    case Opcode::kCall: {
+      if (!guest_push32(next)) {
+        break;
+      }
+      const std::uint32_t target =
+          static_cast<std::uint32_t>(static_cast<std::int64_t>(next) + instr.simm());
+      cpu_.eip = pc;
+      guest_transfer(target);
+      break;
+    }
+    case Opcode::kCallr: {
+      if (!guest_push32(next)) {
+        break;
+      }
+      const std::uint32_t target = regs[instr.ra];
+      cpu_.eip = pc;
+      guest_transfer(target);
+      break;
+    }
+    case Opcode::kRet: {
+      std::uint32_t target = 0;
+      if (!guest_pop32(&target)) {
+        break;
+      }
+      cpu_.eip = pc;
+      guest_transfer(target);
+      break;
+    }
+    case Opcode::kPush:
+      if (!guest_push32(regs[instr.rd])) {
+        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
+      }
+      break;
+    case Opcode::kPop: {
+      std::uint32_t value = 0;
+      if (guest_pop32(&value)) {
+        regs[instr.rd] = value;
+      } else {
+        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
+      }
+      break;
+    }
+    case Opcode::kInt:
+      dispatch_interrupt(static_cast<std::uint8_t>(instr.imm & 0x3F), pc, next);
+      break;
+    case Opcode::kIret: {
+      std::uint32_t new_eip = 0;
+      std::uint32_t new_eflags = 0;
+      if (!guest_pop32(&new_eip) || !guest_pop32(&new_eflags)) {
+        break;
+      }
+      cpu_.eflags = new_eflags;
+      cpu_.eip = pc;
+      guest_transfer(new_eip);
+      break;
+    }
+    case Opcode::kHlt:
+      // With the EA-MPU armed, HLT is privileged: a guest task must not be
+      // able to stop the platform (availability, paper §5).  On the bare
+      // pre-boot machine it halts normally (tests, bring-up).
+      if (policy_ != nullptr) {
+        raise_fault({FaultType::kPrivileged, pc, pc, Access::kExecute});
+      } else {
+        halt(HaltReason::kHltInstruction);
+      }
+      break;
+    case Opcode::kCli:
+      cpu_.set_flag(isa::kFlagIF, false);
+      break;
+    case Opcode::kSti:
+      cpu_.set_flag(isa::kFlagIF, true);
+      break;
+    case Opcode::kRdcyc:
+      regs[instr.rd] = static_cast<std::uint32_t>(cycles_);
+      break;
+  }
+}
+
+}  // namespace tytan::sim

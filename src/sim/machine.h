@@ -1,0 +1,188 @@
+// The simulated platform: physical memory, MMIO bus, CPU interpreter,
+// exception engine with IDT, cycle clock, and trusted-firmware dispatch.
+//
+// Trusted software components (Int Mux, IPC proxy, RTM, EA-MPU driver, OS
+// kernel entry points) are *firmware handlers*: host functions registered at
+// fixed addresses inside the trusted firmware windows.  When EIP reaches a
+// registered address the machine invokes the handler instead of interpreting
+// guest code.  Handlers charge cycles explicitly through the CostModel and
+// perform memory accesses through the fw_* accessors, which are checked
+// against the EA-MPU under the handler's execution identity — so the same
+// access-control matrix governs guest code and trusted components.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/device.h"
+#include "sim/memory.h"
+#include "sim/tracer.h"
+
+namespace tytan::sim {
+
+class Machine;
+
+/// Host implementation of a trusted software component entry point.  The
+/// handler must either advance cpu().eip (branch somewhere) or leave it at
+/// its own address to be re-invoked next step (resumable firmware tasks —
+/// this is how the RTM stays interruptible).
+using FirmwareHandler = std::function<void(Machine&)>;
+
+enum class StepOutcome : std::uint8_t {
+  kOk = 0,        ///< executed one instruction / firmware quantum / dispatch
+  kHalted,        ///< machine is halted
+};
+
+class Machine {
+ public:
+  explicit Machine(CostModel costs = {});
+
+  // -- component access -------------------------------------------------------
+  [[nodiscard]] PhysicalMemory& memory() { return memory_; }
+  [[nodiscard]] const PhysicalMemory& memory() const { return memory_; }
+  [[nodiscard]] CpuState& cpu() { return cpu_; }
+  [[nodiscard]] const CpuState& cpu() const { return cpu_; }
+  [[nodiscard]] MmioBus& bus() { return bus_; }
+  [[nodiscard]] const CostModel& costs() const { return costs_; }
+
+  /// Install the EA-MPU (or any policy).  Non-owning; may be nullptr
+  /// (pre-secure-boot: everything allowed).
+  void set_policy(const AccessPolicy* policy) { policy_ = policy; }
+  [[nodiscard]] const AccessPolicy* policy() const { return policy_; }
+
+  // -- clock -------------------------------------------------------------------
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  void charge(std::uint64_t c) { cycles_ += c; }
+
+  // -- interrupt lines ----------------------------------------------------------
+  void raise_irq(std::uint8_t vector);
+  [[nodiscard]] bool irq_pending() const { return pending_ != 0; }
+
+  /// Hardware latches set by the exception engine at dispatch: the EIP the
+  /// interrupt originated from (the IPC proxy derives the *sender identity*
+  /// from this, paper §4) and the dispatched vector.
+  [[nodiscard]] std::uint32_t int_origin_eip() const { return int_origin_eip_; }
+  [[nodiscard]] std::uint8_t int_vector() const { return int_vector_; }
+
+  /// Raise `vector` synchronously (used by the INT instruction and tests).
+  void dispatch_interrupt(std::uint8_t vector, std::uint32_t origin_eip,
+                          std::uint32_t return_eip);
+
+  // -- faults -------------------------------------------------------------------
+  void raise_fault(const FaultInfo& fault);
+  /// Record a fault without dispatching (used by firmware that routes to the
+  /// fault handler itself and must not recurse through the IDT).
+  void record_fault(const FaultInfo& fault) {
+    last_fault_ = fault;
+    ++fault_count_;
+  }
+  [[nodiscard]] const FaultInfo& last_fault() const { return last_fault_; }
+  [[nodiscard]] std::uint64_t fault_count() const { return fault_count_; }
+
+  // -- firmware ----------------------------------------------------------------
+  void register_firmware(std::uint32_t addr, std::string name, FirmwareHandler handler);
+  [[nodiscard]] bool is_firmware(std::uint32_t addr) const {
+    return firmware_.contains(addr);
+  }
+  [[nodiscard]] std::string_view firmware_name(std::uint32_t addr) const;
+
+  /// Policy-checked accessors for firmware handlers.  `exec_ip` is the
+  /// handler's execution identity (its firmware window address).  These do
+  /// NOT charge cycles — handlers charge calibrated primitive costs instead.
+  Result<std::uint32_t> fw_read32(std::uint32_t exec_ip, std::uint32_t addr);
+  Status fw_write32(std::uint32_t exec_ip, std::uint32_t addr, std::uint32_t value);
+  Result<std::uint8_t> fw_read8(std::uint32_t exec_ip, std::uint32_t addr);
+  Status fw_write8(std::uint32_t exec_ip, std::uint32_t addr, std::uint8_t value);
+
+  // -- execution ----------------------------------------------------------------
+  StepOutcome step();
+
+  /// Run until halt or until the cycle clock reaches `cycle_limit`.
+  HaltReason run(std::uint64_t cycle_limit);
+
+  [[nodiscard]] bool halted() const { return halt_reason_ != HaltReason::kNone; }
+  [[nodiscard]] HaltReason halt_reason() const { return halt_reason_; }
+  void clear_halt() { halt_reason_ = HaltReason::kNone; }
+  void halt(HaltReason reason) { halt_reason_ = reason; }
+
+  // -- instrumentation -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t instructions_executed() const { return instructions_; }
+  [[nodiscard]] std::uint64_t interrupts_dispatched() const { return interrupts_; }
+  [[nodiscard]] std::uint64_t firmware_invocations() const { return fw_invocations_; }
+
+  /// Enable (or disable with nullptr-like empty capacity 0) instruction
+  /// tracing into a ring buffer; useful for post-mortem fault analysis.
+  void enable_trace(std::size_t capacity) {
+    tracer_ = capacity == 0 ? nullptr : std::make_unique<Tracer>(capacity);
+  }
+  [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
+
+  /// IDT entry for `vector` (raw read, as the exception engine sees it).
+  [[nodiscard]] std::uint32_t idt_entry(std::uint8_t vector) const;
+  /// Install an IDT entry (raw write; used by secure boot before the EA-MPU
+  /// locks the table).
+  void set_idt_entry(std::uint8_t vector, std::uint32_t handler);
+
+ private:
+  [[nodiscard]] bool check(std::uint32_t exec_ip, std::uint32_t addr, Access access) const;
+  [[nodiscard]] bool is_mmio(std::uint32_t addr) const {
+    return addr >= kMmioBase && addr < kMmioBase + kMmioSize;
+  }
+
+  /// Raw access with MMIO dispatch; returns false on bus error.
+  bool raw_read32(std::uint32_t addr, std::uint32_t* out);
+  bool raw_write32(std::uint32_t addr, std::uint32_t value);
+  bool raw_read8(std::uint32_t addr, std::uint8_t* out);
+  bool raw_write8(std::uint32_t addr, std::uint8_t value);
+
+  void dispatch_pending();
+  void execute_one();
+
+  // Guest-side memory helpers: on violation, raise the fault and return false.
+  bool guest_read32(std::uint32_t addr, std::uint32_t* out);
+  bool guest_write32(std::uint32_t addr, std::uint32_t value);
+  bool guest_read8(std::uint32_t addr, std::uint8_t* out);
+  bool guest_write8(std::uint32_t addr, std::uint8_t value);
+  bool guest_push32(std::uint32_t value);
+  bool guest_pop32(std::uint32_t* out);
+  bool guest_transfer(std::uint32_t target);
+
+  void set_alu_flags_logic(std::uint32_t result);
+  void set_alu_flags_addsub(std::uint64_t wide, std::uint32_t a, std::uint32_t b,
+                            std::uint32_t result, bool is_sub);
+
+  PhysicalMemory memory_;
+  MmioBus bus_;
+  CpuState cpu_;
+  CostModel costs_;
+  const AccessPolicy* policy_ = nullptr;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t pending_ = 0;  ///< bitmask over 64 vectors; bit i = vector i
+  std::uint32_t int_origin_eip_ = 0;
+  std::uint8_t int_vector_ = 0;
+
+  FaultInfo last_fault_;
+  std::uint64_t fault_count_ = 0;
+  bool in_fault_dispatch_ = false;
+  HaltReason halt_reason_ = HaltReason::kNone;
+
+  struct FirmwareEntry {
+    std::string name;
+    FirmwareHandler handler;
+  };
+  std::map<std::uint32_t, FirmwareEntry> firmware_;
+
+  std::uint64_t instructions_ = 0;
+  std::uint64_t interrupts_ = 0;
+  std::uint64_t fw_invocations_ = 0;
+  std::unique_ptr<Tracer> tracer_;
+};
+
+}  // namespace tytan::sim

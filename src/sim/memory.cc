@@ -1,0 +1,41 @@
+#include "sim/memory.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace tytan::sim {
+
+std::uint32_t PhysicalMemory::read32(std::uint32_t addr) const {
+  TYTAN_CHECK(in_bounds(addr, 4), "memory read32 out of bounds");
+  return load_le32(bytes_.data() + addr);
+}
+
+void PhysicalMemory::write32(std::uint32_t addr, std::uint32_t v) {
+  TYTAN_CHECK(in_bounds(addr, 4), "memory write32 out of bounds");
+  store_le32(bytes_.data() + addr, v);
+}
+
+void PhysicalMemory::write_block(std::uint32_t addr, std::span<const std::uint8_t> data) {
+  TYTAN_CHECK(in_bounds(addr, static_cast<std::uint32_t>(data.size())),
+              "memory write_block out of bounds");
+  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+}
+
+void PhysicalMemory::read_block(std::uint32_t addr, std::span<std::uint8_t> out) const {
+  TYTAN_CHECK(in_bounds(addr, static_cast<std::uint32_t>(out.size())),
+              "memory read_block out of bounds");
+  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+}
+
+void PhysicalMemory::fill(std::uint32_t addr, std::uint32_t len, std::uint8_t value) {
+  TYTAN_CHECK(in_bounds(addr, len), "memory fill out of bounds");
+  std::memset(bytes_.data() + addr, value, len);
+}
+
+std::span<const std::uint8_t> PhysicalMemory::view(std::uint32_t addr, std::uint32_t len) const {
+  TYTAN_CHECK(in_bounds(addr, len), "memory view out of bounds");
+  return {bytes_.data() + addr, len};
+}
+
+}  // namespace tytan::sim

@@ -1,0 +1,44 @@
+// Flat physical memory of the simulated platform.
+//
+// Raw accessors perform *no* policy checks and charge *no* cycles; they model
+// what the silicon stores.  All guest and firmware accesses must go through
+// Machine, which layers the EA-MPU and the cycle clock on top.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/memory_map.h"
+
+namespace tytan::sim {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::uint32_t size = kMemSize) : bytes_(size, 0) {}
+
+  [[nodiscard]] std::uint32_t size() const { return static_cast<std::uint32_t>(bytes_.size()); }
+
+  [[nodiscard]] bool in_bounds(std::uint32_t addr, std::uint32_t len) const {
+    return addr < size() && len <= size() - addr;
+  }
+
+  [[nodiscard]] std::uint8_t read8(std::uint32_t addr) const { return bytes_.at(addr); }
+  [[nodiscard]] std::uint32_t read32(std::uint32_t addr) const;
+  void write8(std::uint32_t addr, std::uint8_t v) { bytes_.at(addr) = v; }
+  void write32(std::uint32_t addr, std::uint32_t v);
+
+  /// Bulk copy in/out (loader, RTM, tests).
+  void write_block(std::uint32_t addr, std::span<const std::uint8_t> data);
+  void read_block(std::uint32_t addr, std::span<std::uint8_t> out) const;
+  void fill(std::uint32_t addr, std::uint32_t len, std::uint8_t value);
+
+  /// Read-only view of a region (bounds-checked).
+  [[nodiscard]] std::span<const std::uint8_t> view(std::uint32_t addr, std::uint32_t len) const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace tytan::sim

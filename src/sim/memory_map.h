@@ -1,0 +1,72 @@
+// Physical memory map of the simulated platform.
+//
+// Siskiyou Peak uses a flat physical address space with MMIO (paper §4).
+// Layout (all constants in bytes):
+//
+//   0x000000  IDT (64 vectors x 4 bytes)            -- EA-MPU protected
+//   0x000400  boot ROM image + manifest             -- read-only by policy
+//   0x010000  trusted firmware windows (4 KiB each): OS kernel, EA-MPU
+//             driver, Int Mux, IPC proxy, RTM, Remote Attest, Secure
+//             Storage, fault handler
+//   0x018000  trusted data (RTM registry, shadow TCBs, sealed store, ...)
+//   0x020000  general RAM: OS heap and task memory
+//   0x100000  MMIO window (timer, serial, sensors, platform-key register)
+#pragma once
+
+#include <cstdint>
+
+namespace tytan::sim {
+
+inline constexpr std::uint32_t kIdtBase = 0x0000'0000;
+inline constexpr std::uint32_t kIdtEntries = 64;
+inline constexpr std::uint32_t kIdtSize = kIdtEntries * 4;
+
+inline constexpr std::uint32_t kRomBase = 0x0000'0400;
+inline constexpr std::uint32_t kRomSize = 0x0000'FC00;
+
+/// Trusted firmware windows.  Each trusted software component of TyTAN
+/// occupies one window; the window address doubles as the component's
+/// execution identity for the EA-MPU.
+inline constexpr std::uint32_t kFwWindowSize = 0x2000;
+inline constexpr std::uint32_t kFwOsKernel = 0x0001'0000;
+inline constexpr std::uint32_t kFwEaMpuDriver = 0x0001'2000;
+inline constexpr std::uint32_t kFwIntMux = 0x0001'4000;
+inline constexpr std::uint32_t kFwIpcProxy = 0x0001'6000;
+inline constexpr std::uint32_t kFwRtm = 0x0001'8000;
+inline constexpr std::uint32_t kFwRemoteAttest = 0x0001'A000;
+inline constexpr std::uint32_t kFwSecureStorage = 0x0001'C000;
+inline constexpr std::uint32_t kFwFaultHandler = 0x0001'E000;
+
+inline constexpr std::uint32_t kTrustedDataBase = 0x0002'0000;
+inline constexpr std::uint32_t kTrustedDataSize = 0x0000'8000;
+
+inline constexpr std::uint32_t kRamBase = 0x0002'8000;
+inline constexpr std::uint32_t kRamEnd = 0x0010'0000;  // exclusive
+
+inline constexpr std::uint32_t kMmioBase = 0x0010'0000;
+inline constexpr std::uint32_t kMmioSize = 0x0000'1000;
+
+inline constexpr std::uint32_t kMemSize = kMmioBase + kMmioSize;
+
+/// MMIO device bases (offsets are device-local).
+inline constexpr std::uint32_t kMmioTimer = kMmioBase + 0x000;
+inline constexpr std::uint32_t kMmioSerial = kMmioBase + 0x100;
+inline constexpr std::uint32_t kMmioPedal = kMmioBase + 0x200;
+inline constexpr std::uint32_t kMmioRadar = kMmioBase + 0x300;
+inline constexpr std::uint32_t kMmioEngine = kMmioBase + 0x400;
+inline constexpr std::uint32_t kMmioRng = kMmioBase + 0x500;
+inline constexpr std::uint32_t kMmioKeyReg = kMmioBase + 0x600;
+inline constexpr std::uint32_t kMmioCan = kMmioBase + 0x700;
+
+/// Interrupt vectors.
+inline constexpr std::uint8_t kVecReset = 0;
+inline constexpr std::uint8_t kVecFault = 1;
+inline constexpr std::uint8_t kVecTimer = 0x20;
+inline constexpr std::uint8_t kVecSyscall = 0x21;
+inline constexpr std::uint8_t kVecIpc = 0x22;
+inline constexpr std::uint8_t kVecCan = 0x23;
+
+/// Paper's platform clock: Xilinx Spartan-6 FPGA at 48 MHz (§4).
+inline constexpr std::uint64_t kClockHz = 48'000'000;
+
+}  // namespace tytan::sim

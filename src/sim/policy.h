@@ -1,0 +1,35 @@
+// Access-policy interface the machine consults on every fetch, load, store,
+// and control transfer.  The EA-MPU (src/hw) implements it; a null policy
+// means "allow everything" (pre-secure-boot state).
+#pragma once
+
+#include <cstdint>
+
+namespace tytan::sim {
+
+enum class Access : std::uint8_t { kRead, kWrite, kExecute };
+
+inline const char* access_name(Access a) {
+  switch (a) {
+    case Access::kRead: return "read";
+    case Access::kWrite: return "write";
+    case Access::kExecute: return "execute";
+  }
+  return "?";
+}
+
+class AccessPolicy {
+ public:
+  virtual ~AccessPolicy() = default;
+
+  /// May code at `exec_ip` perform `access` on `addr`?
+  [[nodiscard]] virtual bool allows(std::uint32_t exec_ip, std::uint32_t addr,
+                                    Access access) const = 0;
+
+  /// May control transfer from `from_ip` to `to_ip`?  This is where dedicated
+  /// entry points are enforced (paper §3, EA-MPU property 2).
+  [[nodiscard]] virtual bool allows_transfer(std::uint32_t from_ip,
+                                             std::uint32_t to_ip) const = 0;
+};
+
+}  // namespace tytan::sim

@@ -1,0 +1,23 @@
+#include "sim/tracer.h"
+
+#include <sstream>
+
+#include "isa/disasm.h"
+
+namespace tytan::sim {
+
+std::string Tracer::format() const {
+  std::ostringstream os;
+  for (const Entry& entry : entries_) {
+    os << "cycle " << entry.cycle << "  0x" << std::hex << entry.eip << std::dec << "  ";
+    if (!entry.note.empty()) {
+      os << "[firmware: " << entry.note << "]";
+    } else {
+      os << isa::disassemble_word(entry.word, entry.eip);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tytan::sim

@@ -1,0 +1,47 @@
+// Execution tracer: a ring buffer of the last N executed instructions with
+// cycle stamps and disassembly.  Off by default (zero overhead beyond a
+// branch); examples and debugging sessions enable it to print what guest
+// code did before a fault.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace tytan::sim {
+
+class Tracer {
+ public:
+  struct Entry {
+    std::uint64_t cycle = 0;
+    std::uint32_t eip = 0;
+    std::uint32_t word = 0;   ///< raw instruction word (0 for firmware entries)
+    std::string note;         ///< firmware name or empty
+  };
+
+  explicit Tracer(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  void record(std::uint64_t cycle, std::uint32_t eip, std::uint32_t word,
+              std::string note = {}) {
+    if (entries_.size() == capacity_) {
+      entries_.pop_front();
+    }
+    entries_.push_back({cycle, eip, word, std::move(note)});
+  }
+
+  [[nodiscard]] std::vector<Entry> snapshot() const {
+    return {entries_.begin(), entries_.end()};
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Multi-line human-readable dump ("cycle 1234  0x40010  ldw r1, [r2+4]").
+  [[nodiscard]] std::string format() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace tytan::sim

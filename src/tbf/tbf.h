@@ -1,0 +1,58 @@
+// TBF — the TyTAN Binary Format.
+//
+// The paper extends FreeRTOS with an ELF loader because "ELF supports
+// relocatable binaries and encodes all information required for relocation
+// in ELF file headers" (§4).  TBF is the equivalent for this reproduction: a
+// compact container for a relocatable image, its entry point, stack/bss
+// requests, and relocation records carrying original addends — exactly what
+// the loader needs to relocate and what the RTM needs to *revert* the
+// relocation for position-independent measurement.
+//
+// Wire layout (little endian):
+//   0   u32  magic "TBF1"
+//   4   u16  version (1)
+//   6   u16  flags (ObjectFlags)
+//   8   u32  image size
+//   12  u32  bss size
+//   16  u32  stack size
+//   20  u32  entry offset
+//   24  u32  msg-handler offset
+//   28  u32  mailbox offset
+//   32  u32  relocation count
+//   36  u32  symbol count
+//   40  u32  header checksum (crc of bytes 0..39 with this field zeroed)
+//   44  image bytes
+//   ..  relocations: {u32 offset, u8 kind, u32 addend} x count
+//   ..  symbols: {u16 name_len, name bytes, u32 value} x count
+#pragma once
+
+#include "common/status.h"
+#include "isa/object.h"
+
+namespace tytan::tbf {
+
+inline constexpr std::uint32_t kMagic = 0x3146'4254;  // "TBF1" little-endian
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 44;
+
+/// Serialize an object file into TBF bytes.
+ByteVec write(const isa::ObjectFile& object);
+
+/// Parse and validate TBF bytes.  Rejects bad magic/version/checksum,
+/// truncated sections, out-of-image entry points and relocation offsets.
+Result<isa::ObjectFile> read(std::span<const std::uint8_t> raw);
+
+/// Apply the relocations of `object` to `image` (a copy of object.image)
+/// for a load at `base`.  Used by the loader.
+Status apply_relocations(const isa::ObjectFile& object, std::span<std::uint8_t> image,
+                         std::uint32_t base);
+
+/// Revert one relocation in place: restore the original (base-0) addend.
+/// Used by the RTM task for position-independent measurement.
+void revert_relocation(const isa::Relocation& reloc, std::span<std::uint8_t> image);
+
+/// Re-apply one relocation after measurement.
+void apply_relocation(const isa::Relocation& reloc, std::span<std::uint8_t> image,
+                      std::uint32_t base);
+
+}  // namespace tytan::tbf

@@ -1,0 +1,132 @@
+#include "verifier/verifier.h"
+
+#include "core/rtm.h"
+#include "crypto/sha1.h"
+
+namespace tytan::verifier {
+
+// ---------------------------------------------------------------------------
+// Manufacturer
+// ---------------------------------------------------------------------------
+
+DeviceId Manufacturer::provision_device() {
+  // Derive a fresh per-device Kp from the manufacturing seed (models an HSM
+  // key ladder; deterministic for reproducible tests).
+  const DeviceId id = next_id_++;
+  std::uint8_t context[12];
+  store_le64(context, seed_);
+  store_le32(context + 8, id);
+  std::uint8_t seed_key[8];
+  store_le64(seed_key, seed_);
+  devices_[id] = crypto::derive_key128(seed_key, "tytan-device-kp", context);
+  return id;
+}
+
+Result<crypto::Key128> Manufacturer::device_kp(DeviceId device) const {
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    return make_error(Err::kNotFound, "unknown device id");
+  }
+  return it->second;
+}
+
+Result<crypto::Key128> Manufacturer::attestation_key(DeviceId device) const {
+  auto kp = device_kp(device);
+  if (!kp.is_ok()) {
+    return kp;
+  }
+  return core::RemoteAttest::derive_ka(*kp);
+}
+
+// ---------------------------------------------------------------------------
+// GoldenDatabase
+// ---------------------------------------------------------------------------
+
+const Release& GoldenDatabase::add_release(std::string name, unsigned version,
+                                           const isa::ObjectFile& object) {
+  Release release;
+  release.name = std::move(name);
+  release.version = version;
+  release.digest = crypto::Sha1::hash(object.image);
+  release.identity = core::Rtm::identity_from_digest(release.digest);
+  releases_.push_back(release);
+  return releases_.back();
+}
+
+const Release* GoldenDatabase::find(const rtos::TaskIdentity& identity) const {
+  for (const Release& release : releases_) {
+    if (release.identity == identity) {
+      return &release;
+    }
+  }
+  return nullptr;
+}
+
+const Release* GoldenDatabase::latest(std::string_view name) const {
+  const Release* best = nullptr;
+  for (const Release& release : releases_) {
+    if (release.name == name && (best == nullptr || release.version > best->version)) {
+      best = &release;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Challenger
+// ---------------------------------------------------------------------------
+
+const char* verify_outcome_name(VerifyOutcome::Code code) {
+  switch (code) {
+    case VerifyOutcome::Code::kVerified: return "verified";
+    case VerifyOutcome::Code::kUnknownChallenge: return "unknown-challenge";
+    case VerifyOutcome::Code::kExpired: return "expired";
+    case VerifyOutcome::Code::kBadMac: return "bad-mac";
+    case VerifyOutcome::Code::kUnknownRelease: return "unknown-release";
+    case VerifyOutcome::Code::kStale: return "stale";
+  }
+  return "?";
+}
+
+std::uint64_t Challenger::next_nonce() {
+  // xorshift64*: deterministic, non-repeating for practical horizons.
+  nonce_state_ ^= nonce_state_ >> 12;
+  nonce_state_ ^= nonce_state_ << 25;
+  nonce_state_ ^= nonce_state_ >> 27;
+  return nonce_state_ * 0x2545'F491'4F6C'DD1Dull;
+}
+
+std::uint64_t Challenger::issue_challenge() {
+  const std::uint64_t nonce = next_nonce();
+  outstanding_[nonce] = ++issue_counter_;
+  return nonce;
+}
+
+VerifyOutcome Challenger::verify(const core::AttestationReport& report,
+                                 std::string_view expected_release_name) {
+  const auto it = outstanding_.find(report.nonce);
+  if (it == outstanding_.end()) {
+    return {VerifyOutcome::Code::kUnknownChallenge, nullptr};
+  }
+  const std::uint64_t issued_at = it->second;
+  outstanding_.erase(it);  // single use, success or not
+
+  if (issue_counter_ - issued_at > validity_window_) {
+    return {VerifyOutcome::Code::kExpired, nullptr};
+  }
+  if (!core::RemoteAttest::verify(ka_, report, report.nonce, report.identity)) {
+    return {VerifyOutcome::Code::kBadMac, nullptr};
+  }
+  const Release* release = db_.find(report.identity);
+  if (release == nullptr) {
+    return {VerifyOutcome::Code::kUnknownRelease, nullptr};
+  }
+  const Release* latest = db_.latest(expected_release_name);
+  if (latest == nullptr || release->name != expected_release_name ||
+      release->version != latest->version) {
+    return {VerifyOutcome::Code::kStale, release};
+  }
+  return {VerifyOutcome::Code::kVerified, release};
+}
+
+}  // namespace tytan::verifier

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "isa/isa.h"
+
+namespace tytan::isa {
+namespace {
+
+ObjectFile must_assemble(std::string_view source) {
+  auto object = assemble(source);
+  EXPECT_TRUE(object.is_ok()) << object.status().to_string();
+  return object.take();
+}
+
+TEST(Assembler, BasicInstructions) {
+  const ObjectFile obj = must_assemble(R"(
+      movi r0, 1
+      addi r0, 2
+      mov  r1, r0
+      hlt
+  )");
+  ASSERT_EQ(obj.image.size(), 16u);
+  EXPECT_EQ(disassemble_word(load_le32(obj.image.data()), 0), "movi r0, 1");
+  EXPECT_EQ(disassemble_word(load_le32(obj.image.data() + 12), 12), "hlt");
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const ObjectFile obj = must_assemble(R"(
+  loop:
+      subi r0, 1
+      jnz  loop
+      hlt
+  )");
+  // jnz at offset 4, target 0: disp = 0 - 8 = -8.
+  const auto instr = decode(load_le32(obj.image.data() + 4));
+  ASSERT_TRUE(instr.has_value());
+  EXPECT_EQ(instr->opcode, Opcode::kJnz);
+  EXPECT_EQ(instr->simm(), -8);
+}
+
+TEST(Assembler, ForwardReferences) {
+  const ObjectFile obj = must_assemble(R"(
+      jmp end
+      nop
+  end:
+      hlt
+  )");
+  const auto instr = decode(load_le32(obj.image.data()));
+  EXPECT_EQ(instr->simm(), 4);  // skip the nop
+}
+
+TEST(Assembler, LiEmitsRelocationsForSymbols) {
+  const ObjectFile obj = must_assemble(R"(
+      li r2, buffer
+      hlt
+  buffer:
+      .word 0
+  )");
+  ASSERT_EQ(obj.relocs.size(), 2u);
+  EXPECT_EQ(obj.relocs[0].kind, RelocKind::kLo16);
+  EXPECT_EQ(obj.relocs[0].offset, 0u);
+  EXPECT_EQ(obj.relocs[1].kind, RelocKind::kHi16);
+  EXPECT_EQ(obj.relocs[1].offset, 4u);
+  EXPECT_EQ(obj.relocs[0].addend, 12u);  // buffer is after li (8) + hlt (4)
+}
+
+TEST(Assembler, LiWithConstantEmitsNoRelocations) {
+  const ObjectFile obj = must_assemble("li r1, 0x12345678\n");
+  EXPECT_TRUE(obj.relocs.empty());
+  ASSERT_EQ(obj.image.size(), 8u);
+  const auto lo = decode(load_le32(obj.image.data()));
+  const auto hi = decode(load_le32(obj.image.data() + 4));
+  EXPECT_EQ(lo->imm, 0x5678);
+  EXPECT_EQ(hi->imm, 0x1234);
+}
+
+TEST(Assembler, WordDirectiveWithLabelEmitsAbs32) {
+  const ObjectFile obj = must_assemble(R"(
+  start:
+      hlt
+  table:
+      .word start, 42, table
+  )");
+  ASSERT_EQ(obj.relocs.size(), 2u);
+  EXPECT_EQ(obj.relocs[0].kind, RelocKind::kAbs32);
+  EXPECT_EQ(obj.relocs[0].offset, 4u);
+  EXPECT_EQ(obj.relocs[0].addend, 0u);   // start
+  EXPECT_EQ(obj.relocs[1].offset, 12u);
+  EXPECT_EQ(obj.relocs[1].addend, 4u);   // table
+  EXPECT_EQ(load_le32(obj.image.data() + 8), 42u);
+}
+
+TEST(Assembler, DataDirectives) {
+  const ObjectFile obj = must_assemble(R"(
+      .byte 1, 2, 255
+      .align 4
+      .ascii "hi\n"
+      .space 3
+  )");
+  ASSERT_EQ(obj.image.size(), 4u + 3u + 3u);
+  EXPECT_EQ(obj.image[0], 1);
+  EXPECT_EQ(obj.image[2], 255);
+  EXPECT_EQ(obj.image[3], 0);  // align padding
+  EXPECT_EQ(obj.image[4], 'h');
+  EXPECT_EQ(obj.image[6], '\n');
+}
+
+TEST(Assembler, EquConstants) {
+  const ObjectFile obj = must_assemble(R"(
+      .equ SENSOR, 0x1234
+      movi r0, SENSOR
+  )");
+  const auto instr = decode(load_le32(obj.image.data()));
+  EXPECT_EQ(instr->imm, 0x1234);
+}
+
+TEST(Assembler, StackBssEntryDirectives) {
+  const ObjectFile obj = must_assemble(R"(
+      .stack 512
+      .bss 64
+      .entry main
+      nop
+  main:
+      hlt
+  )");
+  EXPECT_EQ(obj.stack_size, 512u);
+  EXPECT_EQ(obj.bss_size, 64u);
+  EXPECT_EQ(obj.entry, 4u);
+  EXPECT_EQ(obj.memory_size(), 8u + 64u + 512u);
+}
+
+TEST(Assembler, MemoryOperands) {
+  const ObjectFile obj = must_assemble(R"(
+      ldw r1, [r2]
+      ldw r1, [r2+8]
+      stw r1, [sp-4]
+  )");
+  const auto a = decode(load_le32(obj.image.data()));
+  const auto b = decode(load_le32(obj.image.data() + 4));
+  const auto c = decode(load_le32(obj.image.data() + 8));
+  EXPECT_EQ(a->simm(), 0);
+  EXPECT_EQ(b->simm(), 8);
+  EXPECT_EQ(c->simm(), -4);
+  EXPECT_EQ(c->ra, kSpIndex);
+}
+
+TEST(Assembler, SecurePrologueInjected) {
+  const ObjectFile obj = must_assemble(R"(
+      .secure
+      .entry main
+      .msg on_msg
+  main:
+      hlt
+  on_msg:
+      movi r0, 9
+      int 0x21
+  )");
+  EXPECT_TRUE(obj.secure());
+  EXPECT_EQ(obj.entry, 0u);  // prologue at the front
+  EXPECT_NE(obj.mailbox, 0u);
+  EXPECT_NE(obj.msg_handler, 0u);
+  EXPECT_EQ(obj.symbols.at("__tytan_entry"), 0u);
+  // Prologue: 5 instrs + 8 restore instrs + 1 jmp + mailbox 24 bytes.
+  EXPECT_EQ(obj.mailbox, obj.symbols.at("__tytan_mailbox"));
+  EXPECT_EQ(obj.symbols.at("main"), obj.mailbox + isa::SecureLayout::kMailboxSize);
+}
+
+TEST(Assembler, SecureDefaultEntryWhenNoneGiven) {
+  const ObjectFile obj = must_assemble(R"(
+      .secure
+      hlt
+  )");
+  EXPECT_TRUE(obj.secure());
+  EXPECT_TRUE(obj.symbols.contains("__tytan_user_start"));
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto r1 = assemble("bogus r0, r1\n");
+  ASSERT_FALSE(r1.is_ok());
+  EXPECT_NE(r1.status().message().find("line 1"), std::string::npos);
+
+  auto r2 = assemble("nop\nmovi r9, 1\n");
+  ASSERT_FALSE(r2.is_ok());
+  EXPECT_NE(r2.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, ErrorOnUndefinedSymbol) {
+  EXPECT_FALSE(assemble("jmp nowhere\n").is_ok());
+}
+
+TEST(Assembler, ErrorOnDuplicateLabel) {
+  EXPECT_FALSE(assemble("a:\na:\n  nop\n").is_ok());
+}
+
+TEST(Assembler, ErrorOnImmediateOutOfRange) {
+  EXPECT_FALSE(assemble("movi r0, 70000\n").is_ok());
+  EXPECT_FALSE(assemble("movi r0, -40000\n").is_ok());
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const ObjectFile obj = must_assemble(R"(
+      ; full-line comment
+      # hash comment
+      nop      ; trailing
+      hlt      # trailing
+  )");
+  EXPECT_EQ(obj.image.size(), 8u);
+}
+
+
+TEST(Assembler, SymbolPlusOffsetExpressions) {
+  const ObjectFile obj = must_assemble(R"(
+      li   r1, table+8
+      ldw  r2, [r1]
+      hlt
+  table:
+      .word 10, 20, 30
+      .word table+4
+  )");
+  // li reloc addend = table offset + 8.
+  ASSERT_GE(obj.relocs.size(), 3u);
+  const std::uint32_t table_off = obj.symbols.at("table");
+  EXPECT_EQ(obj.relocs[0].kind, RelocKind::kLo16);
+  EXPECT_EQ(obj.relocs[0].addend, table_off + 8);
+  // .word table+4 -> ABS32 with addend table+4.
+  EXPECT_EQ(obj.relocs.back().kind, RelocKind::kAbs32);
+  EXPECT_EQ(obj.relocs.back().addend, table_off + 4);
+  EXPECT_EQ(load_le32(obj.image.data() + table_off + 12), table_off + 4);
+}
+
+TEST(Assembler, SymbolMinusOffsetExpressions) {
+  const ObjectFile obj = must_assemble(R"(
+  start:
+      nop
+  end:
+      .word end-4
+  )");
+  EXPECT_EQ(obj.relocs.back().addend, 0u);  // end(4) - 4
+}
+
+TEST(Assembler, BranchToSymbolPlusOffset) {
+  const ObjectFile obj = must_assemble(R"(
+      jmp  code+4
+  code:
+      nop
+      hlt
+  )");
+  const auto instr = decode(load_le32(obj.image.data()));
+  // target = code(4) + 4 = 8; disp = 8 - 4 = 4.
+  EXPECT_EQ(instr->simm(), 4);
+}
+
+TEST(Assembler, NotPseudoComplementsRegister) {
+  const ObjectFile obj = must_assemble(R"(
+      not r3
+      hlt
+  )");
+  ASSERT_EQ(obj.image.size(), 12u);  // 2-instruction expansion + hlt
+  const auto first = decode(load_le32(obj.image.data()));
+  const auto second = decode(load_le32(obj.image.data() + 4));
+  EXPECT_EQ(first->opcode, Opcode::kMovi);
+  EXPECT_EQ(first->rd, 0);
+  EXPECT_EQ(first->simm(), -1);
+  EXPECT_EQ(second->opcode, Opcode::kXor);
+  EXPECT_EQ(second->rd, 3);
+}
+
+TEST(Assembler, NotRejectsScratchRegister) {
+  EXPECT_FALSE(assemble("not r0\n").is_ok());
+}
+
+}  // namespace
+}  // namespace tytan::isa

@@ -1,0 +1,118 @@
+// Baseline architecture models (paper §7): their defining constraints hold
+// and differ from TyTAN's behaviour on the same substrate.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+
+namespace tytan {
+namespace {
+
+using baselines::TrustLitePlatform;
+using core::Platform;
+
+constexpr std::string_view kTask = R"(
+    .secure
+    .stack 128
+    .entry main
+main:
+    movi r0, 1
+    int  0x21
+    jmp  main
+)";
+
+TEST(TrustLite, PreloadedTasksRunAfterBoot) {
+  TrustLitePlatform trustlite;
+  auto object = isa::assemble(kTask);
+  ASSERT_TRUE(object.is_ok());
+  ASSERT_TRUE(trustlite.preload(*object, {.name = "a", .priority = 3}).is_ok());
+  ASSERT_TRUE(trustlite.preload(*object, {.name = "b", .priority = 3}).is_ok());
+  auto handles = trustlite.boot();
+  ASSERT_TRUE(handles.is_ok()) << handles.status().to_string();
+  ASSERT_EQ(handles->size(), 2u);
+  trustlite.platform().run_for(2'000'000);
+  for (const auto handle : *handles) {
+    EXPECT_GT(trustlite.platform().scheduler().get(handle)->activations, 5u);
+  }
+}
+
+TEST(TrustLite, RejectsPostBootLoading) {
+  TrustLitePlatform trustlite;
+  auto object = isa::assemble(kTask);
+  ASSERT_TRUE(object.is_ok());
+  ASSERT_TRUE(trustlite.boot().is_ok());
+  EXPECT_TRUE(trustlite.sealed());
+  EXPECT_EQ(trustlite.load_task(*object, {.name = "late"}).status().code(),
+            Err::kPermissionDenied);
+  EXPECT_EQ(trustlite.preload(*object, {.name = "late"}).code(), Err::kPermissionDenied);
+}
+
+TEST(Smart, AtomicAttestCostsTheWholeMeasurement) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  std::string source(kTask);
+  source += "    .space 4000\n";
+  auto task = platform.load_task_source(source, {.name = "payload", .auto_start = false});
+  ASSERT_TRUE(task.is_ok());
+  const std::uint64_t ticks_before = platform.kernel().tick_count();
+  const std::uint64_t cycles = baselines::smart_atomic_attest(platform, *task);
+  // ~64 hash blocks * 3,900 cycles — far more than a tick period — and NO
+  // tick was serviced meanwhile (the defining SMART limitation).
+  EXPECT_GT(cycles, 200'000u);
+  EXPECT_EQ(platform.kernel().tick_count(), ticks_before);
+  // The timer catches up only once the machine runs again — several periods
+  // elapsed unserviced during the atomic routine.
+  const std::uint64_t fired_before = platform.timer().ticks_fired();
+  platform.run_for(platform.config().tick_period);
+  EXPECT_GE(platform.timer().ticks_fired() - fired_before,
+            cycles / platform.config().tick_period);
+}
+
+TEST(Spm, RejectsRelocatableModules) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto object = isa::assemble(R"(
+      .secure
+      .entry main
+  main:
+      li r1, data       ; relocation!
+      jmp main
+  data:
+      .word 0
+  )");
+  ASSERT_TRUE(object.is_ok());
+  ASSERT_FALSE(object->relocs.empty());
+  EXPECT_EQ(baselines::spm_load_fixed(platform, object.take(), 0x40000, {.name = "m"})
+                .status()
+                .code(),
+            Err::kInvalidArgument);
+}
+
+TEST(Spm, LoadsOnlyAtTheLinkedBase) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  // Find where the next allocation would land; that is the "linked base".
+  auto probe = platform.loader().arena().alloc(512);
+  ASSERT_TRUE(probe.is_ok());
+  const std::uint32_t linked_base = *probe;
+  ASSERT_TRUE(platform.loader().arena().free(linked_base).is_ok());
+
+  isa::ObjectFile module;
+  module.image.assign(64, 0);
+  module.stack_size = 128;
+  auto loaded = baselines::spm_load_fixed(platform, module, linked_base,
+                                          {.name = "spm", .auto_start = false});
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(platform.scheduler().get(*loaded)->region_base, linked_base);
+
+  // A second instance of the same module cannot load: its base is taken.
+  auto second = baselines::spm_load_fixed(platform, module, linked_base,
+                                          {.name = "spm2", .auto_start = false});
+  EXPECT_FALSE(second.is_ok());
+  // TyTAN, on the same platform, just relocates it elsewhere.
+  auto relocated = platform.load_task(module, {.name = "tytan", .auto_start = false});
+  EXPECT_TRUE(relocated.is_ok());
+  EXPECT_NE(platform.scheduler().get(*relocated)->region_base, linked_base);
+}
+
+}  // namespace
+}  // namespace tytan

@@ -1,0 +1,126 @@
+// CPU-time accounting and execution-time bounding (paper §5: tasks are
+// "bound in their use of system resources (e.g., execution time or
+// memory)", so a compromised task cannot disturb the platform's
+// availability).
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+
+namespace tytan {
+namespace {
+
+using core::Platform;
+
+constexpr std::string_view kSpinner = R"(
+    .secure
+    .stack 128
+    .entry main
+main:
+    addi r5, 1
+    jmp  main
+)";
+
+constexpr std::string_view kYielder = R"(
+    .secure
+    .stack 128
+    .entry main
+main:
+    movi r0, 1
+    int  0x21
+    jmp  main
+    .word 2
+)";
+
+TEST(Accounting, CpuCyclesAttributedToTasks) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto spin = platform.load_task_source(kSpinner, {.name = "spin", .priority = 3});
+  auto idle_ish = platform.load_task_source(R"(
+      .secure
+      .stack 128
+      .entry main
+  main:
+      movi r0, 2
+      movi r1, 20
+      int  0x21
+      jmp  main
+  )", {.name = "sleeper", .priority = 4});
+  ASSERT_TRUE(spin.is_ok());
+  ASSERT_TRUE(idle_ish.is_ok());
+  platform.run_for(3'000'000);
+  const rtos::Tcb* s = platform.scheduler().get(*spin);
+  const rtos::Tcb* t = platform.scheduler().get(*idle_ish);
+  // The spinner consumed the bulk of the CPU; the sleeper a sliver.
+  EXPECT_GT(s->cpu_cycles, 1'000'000u);
+  EXPECT_LT(t->cpu_cycles, s->cpu_cycles / 20);
+  // Attribution is sane: no task was charged more than wall time.
+  EXPECT_LT(s->cpu_cycles, platform.machine().cycles());
+}
+
+TEST(Budget, ThrottledSpinnerLeavesRoomForLowerPriority) {
+  // Without a budget, a high-priority spinner starves everything below it;
+  // with one, the lower-priority task runs every tick.
+  for (const bool budgeted : {false, true}) {
+    Platform platform;
+    ASSERT_TRUE(platform.boot().is_ok());
+    auto hog = platform.load_task_source(kSpinner, {.name = "hog", .priority = 5});
+    auto meek = platform.load_task_source(kYielder, {.name = "meek", .priority = 2});
+    ASSERT_TRUE(hog.is_ok());
+    ASSERT_TRUE(meek.is_ok());
+    if (budgeted) {
+      ASSERT_TRUE(platform.set_task_budget(*hog, 10'000).is_ok());
+    }
+    platform.run_for(40 * platform.config().tick_period);
+    const rtos::Tcb* m = platform.scheduler().get(*meek);
+    const rtos::Tcb* h = platform.scheduler().get(*hog);
+    if (budgeted) {
+      EXPECT_GT(m->activations, 20u) << "meek task starved despite the budget";
+      EXPECT_GT(h->throttle_events, 20u);
+      // The hog consumed roughly its budget per tick, not the whole tick.
+      EXPECT_LT(h->cpu_cycles, platform.machine().cycles() / 2);
+    } else {
+      EXPECT_EQ(m->activations, 0u);  // fully starved
+      EXPECT_EQ(h->throttle_events, 0u);
+    }
+  }
+}
+
+TEST(Budget, BudgetRefillsEveryTick) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto hog = platform.load_task_source(kSpinner, {.name = "hog", .priority = 5});
+  ASSERT_TRUE(hog.is_ok());
+  ASSERT_TRUE(platform.set_task_budget(*hog, 8'000).is_ok());
+  platform.run_for(60 * platform.config().tick_period);
+  const rtos::Tcb* h = platform.scheduler().get(*hog);
+  // Leaky bucket: it keeps getting windows (refill) at a duty cycle near
+  // budget / tick_period = 8k / 48k.
+  EXPECT_GT(h->activations, 5u);
+  const double share = static_cast<double>(h->cpu_cycles) /
+                       static_cast<double>(platform.machine().cycles());
+  EXPECT_GT(share, 0.08);
+  EXPECT_LT(share, 0.40);
+}
+
+TEST(Budget, LiftingBudgetRestoresFullShare) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto hog = platform.load_task_source(kSpinner, {.name = "hog", .priority = 5});
+  ASSERT_TRUE(hog.is_ok());
+  ASSERT_TRUE(platform.set_task_budget(*hog, 5'000).is_ok());
+  platform.run_for(10 * platform.config().tick_period);
+  const std::uint64_t throttles = platform.scheduler().get(*hog)->throttle_events;
+  EXPECT_GT(throttles, 0u);
+  ASSERT_TRUE(platform.set_task_budget(*hog, 0).is_ok());
+  platform.run_for(10 * platform.config().tick_period);
+  EXPECT_EQ(platform.scheduler().get(*hog)->throttle_events, throttles);
+}
+
+TEST(Budget, UnknownTaskRejected) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  EXPECT_FALSE(platform.set_task_budget(777, 1'000).is_ok());
+}
+
+}  // namespace
+}  // namespace tytan

@@ -1,0 +1,179 @@
+// CAN bus device and IRQ-driven task wake-up (paper §4: tasks are
+// interrupted "to react to an event like an arriving network package").
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+
+namespace tytan {
+namespace {
+
+using core::Platform;
+using sim::CanBusDevice;
+
+TEST(CanDevice, RxFifoSemantics) {
+  CanBusDevice can;
+  int irqs = 0;
+  can.set_irq_sink([&](std::uint8_t v) {
+    EXPECT_EQ(v, sim::kVecCan);
+    ++irqs;
+  });
+  CanBusDevice::Frame frame{.id = 0x123, .dlc = 4, .data = {1, 2, 3, 4, 0, 0, 0, 0}};
+  EXPECT_TRUE(can.inject(frame));
+  EXPECT_EQ(irqs, 1);
+  EXPECT_EQ(can.read32(CanBusDevice::kStatus), 1u);
+  EXPECT_EQ(can.read32(CanBusDevice::kRxId), 0x123u | (4u << 16));
+  EXPECT_EQ(can.read32(CanBusDevice::kRxData0), 0x04030201u);
+  can.write32(CanBusDevice::kRxPop, 1);
+  EXPECT_EQ(can.read32(CanBusDevice::kStatus), 0u);
+}
+
+TEST(CanDevice, FifoOverflowDropsAndCounts) {
+  CanBusDevice can;
+  for (std::size_t i = 0; i < CanBusDevice::kRxFifoDepth; ++i) {
+    EXPECT_TRUE(can.inject({.id = static_cast<std::uint16_t>(i), .dlc = 0, .data = {}}));
+  }
+  EXPECT_FALSE(can.inject({.id = 0x7FF, .dlc = 0, .data = {}}));
+  EXPECT_EQ(can.rx_overflows(), 1u);
+  EXPECT_EQ(can.read32(CanBusDevice::kStatus), CanBusDevice::kRxFifoDepth);
+}
+
+TEST(CanDevice, TxPath) {
+  CanBusDevice can;
+  can.write32(CanBusDevice::kTxId, 0x456u | (8u << 16));
+  can.write32(CanBusDevice::kTxData0, 0xAABBCCDDu);
+  can.write32(CanBusDevice::kTxData1, 0x11223344u);
+  can.write32(CanBusDevice::kTxSend, 1);
+  ASSERT_EQ(can.transmitted().size(), 1u);
+  EXPECT_EQ(can.transmitted()[0].id, 0x456u);
+  EXPECT_EQ(can.transmitted()[0].data[0], 0xDD);
+  EXPECT_EQ(can.transmitted()[0].data[7], 0x11);
+}
+
+/// Guest driver: parks on the CAN IRQ; on wake, reads the head frame,
+/// echoes data byte 0 to serial, acknowledges over CAN TX, pops, re-parks.
+constexpr std::string_view kCanDriver = R"(
+    .secure
+    .stack 256
+    .entry main
+    .equ CAN, 0x100700
+main:
+loop:
+    movi r0, 16           ; kSysWaitIrq
+    movi r1, 0x23         ; kVecCan
+    int  0x21
+drain:
+    li   r2, CAN
+    ldw  r3, [r2]         ; STATUS
+    cmpi r3, 0
+    jz   loop
+    ldw  r4, [r2+8]       ; RX_DATA0
+    mov  r1, r4
+    andi r1, 0xFF
+    movi r0, 4            ; putchar(data[0])
+    int  0x21
+    li   r2, CAN
+    ldw  r4, [r2+4]       ; RX_ID
+    addi r4, 1            ; ack id = rx id + 1
+    stw  r4, [r2+20]      ; TX_ID
+    movi r5, 0x6B         ; 'k'
+    stw  r5, [r2+24]      ; TX_DATA0
+    stw  r5, [r2+32]      ; TX_SEND
+    movi r5, 1
+    stw  r5, [r2+16]      ; RX_POP
+    jmp  drain
+)";
+
+TEST(CanIrq, DriverTaskWakesOnFrameAndAcks) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto driver = platform.load_task_source(kCanDriver, {.name = "can-drv", .priority = 4});
+  ASSERT_TRUE(driver.is_ok()) << driver.status().to_string();
+  platform.run_for(300'000);  // driver parks on the IRQ
+
+  platform.can_bus().inject({.id = 0x100, .dlc = 1, .data = {'A', 0, 0, 0, 0, 0, 0, 0}});
+  ASSERT_TRUE(
+      platform.run_until([&] { return !platform.serial().output().empty(); }, 5'000'000));
+  EXPECT_EQ(platform.serial().output(), "A");
+  ASSERT_TRUE(platform.run_until(
+      [&] { return !platform.can_bus().transmitted().empty(); }, 5'000'000));
+  EXPECT_EQ(platform.can_bus().transmitted()[0].id, 0x101u);
+  EXPECT_EQ(platform.can_bus().transmitted()[0].data[0], 'k');
+
+  // A second frame wakes it again (edge-triggered rebinding works).
+  platform.can_bus().inject({.id = 0x200, .dlc = 1, .data = {'B', 0, 0, 0, 0, 0, 0, 0}});
+  ASSERT_TRUE(
+      platform.run_until([&] { return platform.serial().output() == "AB"; }, 5'000'000));
+}
+
+TEST(CanIrq, BurstOfFramesAllProcessed) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto driver = platform.load_task_source(kCanDriver, {.name = "can-drv", .priority = 4});
+  ASSERT_TRUE(driver.is_ok());
+  platform.run_for(300'000);
+
+  for (char c = 'a'; c <= 'f'; ++c) {
+    platform.can_bus().inject(
+        {.id = 0x10, .dlc = 1,
+         .data = {static_cast<std::uint8_t>(c), 0, 0, 0, 0, 0, 0, 0}});
+  }
+  ASSERT_TRUE(platform.run_until([&] { return platform.serial().output().size() == 6; },
+                                 20'000'000))
+      << "got: " << platform.serial().output();
+  EXPECT_EQ(platform.serial().output(), "abcdef");
+  platform.run_for(500'000);  // the final ack transmits after the echo
+  EXPECT_EQ(platform.can_bus().transmitted().size(), 6u);
+}
+
+TEST(CanIrq, WaitIrqOnUnroutedVectorRejected) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  constexpr std::string_view kBadWaiter = R"(
+      .secure
+      .stack 128
+      .entry main
+  main:
+      movi r0, 16
+      movi r1, 0x21        ; the syscall vector is not waitable
+      int  0x21
+      cmpi r0, -1
+      jnz  nope
+      movi r1, 89          ; 'Y': correctly rejected
+      movi r0, 4
+      int  0x21
+  nope:
+      movi r0, 3
+      int  0x21
+  )";
+  auto task = platform.load_task_source(kBadWaiter, {.name = "bad", .priority = 3});
+  ASSERT_TRUE(task.is_ok());
+  platform.run_until([&] { return !platform.serial().output().empty(); }, 5'000'000);
+  EXPECT_EQ(platform.serial().output(), "Y");
+}
+
+TEST(CanIrq, WakeRespectsPriorities) {
+  // A CAN frame arriving while a higher-priority task runs does not let the
+  // driver jump the queue; while a *lower*-priority task runs, it does.
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto driver = platform.load_task_source(kCanDriver, {.name = "can-drv", .priority = 3});
+  ASSERT_TRUE(driver.is_ok());
+  auto spinner = platform.load_task_source(R"(
+      .secure
+      .stack 128
+      .entry main
+  main:
+      jmp main
+  )", {.name = "low-spin", .priority = 1});
+  ASSERT_TRUE(spinner.is_ok());
+  platform.run_for(300'000);
+  platform.can_bus().inject({.id = 1, .dlc = 1, .data = {'x', 0, 0, 0, 0, 0, 0, 0}});
+  // Driver (prio 3) preempts the spinner (prio 1) promptly.
+  const std::uint64_t before = platform.machine().cycles();
+  ASSERT_TRUE(
+      platform.run_until([&] { return !platform.serial().output().empty(); }, 5'000'000));
+  EXPECT_LT(platform.machine().cycles() - before, 100'000u);
+}
+
+}  // namespace
+}  // namespace tytan

@@ -1,0 +1,198 @@
+// MMIO devices, the bus, and the tracer.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/devices.h"
+#include "sim/machine.h"
+
+namespace tytan::sim {
+namespace {
+
+TEST(TimerDevice, DisabledTimerNeverFires) {
+  TimerDevice timer;
+  int fired = 0;
+  timer.set_irq_sink([&](std::uint8_t) { ++fired; });
+  timer.write32(TimerDevice::kPeriod, 100);
+  timer.tick(10'000);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerDevice, FiresOncePerPeriodAndCatchesUp) {
+  TimerDevice timer;
+  int fired = 0;
+  timer.set_irq_sink([&](std::uint8_t v) {
+    EXPECT_EQ(v, kVecTimer);
+    ++fired;
+  });
+  timer.write32(TimerDevice::kPeriod, 100);
+  timer.write32(TimerDevice::kCtrl, 1);
+  timer.tick(99);
+  EXPECT_EQ(fired, 0);
+  timer.tick(100);
+  EXPECT_EQ(fired, 1);
+  timer.tick(350);  // catches up: deadlines 200, 300
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(timer.ticks_fired(), 3u);
+}
+
+TEST(TimerDevice, DisableStopsFiring) {
+  TimerDevice timer;
+  int fired = 0;
+  timer.set_irq_sink([&](std::uint8_t) { ++fired; });
+  timer.write32(TimerDevice::kPeriod, 10);
+  timer.write32(TimerDevice::kCtrl, 1);
+  timer.tick(10);
+  timer.write32(TimerDevice::kCtrl, 0);
+  timer.tick(1'000);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerDevice, RegistersReadBack) {
+  TimerDevice timer;
+  timer.write32(TimerDevice::kPeriod, 4242);
+  EXPECT_EQ(timer.read32(TimerDevice::kPeriod), 4242u);
+  EXPECT_EQ(timer.read32(TimerDevice::kCtrl), 0u);
+  timer.write32(TimerDevice::kCtrl, 1);
+  EXPECT_EQ(timer.read32(TimerDevice::kCtrl), 1u);
+}
+
+TEST(TimerDevice, ZeroPeriodNeverEnables) {
+  TimerDevice timer;
+  int fired = 0;
+  timer.set_irq_sink([&](std::uint8_t) { ++fired; });
+  timer.write32(TimerDevice::kCtrl, 1);  // period still 0
+  timer.tick(100'000);
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(timer.enabled());
+}
+
+TEST(SerialConsole, CapturesBytesAndReportsReady) {
+  SerialConsole serial;
+  serial.write32(SerialConsole::kData, 'o');
+  serial.write32(SerialConsole::kData, 'k');
+  EXPECT_EQ(serial.output(), "ok");
+  EXPECT_EQ(serial.read32(SerialConsole::kStatus), 1u);
+  serial.clear();
+  EXPECT_TRUE(serial.output().empty());
+}
+
+TEST(SensorDevice, CountsReadsAndIgnoresWrites) {
+  SensorDevice sensor("pedal", kMmioPedal);
+  sensor.set_value(33);
+  sensor.set_value2(44);
+  EXPECT_EQ(sensor.read32(0), 33u);
+  EXPECT_EQ(sensor.read32(4), 44u);
+  sensor.write32(0, 99);
+  EXPECT_EQ(sensor.read32(0), 33u);  // read-only
+  EXPECT_EQ(sensor.reads(), 2u);     // offset-4 reads don't count
+}
+
+TEST(EngineActuator, TimestampsCommands) {
+  EngineActuator engine;
+  engine.tick(100);
+  engine.write32(0, 7);
+  engine.tick(250);
+  engine.write32(0, 9);
+  ASSERT_EQ(engine.commands().size(), 2u);
+  EXPECT_EQ(engine.commands()[0].cycle, 100u);
+  EXPECT_EQ(engine.commands()[1].value, 9u);
+  EXPECT_EQ(engine.read32(0), 9u);  // latest command reads back
+}
+
+TEST(RngDevice, DeterministicPerSeedAndNonRepeating) {
+  RngDevice a(123);
+  RngDevice b(123);
+  RngDevice c(456);
+  const std::uint32_t a1 = a.read32(0);
+  const std::uint32_t a2 = a.read32(0);
+  EXPECT_EQ(a1, b.read32(0));
+  EXPECT_NE(a1, a2);
+  EXPECT_NE(a1, c.read32(0));
+}
+
+TEST(MmioBus, RejectsOverlappingDevices) {
+  MmioBus bus;
+  bus.attach(std::make_shared<TimerDevice>());
+  EXPECT_THROW(bus.attach(std::make_shared<TimerDevice>()), std::logic_error);
+}
+
+TEST(MmioBus, FindsDeviceByAddress) {
+  MmioBus bus;
+  auto timer = std::make_shared<TimerDevice>();
+  bus.attach(timer);
+  EXPECT_EQ(bus.find(kMmioTimer + 4), timer.get());
+  EXPECT_EQ(bus.find(kMmioSerial), nullptr);
+}
+
+TEST(Machine, UnmappedMmioIsBusError) {
+  Machine machine;
+  auto object = isa::assemble(R"(
+      li  r1, 0x100800      ; inside the MMIO window, no device
+      ldw r2, [r1]
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  machine.memory().write_block(0x40000, object->image);
+  machine.cpu().eip = 0x40000;
+  machine.cpu().set_sp(0x48000);
+  machine.run(1'000);
+  EXPECT_EQ(machine.last_fault().type, FaultType::kBusError);
+}
+
+TEST(Machine, MisalignedMmioIsBusError) {
+  Machine machine;
+  machine.bus().attach(std::make_shared<SerialConsole>());
+  auto object = isa::assemble(R"(
+      li  r1, 0x100102      ; serial DATA + 2: misaligned word access
+      ldw r2, [r1]
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  machine.memory().write_block(0x40000, object->image);
+  machine.cpu().eip = 0x40000;
+  machine.cpu().set_sp(0x48000);
+  machine.run(1'000);
+  EXPECT_EQ(machine.last_fault().type, FaultType::kBusError);
+}
+
+TEST(Tracer, RecordsLastInstructionsWithDisassembly) {
+  Machine machine;
+  machine.enable_trace(4);
+  auto object = isa::assemble(R"(
+      movi r0, 1
+      movi r1, 2
+      movi r2, 3
+      movi r3, 4
+      movi r4, 5
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  machine.memory().write_block(0x40000, object->image);
+  machine.cpu().eip = 0x40000;
+  machine.run(1'000);
+  const auto entries = machine.tracer()->snapshot();
+  ASSERT_EQ(entries.size(), 4u);  // ring capacity
+  EXPECT_EQ(entries.front().eip, 0x40008u);  // oldest kept: movi r2, 3
+  EXPECT_EQ(entries.back().eip, 0x40014u);   // hlt
+  const std::string dump = machine.tracer()->format();
+  EXPECT_NE(dump.find("movi r4, 5"), std::string::npos);
+  EXPECT_NE(dump.find("hlt"), std::string::npos);
+}
+
+TEST(Tracer, RecordsFirmwareEntries) {
+  Machine machine;
+  machine.enable_trace(8);
+  machine.register_firmware(kFwOsKernel, "probe", [](Machine& m) {
+    m.cpu().eip = 0x40000;
+  });
+  auto object = isa::assemble("hlt\n");
+  ASSERT_TRUE(object.is_ok());
+  machine.memory().write_block(0x40000, object->image);
+  machine.cpu().eip = kFwOsKernel;
+  machine.run(1'000);
+  const std::string dump = machine.tracer()->format();
+  EXPECT_NE(dump.find("[firmware: probe]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tytan::sim

@@ -1,0 +1,190 @@
+// EFLAGS semantics: carry/overflow edges, flag preservation across
+// interrupts and iret, and conditional-branch truth tables.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/devices.h"
+#include "sim/machine.h"
+
+namespace tytan::sim {
+namespace {
+
+constexpr std::uint32_t kCodeBase = 0x40000;
+constexpr std::uint32_t kStackTop = 0x48000;
+
+CpuState run(std::string_view source) {
+  auto object = isa::assemble(source);
+  EXPECT_TRUE(object.is_ok()) << object.status().to_string();
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.cpu().eip = kCodeBase + object->entry;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(1'000'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  return machine.cpu();
+}
+
+TEST(Flags, AddCarryOnUnsignedWrap) {
+  const CpuState cpu = run(R"(
+      li   r1, 0xFFFFFFFF
+      addi r1, 1            ; wraps to 0: Z and C set, V clear
+      jc   carry
+      movi r5, 0
+      hlt
+  carry:
+      jz   both
+      movi r5, 1
+      hlt
+  both:
+      movi r5, 2
+      hlt
+  )");
+  EXPECT_EQ(cpu.regs[5], 2u);
+}
+
+TEST(Flags, SignedOverflowOnIntMax) {
+  const CpuState cpu = run(R"(
+      li   r1, 0x7FFFFFFF
+      addi r1, 1            ; INT_MAX + 1: V set, N set, C clear
+      jlt  took_jlt         ; jlt = N xor V = false here
+      movi r5, 1
+      hlt
+  took_jlt:
+      movi r5, 0
+      hlt
+  )");
+  // N=1, V=1 -> N xor V = 0 -> jlt NOT taken.
+  EXPECT_EQ(cpu.regs[5], 1u);
+}
+
+TEST(Flags, SubBorrowSetsCarry) {
+  const CpuState cpu = run(R"(
+      movi r1, 3
+      subi r1, 5            ; borrow: C set, N set
+      jc   borrowed
+      movi r5, 0
+      hlt
+  borrowed:
+      movi r5, 1
+      hlt
+  )");
+  EXPECT_EQ(cpu.regs[5], 1u);
+}
+
+TEST(Flags, CmpDoesNotWriteRegister) {
+  const CpuState cpu = run(R"(
+      movi r1, 7
+      cmpi r1, 100
+      hlt
+  )");
+  EXPECT_EQ(cpu.regs[1], 7u);
+}
+
+TEST(Flags, LogicOpsClearNothingButZN) {
+  // Set C via a borrow, then AND: Z/N update, C must survive (logic ops do
+  // not touch C/V in this ISA).
+  const CpuState cpu = run(R"(
+      movi r1, 0
+      subi r1, 1            ; C set (borrow), r1 = 0xFFFFFFFF
+      movi r2, 0
+      and  r2, r1           ; Z set
+      jc   c_survived
+      movi r5, 0
+      hlt
+  c_survived:
+      movi r5, 1
+      hlt
+  )");
+  EXPECT_EQ(cpu.regs[5], 1u);
+}
+
+TEST(Flags, IretRestoresFlags) {
+  // The handler clobbers flags; iret must restore the interrupted state.
+  auto object = isa::assemble(R"(
+      movi r1, 5
+      cmpi r1, 5            ; Z set
+      int  0x21             ; handler destroys flags
+      jz   preserved        ; Z must still be set after iret
+      movi r5, 0
+      hlt
+  preserved:
+      movi r5, 1
+      hlt
+  handler:
+      movi r2, 1
+      cmpi r2, 2            ; Z clear, C set inside the handler
+      iret
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(kVecSyscall, kCodeBase + object->symbols.at("handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(100'000);
+  EXPECT_EQ(machine.cpu().regs[5], 1u);
+}
+
+TEST(Flags, InterruptLeavesFlagsIntactForTheTask) {
+  // A timer interrupt between cmp and the conditional branch must not change
+  // the branch decision (hardware saves EFLAGS; iret restores it).
+  auto object = isa::assemble(R"(
+      sti
+      movi r3, 0
+  loop:
+      movi r1, 9
+      cmpi r1, 9            ; Z set
+      nop
+      nop
+      jz   good
+      movi r5, 0
+      hlt
+  good:
+      addi r3, 1
+      cmpi r3, 500
+      jnz  loop
+      movi r5, 1
+      hlt
+  handler:
+      movi r2, 7
+      cmpi r2, 8            ; clobber flags in the handler
+      iret
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  auto timer = std::make_shared<TimerDevice>();
+  timer->set_irq_sink([&machine](std::uint8_t v) { machine.raise_irq(v); });
+  machine.bus().attach(timer);
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(kVecTimer, kCodeBase + object->symbols.at("handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  timer->write32(TimerDevice::kPeriod, 97);  // prime: lands at every loop offset
+  timer->write32(TimerDevice::kCtrl, 1);
+  machine.run(2'000'000);
+  ASSERT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  EXPECT_EQ(machine.cpu().regs[5], 1u);
+  EXPECT_GT(machine.interrupts_dispatched(), 50u);
+}
+
+TEST(Flags, JgeIsComplementOfJlt) {
+  for (const auto& [a, b] : std::vector<std::pair<std::int32_t, std::int32_t>>{
+           {5, 3}, {3, 5}, {-5, 3}, {3, -5}, {-3, -5}, {7, 7}}) {
+    std::string source;
+    source += "    li r1, " + std::to_string(static_cast<std::uint32_t>(a)) + "\n";
+    source += "    li r2, " + std::to_string(static_cast<std::uint32_t>(b)) + "\n";
+    source += R"(
+        cmp r1, r2
+        jge ge
+        movi r5, 0
+        hlt
+    ge:
+        movi r5, 1
+        hlt
+    )";
+    EXPECT_EQ(run(source).regs[5], a >= b ? 1u : 0u) << a << " >= " << b;
+  }
+}
+
+}  // namespace
+}  // namespace tytan::sim

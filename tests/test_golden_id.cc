@@ -1,0 +1,139 @@
+// End-to-end measurement property over generated programs: for ANY valid
+// relocatable program, the device-side RTM measurement (after relocation at
+// an arbitrary base) equals the verifier's offline golden measurement of the
+// un-relocated binary.  This is the property remote attestation rests on.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/platform.h"
+#include "verifier/verifier.h"
+
+namespace tytan {
+namespace {
+
+using core::Platform;
+
+/// Generate a random but valid secure task: a yield loop plus a random mix
+/// of data words, address materializations (li -> LO16/HI16 relocs), and
+/// address tables (.word label -> ABS32 relocs).
+std::string random_program(std::mt19937& rng) {
+  std::ostringstream os;
+  os << "    .secure\n    .stack 256\n    .entry main\nmain:\n";
+  const int uses = 1 + rng() % 4;
+  for (int i = 0; i < uses; ++i) {
+    os << "    li   r" << (2 + rng() % 4) << ", blob" << rng() % 3 << "\n";
+  }
+  os << "park:\n    movi r0, 1\n    int 0x21\n    jmp park\n";
+  for (int blob = 0; blob < 3; ++blob) {
+    os << "blob" << blob << ":\n";
+    const int words = 1 + rng() % 6;
+    for (int w = 0; w < words; ++w) {
+      if (rng() % 3 == 0) {
+        os << "    .word blob" << rng() % 3 << "\n";  // ABS32 reloc
+      } else {
+        os << "    .word " << rng() % 100000 << "\n";
+      }
+    }
+    if (rng() % 2 == 0) {
+      os << "    .space " << (rng() % 120) << "\n";
+    }
+  }
+  return os.str();
+}
+
+TEST(GoldenId, DeviceMeasurementMatchesOfflineGoldenForRandomPrograms) {
+  std::mt19937 rng(31337);
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  verifier::GoldenDatabase db;
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string source = random_program(rng);
+    auto object = isa::assemble(source);
+    ASSERT_TRUE(object.is_ok()) << object.status().to_string() << "\n" << source;
+    const auto& release =
+        db.add_release("t" + std::to_string(trial), 1, *object);
+
+    auto task = platform.load_task(*object, {.name = "t" + std::to_string(trial),
+                                             .auto_start = false});
+    ASSERT_TRUE(task.is_ok()) << task.status().to_string();
+    const rtos::Tcb* tcb = platform.scheduler().get(*task);
+    EXPECT_EQ(tcb->identity, release.identity)
+        << "trial " << trial << " relocs=" << object->relocs.size()
+        << " base=0x" << std::hex << tcb->region_base;
+    // The relocated in-memory image differs from the golden one whenever
+    // relocations exist — yet the measurement matched (de-relocation works).
+    if (!object->relocs.empty()) {
+      ByteVec in_memory(object->image.size());
+      platform.machine().memory().read_block(tcb->region_base, in_memory);
+      EXPECT_NE(in_memory, object->image) << "trial " << trial;
+    }
+    ASSERT_TRUE(platform.unload_task(*task).is_ok());
+  }
+}
+
+TEST(GoldenId, ReMeasurementAfterExecutionOfPureCodeIsStable) {
+  // A task whose image is never self-modified re-measures identically after
+  // running (execution does not disturb the measured bytes; the stack and
+  // bss are outside the image).
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto object = isa::assemble(R"(
+      .secure
+      .stack 256
+      .entry main
+  main:
+      li   r2, table
+      ldw  r3, [r2]
+      movi r0, 1
+      int  0x21
+      jmp  main
+  table:
+      .word table
+  )");
+  ASSERT_TRUE(object.is_ok());
+  auto task = platform.load_task(*object, {.name = "stable"});
+  ASSERT_TRUE(task.is_ok());
+  const rtos::TaskIdentity before = platform.scheduler().get(*task)->identity;
+  platform.run_for(2'000'000);
+  auto digest = platform.rtm().measure_now(*platform.scheduler().get(*task),
+                                           object->relocs);
+  ASSERT_TRUE(digest.is_ok());
+  EXPECT_EQ(core::Rtm::identity_from_digest(*digest), before);
+}
+
+TEST(GoldenId, SelfModifyingTaskChangesItsMeasurement) {
+  // The flip side: a task that patches its own image no longer matches its
+  // golden measurement — exactly what a verifier should detect.
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto object = isa::assemble(R"(
+      .secure
+      .stack 256
+      .entry main
+  main:
+      li   r2, patch_me
+      li   r3, 0xBADC0DE
+      stw  r3, [r2]
+  park:
+      movi r0, 1
+      int  0x21
+      jmp  park
+  patch_me:
+      .word 0
+  )");
+  ASSERT_TRUE(object.is_ok());
+  auto task = platform.load_task(*object, {.name = "sneaky"});
+  ASSERT_TRUE(task.is_ok());
+  const rtos::TaskIdentity load_time = platform.scheduler().get(*task)->identity;
+  platform.run_for(2'000'000);  // the task patches itself
+  auto digest = platform.rtm().measure_now(*platform.scheduler().get(*task),
+                                           object->relocs);
+  ASSERT_TRUE(digest.is_ok());
+  EXPECT_NE(core::Rtm::identity_from_digest(*digest), load_time);
+}
+
+}  // namespace
+}  // namespace tytan

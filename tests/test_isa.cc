@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/isa.h"
+
+namespace tytan::isa {
+namespace {
+
+TEST(Encoding, FieldPacking) {
+  const Instruction instr{Opcode::kLdw, 3, 7, 0xFFFC};
+  const std::uint32_t word = encode(instr);
+  EXPECT_EQ(word >> 24, 0x20u);
+  EXPECT_EQ((word >> 20) & 0xF, 3u);
+  EXPECT_EQ((word >> 16) & 0xF, 7u);
+  EXPECT_EQ(word & 0xFFFF, 0xFFFCu);
+}
+
+TEST(Encoding, SignedImmediate) {
+  const Instruction instr{Opcode::kMovi, 0, 0, static_cast<std::uint16_t>(-5 & 0xFFFF)};
+  EXPECT_EQ(instr.simm(), -5);
+}
+
+class OpcodeRoundTrip : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecode) {
+  const std::uint8_t raw = GetParam();
+  if (!opcode_valid(raw)) {
+    GTEST_SKIP() << "undefined opcode";
+  }
+  const Instruction instr{static_cast<Opcode>(raw), 5, 2, 0x1234};
+  const auto decoded = decode(encode(instr));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, instr);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip, ::testing::Range<std::uint8_t>(0, 0x50));
+
+TEST(Decoding, RejectsUndefinedOpcodes) {
+  EXPECT_FALSE(decode(0xFF00'0000u).has_value());
+  EXPECT_FALSE(decode(0x5000'0000u).has_value());
+  EXPECT_TRUE(decode(0x0000'0000u).has_value());  // NOP
+}
+
+TEST(Cycles, MemoryOpsCostMoreThanAlu) {
+  EXPECT_GT(base_cycles(Opcode::kLdw), base_cycles(Opcode::kAdd));
+  EXPECT_GT(base_cycles(Opcode::kInt), base_cycles(Opcode::kCall));
+}
+
+TEST(Disasm, FormatsCommonInstructions) {
+  EXPECT_EQ(disassemble({Opcode::kMovi, 1, 0, 42}, 0), "movi r1, 42");
+  EXPECT_EQ(disassemble({Opcode::kLdw, 2, 7, 8}, 0), "ldw r2, [sp+8]");
+  EXPECT_EQ(disassemble({Opcode::kStw, 0, 3, static_cast<std::uint16_t>(-4 & 0xFFFF)}, 0),
+            "stw r0, [r3-4]");
+  EXPECT_EQ(disassemble({Opcode::kRet, 0, 0, 0}, 0), "ret");
+  EXPECT_EQ(disassemble({Opcode::kInt, 0, 0, 0x21}, 0), "int 0x21");
+}
+
+TEST(Disasm, BranchTargetsAreAbsolute) {
+  // jmp +8 at pc=0x100 -> target 0x100 + 4 + 8 = 0x10c.
+  EXPECT_EQ(disassemble({Opcode::kJmp, 0, 0, 8}, 0x100), "jmp 0x10c");
+}
+
+TEST(Disasm, InvalidWord) {
+  EXPECT_EQ(disassemble_word(0xEE00'0000u, 0), "<invalid 0xee000000>");
+}
+
+}  // namespace
+}  // namespace tytan::isa

@@ -1,0 +1,348 @@
+// CPU interpreter, exception engine, MMIO, and cycle accounting — exercised
+// on a bare machine (no EA-MPU policy).
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/devices.h"
+#include "sim/machine.h"
+
+namespace tytan::sim {
+namespace {
+
+constexpr std::uint32_t kCodeBase = 0x40000;
+constexpr std::uint32_t kStackTop = 0x48000;
+
+/// Assemble and run `source` at kCodeBase until HLT (or cycle limit).
+Machine run_program(std::string_view source, std::uint64_t limit = 200'000) {
+  auto object = isa::assemble(source);
+  EXPECT_TRUE(object.is_ok()) << object.status().to_string();
+  Machine machine;
+  ByteVec image = object->image;
+  for (const isa::Relocation& reloc : object->relocs) {
+    // Minimal loader for bare tests.
+    const std::uint32_t value = reloc.addend + kCodeBase;
+    std::uint8_t* site = image.data() + reloc.offset;
+    switch (reloc.kind) {
+      case isa::RelocKind::kAbs32: store_le32(site, value); break;
+      case isa::RelocKind::kLo16:
+        store_le32(site, (load_le32(site) & 0xFFFF0000u) | (value & 0xFFFF));
+        break;
+      case isa::RelocKind::kHi16:
+        store_le32(site, (load_le32(site) & 0xFFFF0000u) | (value >> 16));
+        break;
+    }
+  }
+  machine.memory().write_block(kCodeBase, image);
+  machine.cpu().eip = kCodeBase + object->entry;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(limit);
+  return machine;
+}
+
+TEST(Machine, ArithmeticAndFlags) {
+  Machine m = run_program(R"(
+      movi r0, 10
+      addi r0, 5
+      movi r1, 3
+      sub  r0, r1      ; r0 = 12
+      movi r2, 4
+      mul  r2, r0      ; r2 = 48
+      hlt
+  )");
+  EXPECT_EQ(m.halt_reason(), HaltReason::kHltInstruction);
+  EXPECT_EQ(m.cpu().regs[0], 12u);
+  EXPECT_EQ(m.cpu().regs[2], 48u);
+}
+
+TEST(Machine, Immediate32BitMaterialization) {
+  Machine m = run_program(R"(
+      li r3, 0xdeadbeef
+      hlt
+  )");
+  EXPECT_EQ(m.cpu().regs[3], 0xdeadbeefu);
+}
+
+TEST(Machine, LoopWithConditionalBranch) {
+  Machine m = run_program(R"(
+      movi r0, 0
+      movi r1, 10
+  loop:
+      addi r0, 1
+      cmp  r0, r1
+      jnz  loop
+      hlt
+  )");
+  EXPECT_EQ(m.cpu().regs[0], 10u);
+}
+
+TEST(Machine, SignedComparisons) {
+  Machine m = run_program(R"(
+      movi r0, -3
+      cmpi r0, 2
+      jlt  is_less
+      movi r5, 0
+      hlt
+  is_less:
+      movi r5, 1
+      hlt
+  )");
+  EXPECT_EQ(m.cpu().regs[5], 1u);
+}
+
+TEST(Machine, UnsignedComparisonViaCarry) {
+  Machine m = run_program(R"(
+      movi r0, 1
+      cmpi r0, 2        ; 1 - 2 borrows -> carry set
+      jc   below
+      movi r5, 0
+      hlt
+  below:
+      movi r5, 1
+      hlt
+  )");
+  EXPECT_EQ(m.cpu().regs[5], 1u);
+}
+
+TEST(Machine, MemoryLoadsAndStores) {
+  Machine m = run_program(R"(
+      li   r1, buffer
+      movi r2, 0x55
+      stw  r2, [r1]
+      ldw  r3, [r1]
+      stb  r2, [r1+4]
+      ldb  r4, [r1+4]
+      hlt
+  buffer:
+      .word 0, 0
+  )");
+  EXPECT_EQ(m.cpu().regs[3], 0x55u);
+  EXPECT_EQ(m.cpu().regs[4], 0x55u);
+}
+
+TEST(Machine, CallRetAndStack) {
+  Machine m = run_program(R"(
+      movi r0, 5
+      call double
+      call double
+      hlt
+  double:
+      add r0, r0
+      ret
+  )");
+  EXPECT_EQ(m.cpu().regs[0], 20u);
+  EXPECT_EQ(m.cpu().sp(), kStackTop);  // balanced
+}
+
+TEST(Machine, PushPop) {
+  Machine m = run_program(R"(
+      movi r0, 7
+      push r0
+      movi r0, 0
+      pop  r1
+      hlt
+  )");
+  EXPECT_EQ(m.cpu().regs[1], 7u);
+}
+
+TEST(Machine, SoftwareInterruptAndIret) {
+  // Handler increments r5 and returns; IDT set up by the test.
+  auto object = isa::assemble(R"(
+      sti
+      movi r5, 0
+      int  0x21
+      int  0x21
+      hlt
+  handler:
+      addi r5, 1
+      iret
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(kVecSyscall, kCodeBase + object->symbols.at("handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(100'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  EXPECT_EQ(machine.cpu().regs[5], 2u);
+  EXPECT_EQ(machine.interrupts_dispatched(), 2u);
+  EXPECT_EQ(machine.cpu().sp(), kStackTop);
+}
+
+TEST(Machine, InterruptLatchesOriginAndVector) {
+  auto object = isa::assemble(R"(
+      int 0x22
+      hlt
+  handler:
+      iret
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(kVecIpc, kCodeBase + object->symbols.at("handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(10'000);
+  EXPECT_EQ(machine.int_vector(), kVecIpc);
+  EXPECT_EQ(machine.int_origin_eip(), kCodeBase);  // the INT instruction
+}
+
+TEST(Machine, BadOpcodeFaultsAndHaltsWithoutHandler) {
+  Machine machine;
+  machine.memory().write32(kCodeBase, 0xEE000000u);
+  machine.cpu().eip = kCodeBase;
+  machine.run(1'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kDoubleFault);
+  EXPECT_EQ(machine.last_fault().type, FaultType::kBadOpcode);
+}
+
+TEST(Machine, FaultVectorsToHandler) {
+  auto object = isa::assemble(R"(
+      .word 0xEE000000      ; invalid opcode at entry
+  handler:
+      movi r6, 99
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(kVecFault, kCodeBase + object->symbols.at("handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(1'000);
+  EXPECT_EQ(machine.cpu().regs[6], 99u);
+  EXPECT_EQ(machine.fault_count(), 1u);
+}
+
+TEST(Machine, BusErrorOnOutOfBounds) {
+  Machine m = run_program(R"(
+      li  r1, 0x200000      ; beyond physical memory
+      ldw r2, [r1]
+      hlt
+  )", 1'000);
+  EXPECT_EQ(m.last_fault().type, FaultType::kBusError);
+}
+
+TEST(Machine, SerialMmioWrite) {
+  Machine machine;
+  auto serial = std::make_shared<SerialConsole>();
+  machine.bus().attach(serial);
+  auto object = isa::assemble(R"(
+      li   r1, 0x100100   ; serial DATA
+      movi r2, 72         ; 'H'
+      stw  r2, [r1]
+      movi r2, 105        ; 'i'
+      stw  r2, [r1]
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(10'000);
+  EXPECT_EQ(serial->output(), "Hi");
+}
+
+TEST(Machine, TimerRaisesPeriodicIrq) {
+  Machine machine;
+  auto timer = std::make_shared<TimerDevice>();
+  timer->set_irq_sink([&machine](std::uint8_t v) { machine.raise_irq(v); });
+  machine.bus().attach(timer);
+
+  auto object = isa::assemble(R"(
+      sti
+  spin:
+      jmp spin
+  handler:
+      addi r5, 1
+      cmpi r5, 3
+      jz   done
+      iret
+  done:
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine* m = &machine;
+  (void)m;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(kVecTimer, kCodeBase + object->symbols.at("handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  timer->write32(TimerDevice::kPeriod, 500);
+  timer->write32(TimerDevice::kCtrl, 1);
+  machine.run(50'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  EXPECT_EQ(machine.cpu().regs[5], 3u);
+  EXPECT_GE(timer->ticks_fired(), 3u);
+}
+
+TEST(Machine, CliMasksInterrupts) {
+  Machine machine;
+  auto timer = std::make_shared<TimerDevice>();
+  timer->set_irq_sink([&machine](std::uint8_t v) { machine.raise_irq(v); });
+  machine.bus().attach(timer);
+  auto object = isa::assemble(R"(
+      cli
+      movi r0, 0
+  loop:
+      addi r0, 1
+      cmpi r0, 2000
+      jnz  loop
+      hlt
+  handler:
+      movi r5, 1
+      iret
+  )");
+  ASSERT_TRUE(object.is_ok());
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(kVecTimer, kCodeBase + object->symbols.at("handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  timer->write32(TimerDevice::kPeriod, 100);
+  timer->write32(TimerDevice::kCtrl, 1);
+  machine.run(100'000);
+  EXPECT_EQ(machine.cpu().regs[5], 0u);  // handler never ran
+  EXPECT_TRUE(machine.irq_pending());    // but the line is pending
+}
+
+TEST(Machine, RdcycReadsClock) {
+  Machine m = run_program(R"(
+      rdcyc r0
+      nop
+      nop
+      rdcyc r1
+      hlt
+  )");
+  EXPECT_GT(m.cpu().regs[1], m.cpu().regs[0]);
+}
+
+TEST(Machine, CycleAccounting) {
+  Machine m = run_program(R"(
+      movi r0, 1
+      hlt
+  )");
+  // movi (1) + hlt (1) = 2 cycles exactly on the bare machine.
+  EXPECT_EQ(m.cycles(), 2u);
+  EXPECT_EQ(m.instructions_executed(), 2u);
+}
+
+TEST(Machine, FirmwareDispatch) {
+  Machine machine;
+  int calls = 0;
+  machine.register_firmware(kFwOsKernel, "probe", [&](Machine& m) {
+    ++calls;
+    m.charge(10);
+    m.cpu().eip = kCodeBase;  // hand control to guest
+  });
+  auto object = isa::assemble("hlt\n");
+  ASSERT_TRUE(object.is_ok());
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.cpu().eip = kFwOsKernel;
+  machine.run(1'000);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  EXPECT_EQ(machine.firmware_invocations(), 1u);
+}
+
+}  // namespace
+}  // namespace tytan::sim

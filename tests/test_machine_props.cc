@@ -1,0 +1,263 @@
+// Property-style sweeps of the CPU semantics: the interpreter must agree
+// with host-side reference arithmetic across operand ranges, and structural
+// invariants (stack balance, flag coherence) must hold for generated
+// programs.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/devices.h"
+#include "sim/machine.h"
+
+namespace tytan::sim {
+namespace {
+
+constexpr std::uint32_t kCodeBase = 0x40000;
+constexpr std::uint32_t kStackTop = 0x48000;
+
+/// Runs `source` on a bare machine; returns the final CPU state.
+CpuState run(std::string_view source) {
+  auto object = isa::assemble(source);
+  EXPECT_TRUE(object.is_ok()) << object.status().to_string();
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.cpu().eip = kCodeBase + object->entry;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(1'000'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  return machine.cpu();
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic vs host reference, parameterized over interesting operand pairs.
+// ---------------------------------------------------------------------------
+
+struct OperandPair {
+  std::int64_t a;
+  std::int64_t b;
+};
+
+class AluSweep : public ::testing::TestWithParam<OperandPair> {};
+
+TEST_P(AluSweep, AddSubMulMatchHost) {
+  const auto [a, b] = GetParam();
+  const auto ua = static_cast<std::uint32_t>(a);
+  const auto ub = static_cast<std::uint32_t>(b);
+  std::string source;
+  source += "    li r1, " + std::to_string(ua) + "\n";
+  source += "    li r2, " + std::to_string(ub) + "\n";
+  source += "    mov r3, r1\n    add r3, r2\n";   // r3 = a + b
+  source += "    mov r4, r1\n    sub r4, r2\n";   // r4 = a - b
+  source += "    mov r5, r1\n    mul r5, r2\n";   // r5 = a * b
+  source += "    hlt\n";
+  const CpuState cpu = run(source);
+  EXPECT_EQ(cpu.regs[3], static_cast<std::uint32_t>(ua + ub));
+  EXPECT_EQ(cpu.regs[4], static_cast<std::uint32_t>(ua - ub));
+  EXPECT_EQ(cpu.regs[5], static_cast<std::uint32_t>(ua * ub));
+}
+
+TEST_P(AluSweep, LogicOpsMatchHost) {
+  const auto [a, b] = GetParam();
+  const auto ua = static_cast<std::uint32_t>(a);
+  const auto ub = static_cast<std::uint32_t>(b);
+  std::string source;
+  source += "    li r1, " + std::to_string(ua) + "\n";
+  source += "    li r2, " + std::to_string(ub) + "\n";
+  source += "    mov r3, r1\n    and r3, r2\n";
+  source += "    mov r4, r1\n    or  r4, r2\n";
+  source += "    mov r5, r1\n    xor r5, r2\n";
+  source += "    hlt\n";
+  const CpuState cpu = run(source);
+  EXPECT_EQ(cpu.regs[3], ua & ub);
+  EXPECT_EQ(cpu.regs[4], ua | ub);
+  EXPECT_EQ(cpu.regs[5], ua ^ ub);
+}
+
+TEST_P(AluSweep, SignedComparisonMatchesHost) {
+  const auto [a, b] = GetParam();
+  const auto sa = static_cast<std::int32_t>(static_cast<std::uint32_t>(a));
+  const auto sb = static_cast<std::int32_t>(static_cast<std::uint32_t>(b));
+  std::string source;
+  source += "    li r1, " + std::to_string(static_cast<std::uint32_t>(a)) + "\n";
+  source += "    li r2, " + std::to_string(static_cast<std::uint32_t>(b)) + "\n";
+  source += R"(
+      cmp r1, r2
+      jlt less
+      movi r5, 0
+      hlt
+  less:
+      movi r5, 1
+      hlt
+  )";
+  EXPECT_EQ(run(source).regs[5], (sa < sb) ? 1u : 0u) << sa << " < " << sb;
+}
+
+TEST_P(AluSweep, UnsignedComparisonMatchesHost) {
+  const auto [a, b] = GetParam();
+  const auto ua = static_cast<std::uint32_t>(a);
+  const auto ub = static_cast<std::uint32_t>(b);
+  std::string source;
+  source += "    li r1, " + std::to_string(ua) + "\n";
+  source += "    li r2, " + std::to_string(ub) + "\n";
+  source += R"(
+      cmp r1, r2
+      jc below
+      movi r5, 0
+      hlt
+  below:
+      movi r5, 1
+      hlt
+  )";
+  EXPECT_EQ(run(source).regs[5], (ua < ub) ? 1u : 0u) << ua << " <u " << ub;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeOperands, AluSweep,
+    ::testing::Values(OperandPair{0, 0}, OperandPair{1, 1}, OperandPair{-1, 1},
+                      OperandPair{1, -1}, OperandPair{-1, -1},
+                      OperandPair{0x7FFFFFFF, 1},            // signed overflow
+                      OperandPair{-0x80000000ll, -1},        // signed underflow
+                      OperandPair{0xFFFFFFFFll, 0xFFFFFFFFll},
+                      OperandPair{0x80000000ll, 0x80000000ll},
+                      OperandPair{12345, 67890}, OperandPair{-50000, 49999},
+                      OperandPair{0xDEADBEEFll, 0x12345678ll}));
+
+// ---------------------------------------------------------------------------
+// Shifts across the whole legal range.
+// ---------------------------------------------------------------------------
+
+class ShiftSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShiftSweep, ShlShrMatchHost) {
+  const unsigned n = GetParam();
+  const std::uint32_t value = 0x80C00003u;
+  std::string source;
+  source += "    li r1, " + std::to_string(value) + "\n";
+  source += "    mov r3, r1\n    shli r3, " + std::to_string(n) + "\n";
+  source += "    mov r4, r1\n    shri r4, " + std::to_string(n) + "\n";
+  source += "    hlt\n";
+  const CpuState cpu = run(source);
+  EXPECT_EQ(cpu.regs[3], value << n);
+  EXPECT_EQ(cpu.regs[4], value >> n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCounts, ShiftSweep, ::testing::Range(0u, 32u, 5u));
+
+// ---------------------------------------------------------------------------
+// Structural invariants.
+// ---------------------------------------------------------------------------
+
+TEST(MachineProps, NestedCallsBalanceTheStack) {
+  const CpuState cpu = run(R"(
+      movi r0, 0
+      call f1
+      hlt
+  f1:
+      addi r0, 1
+      call f2
+      call f2
+      ret
+  f2:
+      addi r0, 16
+      call f3
+      ret
+  f3:
+      addi r0, 256
+      ret
+  )");
+  EXPECT_EQ(cpu.regs[0], 1u + 2 * (16 + 256));
+  EXPECT_EQ(cpu.sp(), kStackTop);
+}
+
+TEST(MachineProps, PushPopIsLifo) {
+  const CpuState cpu = run(R"(
+      movi r1, 11
+      movi r2, 22
+      movi r3, 33
+      push r1
+      push r2
+      push r3
+      pop  r4
+      pop  r5
+      pop  r6
+      hlt
+  )");
+  EXPECT_EQ(cpu.regs[4], 33u);
+  EXPECT_EQ(cpu.regs[5], 22u);
+  EXPECT_EQ(cpu.regs[6], 11u);
+  EXPECT_EQ(cpu.sp(), kStackTop);
+}
+
+TEST(MachineProps, ByteAndWordAccessesAgree) {
+  const CpuState cpu = run(R"(
+      li   r1, buffer
+      li   r2, 0x04030201
+      stw  r2, [r1]
+      ldb  r3, [r1]
+      ldb  r4, [r1+3]
+      hlt
+  buffer:
+      .word 0
+  )");
+  EXPECT_EQ(cpu.regs[3], 0x01u);  // little endian
+  EXPECT_EQ(cpu.regs[4], 0x04u);
+}
+
+TEST(MachineProps, MovhiMoviuComposeAnyConstant) {
+  for (const std::uint32_t value : {0u, 1u, 0xFFFFu, 0x10000u, 0xFFFF0000u, 0xFFFFFFFFu,
+                                    0x00010001u, 0xA5A5A5A5u}) {
+    const CpuState cpu = run("    li r1, " + std::to_string(value) + "\n    hlt\n");
+    EXPECT_EQ(cpu.regs[1], value);
+  }
+}
+
+TEST(MachineProps, CycleClockIsMonotoneAndAdditive) {
+  auto object = isa::assemble("    nop\n    nop\n    nop\n    hlt\n");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.cpu().eip = kCodeBase;
+  std::uint64_t last = 0;
+  while (!machine.halted()) {
+    machine.step();
+    EXPECT_GT(machine.cycles(), last);
+    last = machine.cycles();
+  }
+  EXPECT_EQ(machine.cycles(), 4u);  // 3 nops + hlt at 1 cycle each
+}
+
+TEST(MachineProps, InterruptDuringAnyInstructionPreservesState) {
+  // A timer firing at every possible offset within a computation must never
+  // change the computed result (context save/restore is exact).
+  for (std::uint32_t period = 40; period <= 400; period += 40) {
+    auto object = isa::assemble(R"(
+        sti
+        movi r0, 0
+        movi r1, 0
+    loop:
+        addi r0, 3
+        addi r1, 1
+        cmpi r1, 200
+        jnz  loop
+        hlt
+    handler:
+        iret
+    )");
+    ASSERT_TRUE(object.is_ok());
+    Machine machine;
+    auto timer = std::make_shared<TimerDevice>();
+    timer->set_irq_sink([&machine](std::uint8_t v) { machine.raise_irq(v); });
+    machine.bus().attach(timer);
+    machine.memory().write_block(kCodeBase, object->image);
+    machine.set_idt_entry(kVecTimer, kCodeBase + object->symbols.at("handler"));
+    machine.cpu().eip = kCodeBase;
+    machine.cpu().set_sp(kStackTop);
+    timer->write32(TimerDevice::kPeriod, period);
+    timer->write32(TimerDevice::kCtrl, 1);
+    machine.run(2'000'000);
+    ASSERT_EQ(machine.halt_reason(), HaltReason::kHltInstruction) << "period " << period;
+    EXPECT_EQ(machine.cpu().regs[0], 600u) << "period " << period;
+  }
+}
+
+}  // namespace
+}  // namespace tytan::sim

@@ -1,0 +1,268 @@
+// Secure storage binding (Kt = HMAC(id_t | Kp)) and local/remote attestation.
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+
+namespace tytan {
+namespace {
+
+using core::Platform;
+using core::RemoteAttest;
+
+rtos::TaskIdentity make_id(std::uint8_t seed) {
+  rtos::TaskIdentity id{};
+  id.fill(seed);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Secure storage, host API
+// ---------------------------------------------------------------------------
+
+TEST(SecureStorage, RoundTripSameIdentity) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto& storage = platform.secure_storage();
+  const ByteVec data = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(storage.store(make_id(0xAA), 0, data).is_ok());
+  auto back = storage.load(make_id(0xAA), 0);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(*back, data);
+}
+
+TEST(SecureStorage, DifferentIdentityCannotAccess) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto& storage = platform.secure_storage();
+  ASSERT_TRUE(storage.store(make_id(0xAA), 0, ByteVec{1, 2, 3}).is_ok());
+  EXPECT_FALSE(storage.load(make_id(0xBB), 0).is_ok());
+}
+
+TEST(SecureStorage, TaskKeysDifferPerIdentityAndPlatform) {
+  Platform p1;
+  ASSERT_TRUE(p1.boot().is_ok());
+  Platform::Config other_cfg;
+  other_cfg.kp[0] ^= 0xFF;
+  Platform p2(other_cfg);
+  ASSERT_TRUE(p2.boot().is_ok());
+
+  const auto k_a1 = p1.secure_storage().task_key(make_id(0xAA));
+  const auto k_b1 = p1.secure_storage().task_key(make_id(0xBB));
+  const auto k_a2 = p2.secure_storage().task_key(make_id(0xAA));
+  EXPECT_NE(k_a1, k_b1);  // bound to the identity
+  EXPECT_NE(k_a1, k_a2);  // bound to the platform
+  EXPECT_EQ(k_a1, p1.secure_storage().task_key(make_id(0xAA)));  // deterministic
+}
+
+TEST(SecureStorage, ReStoreReplacesSlot) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto& storage = platform.secure_storage();
+  ASSERT_TRUE(storage.store(make_id(1), 3, ByteVec{1}).is_ok());
+  ASSERT_TRUE(storage.store(make_id(1), 3, ByteVec{9, 9}).is_ok());
+  auto back = storage.load(make_id(1), 3);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, (ByteVec{9, 9}));
+  EXPECT_EQ(storage.blob_count(), 1u);
+}
+
+TEST(SecureStorage, SlotsAreIndependent) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto& storage = platform.secure_storage();
+  ASSERT_TRUE(storage.store(make_id(1), 0, ByteVec{0xA}).is_ok());
+  ASSERT_TRUE(storage.store(make_id(1), 1, ByteVec{0xB}).is_ok());
+  EXPECT_EQ((*storage.load(make_id(1), 0))[0], 0xA);
+  EXPECT_EQ((*storage.load(make_id(1), 1))[0], 0xB);
+}
+
+TEST(SecureStorage, AreaExhaustionReported) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto& storage = platform.secure_storage();
+  const ByteVec big(2048, 0x42);
+  Status last = Status::ok();
+  for (int i = 0; i < 32 && last.is_ok(); ++i) {
+    last = storage.store(make_id(1), static_cast<std::uint32_t>(i), big);
+  }
+  EXPECT_EQ(last.code(), Err::kOutOfMemory);
+}
+
+// ---------------------------------------------------------------------------
+// Secure storage, guest syscall path: the paper's headline property — a
+// reloaded instance of the *same binary* (same id_t) recovers its data; any
+// other binary cannot.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kSealTask = R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    li   r1, buf
+    movi r2, 16          ; capacity
+    movi r3, 5           ; slot
+    movi r0, 11          ; kSysSealLoad
+    int  0x21
+    cmpi r0, -1
+    jz   first_run
+    li   r4, buf         ; data recovered: print its first byte
+    ldb  r1, [r4]
+    movi r0, 4
+    int  0x21
+    jmp  done
+first_run:
+    li   r1, data
+    movi r2, 4
+    movi r3, 5
+    movi r0, 10          ; kSysSealStore
+    int  0x21
+    movi r1, 70          ; 'F' = first run, stored
+    movi r0, 4
+    int  0x21
+done:
+    movi r0, 3           ; kSysExit
+    int  0x21
+data:
+    .word 0x00414243     ; bytes 'C','B','A',0 in memory
+buf:
+    .space 16
+)";
+
+TEST(SecureStorage, SurvivesReloadOfSameBinary) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+
+  auto first = platform.load_task_source(kSealTask, {.name = "sealer"});
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(platform.run_until([&] { return platform.serial().output() == "F"; },
+                                 30'000'000));
+  // Task exited and unloaded itself; its memory is gone, the sealed blob is not.
+  platform.run_for(200'000);
+  ASSERT_EQ(platform.scheduler().get(*first), nullptr);
+  EXPECT_EQ(platform.secure_storage().blob_count(), 1u);
+
+  auto second = platform.load_task_source(kSealTask, {.name = "sealer2"});
+  ASSERT_TRUE(second.is_ok());
+  ASSERT_TRUE(platform.run_until([&] { return platform.serial().output() == "FC"; },
+                                 30'000'000))
+      << "output: " << platform.serial().output();
+}
+
+TEST(SecureStorage, DifferentBinaryCannotUnseal) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto first = platform.load_task_source(kSealTask, {.name = "sealer"});
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(platform.run_until([&] { return platform.serial().output() == "F"; },
+                                 30'000'000));
+
+  // A *modified* binary (different id_t) sees no blob and stores its own.
+  std::string modified(kSealTask);
+  modified.replace(modified.find("movi r1, 70"), 11, "movi r1, 71");  // prints 'G'
+  auto second = platform.load_task_source(modified, {.name = "other"});
+  ASSERT_TRUE(second.is_ok());
+  ASSERT_TRUE(platform.run_until([&] { return platform.serial().output() == "FG"; },
+                                 30'000'000))
+      << "output: " << platform.serial().output();
+}
+
+// ---------------------------------------------------------------------------
+// Attestation
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kAnyTask = R"(
+    .secure
+    .stack 128
+    .entry main
+main:
+    movi r0, 1
+    int  0x21
+    jmp  main
+)";
+
+TEST(Attestation, RemoteReportVerifies) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto task = platform.load_task_source(kAnyTask, {.name = "t", .auto_start = false});
+  ASSERT_TRUE(task.is_ok());
+  const rtos::TaskIdentity id = platform.scheduler().get(*task)->identity;
+
+  const std::uint64_t nonce = 0x1122334455667788ull;
+  auto report = platform.remote_attest().attest_task(*task, nonce);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+
+  // Verifier side: Ka derived from the manufacturer's copy of Kp.
+  const auto ka = RemoteAttest::derive_ka(platform.key_register().raw_key());
+  EXPECT_TRUE(RemoteAttest::verify(ka, *report, nonce, id));
+}
+
+TEST(Attestation, RejectsWrongNonceIdentityOrMac) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto task = platform.load_task_source(kAnyTask, {.name = "t", .auto_start = false});
+  ASSERT_TRUE(task.is_ok());
+  const rtos::TaskIdentity id = platform.scheduler().get(*task)->identity;
+  auto report = platform.remote_attest().attest_task(*task, 42);
+  ASSERT_TRUE(report.is_ok());
+  const auto ka = RemoteAttest::derive_ka(platform.key_register().raw_key());
+
+  EXPECT_FALSE(RemoteAttest::verify(ka, *report, 43, id));          // replayed nonce
+  EXPECT_FALSE(RemoteAttest::verify(ka, *report, 42, make_id(9)));  // wrong task
+  auto tampered = *report;
+  tampered.mac[0] ^= 1;
+  EXPECT_FALSE(RemoteAttest::verify(ka, tampered, 42, id));          // forged MAC
+  auto lying = *report;
+  lying.identity = make_id(9);
+  EXPECT_FALSE(RemoteAttest::verify(ka, lying, 42, make_id(9)));     // swapped id
+}
+
+TEST(Attestation, DifferentPlatformKeyYieldsDifferentKa) {
+  Platform p1;
+  ASSERT_TRUE(p1.boot().is_ok());
+  Platform::Config cfg;
+  cfg.kp[5] ^= 0x80;
+  Platform p2(cfg);
+  ASSERT_TRUE(p2.boot().is_ok());
+  auto t1 = p1.load_task_source(kAnyTask, {.name = "t", .auto_start = false});
+  auto t2 = p2.load_task_source(kAnyTask, {.name = "t", .auto_start = false});
+  ASSERT_TRUE(t1.is_ok());
+  ASSERT_TRUE(t2.is_ok());
+  auto r1 = p1.remote_attest().attest_task(*t1, 7);
+  auto r2 = p2.remote_attest().attest_task(*t2, 7);
+  ASSERT_TRUE(r1.is_ok());
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(r1->identity, r2->identity);  // same binary, same id_t
+  EXPECT_NE(r1->mac, r2->mac);            // different device keys
+
+  // A report from device 2 does not verify under device 1's Ka.
+  const auto ka1 = RemoteAttest::derive_ka(p1.key_register().raw_key());
+  EXPECT_FALSE(RemoteAttest::verify(ka1, *r2, 7, r2->identity));
+}
+
+TEST(Attestation, LocalAttestMatchesRegistry) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto task = platform.load_task_source(kAnyTask, {.name = "t", .auto_start = false});
+  ASSERT_TRUE(task.is_ok());
+  auto id = platform.remote_attest().local_attest(*task);
+  ASSERT_TRUE(id.is_ok());
+  EXPECT_EQ(*id, platform.scheduler().get(*task)->identity);
+  EXPECT_FALSE(platform.remote_attest().local_attest(9999).is_ok());
+}
+
+TEST(Attestation, ReportSerializationRoundTrip) {
+  core::AttestationReport report;
+  report.nonce = 77;
+  report.identity = make_id(3);
+  report.mac.fill(0x5c);
+  auto parsed = core::AttestationReport::deserialize(report.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->nonce, 77u);
+  EXPECT_EQ(parsed->identity, report.identity);
+  EXPECT_EQ(parsed->mac, report.mac);
+  EXPECT_FALSE(core::AttestationReport::deserialize(ByteVec(5)).is_ok());
+}
+
+}  // namespace
+}  // namespace tytan

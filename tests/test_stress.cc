@@ -1,0 +1,177 @@
+// Stress and capacity tests: many tasks, slot exhaustion, long runs,
+// repeated load/unload churn, and heavy IPC traffic.
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+
+namespace tytan {
+namespace {
+
+using core::Platform;
+
+std::string yielder(int i) {
+  return "    .secure\n    .stack 128\n    .entry main\nmain:\n"
+         "    movi r0, 1\n    int 0x21\n    jmp main\n    .word " +
+         std::to_string(i) + "\n";
+}
+
+TEST(Stress, EaMpuSlotExhaustionFailsCleanly) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  std::vector<rtos::TaskHandle> loaded;
+  Status last = Status::ok();
+  for (int i = 0; i < 20; ++i) {
+    auto task = platform.load_task_source(yielder(i), {.name = "t" + std::to_string(i),
+                                                       .auto_start = false});
+    if (!task.is_ok()) {
+      last = task.status();
+      break;
+    }
+    loaded.push_back(*task);
+  }
+  // 12 static rules + 6 task slots = 18: the seventh task must fail with a
+  // clean out-of-slots error, not a crash.
+  EXPECT_EQ(loaded.size(), 6u);
+  EXPECT_EQ(last.code(), Err::kOutOfMemory);
+
+  // Unloading one frees capacity for exactly one more.
+  ASSERT_TRUE(platform.unload_task(loaded.back()).is_ok());
+  loaded.pop_back();
+  auto again = platform.load_task_source(yielder(99), {.name = "again",
+                                                       .auto_start = false});
+  EXPECT_TRUE(again.is_ok()) << again.status().to_string();
+}
+
+TEST(Stress, LoadUnloadChurnLeaksNothing) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  const std::uint32_t free_before = platform.loader().arena().free_bytes();
+  const std::size_t slots_before = platform.mpu().slots_in_use();
+  for (int round = 0; round < 60; ++round) {
+    auto task = platform.load_task_source(yielder(round),
+                                          {.name = "churn" + std::to_string(round)});
+    ASSERT_TRUE(task.is_ok()) << "round " << round;
+    platform.run_for(50'000);
+    ASSERT_TRUE(platform.unload_task(*task).is_ok()) << "round " << round;
+  }
+  EXPECT_EQ(platform.loader().arena().free_bytes(), free_before);
+  EXPECT_EQ(platform.mpu().slots_in_use(), slots_before);
+  EXPECT_EQ(platform.rtm().entries().size(), 0u);
+}
+
+TEST(Stress, SixTasksShareTheCpuFairly) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  std::vector<rtos::TaskHandle> tasks;
+  for (int i = 0; i < 6; ++i) {
+    auto task = platform.load_task_source(yielder(i),
+                                          {.name = "fair" + std::to_string(i),
+                                           .priority = 3});
+    ASSERT_TRUE(task.is_ok());
+    tasks.push_back(*task);
+  }
+  platform.run_for(8'000'000);
+  std::uint64_t min_act = ~0ull;
+  std::uint64_t max_act = 0;
+  for (const auto handle : tasks) {
+    const std::uint64_t a = platform.scheduler().get(handle)->activations;
+    min_act = std::min(min_act, a);
+    max_act = std::max(max_act, a);
+  }
+  EXPECT_GT(min_act, 50u);
+  // Round-robin keeps the spread tight.
+  EXPECT_LT(max_act - min_act, max_act / 2 + 10);
+}
+
+TEST(Stress, HeavyIpcTrafficAllDelivered) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  // Receiver counts messages in a register and echoes every 16th to serial.
+  constexpr std::string_view kReceiver = R"(
+      .secure
+      .stack 256
+      .entry main
+      .msg on_msg
+  main:
+      movi r0, 8
+      int  0x21
+  h:  jmp h
+  on_msg:
+      movi r0, 9
+      int  0x21
+  h2: jmp h2
+  )";
+  auto receiver = platform.load_task_source(kReceiver, {.name = "sink", .priority = 2});
+  ASSERT_TRUE(receiver.is_ok());
+  platform.run_for(200'000);
+  const rtos::TaskIdentity rid = platform.scheduler().get(*receiver)->identity;
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(platform.ipc_proxy()
+                    .deliver(rtos::TaskIdentity{}, rid,
+                             {static_cast<std::uint32_t>(i), 0, 0, 0}, false)
+                    .is_ok())
+        << "message " << i;
+    platform.run_for(60'000);
+  }
+  EXPECT_EQ(platform.ipc_proxy().messages_delivered(), 200u);
+  EXPECT_FALSE(platform.machine().halted());
+}
+
+TEST(Stress, LongRunStaysHealthy) {
+  // A busy platform simulated for one full second of device time.
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto a = platform.load_task_source(yielder(1), {.name = "a", .priority = 3});
+  auto b = platform.load_task_source(R"(
+      .secure
+      .stack 256
+      .entry main
+  main:
+      movi r0, 2
+      movi r1, 5
+      int  0x21
+      jmp  main
+  )", {.name = "sleeper", .priority = 4});
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  platform.run_for(sim::kClockHz);  // one simulated second
+  EXPECT_FALSE(platform.machine().halted());
+  EXPECT_EQ(platform.kernel().fault_kills(), 0u);
+  EXPECT_GT(platform.kernel().tick_count(), 900u);  // ~1000 ticks at 1 kHz
+  EXPECT_GT(platform.scheduler().get(*a)->activations, 50'000u);
+  const std::uint64_t sleeps = platform.scheduler().get(*b)->activations;
+  EXPECT_GT(sleeps, 150u);   // ~200 wakeups at 5-tick period
+  EXPECT_LT(sleeps, 260u);
+}
+
+TEST(Stress, ManyQueuesAndTimers) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto& queues = platform.kernel().queues();
+  std::vector<rtos::QueueHandle> handles;
+  for (int i = 0; i < 32; ++i) {
+    auto q = queues.create(4);
+    ASSERT_TRUE(q.is_ok());
+    handles.push_back(*q);
+  }
+  for (const auto q : handles) {
+    EXPECT_TRUE(queues.send(q, {1, 2, 3, 4}).is_ok());
+  }
+  int fired = 0;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(platform.kernel()
+                    .timers()
+                    .create_periodic(platform.kernel().tick_count() + 1 + i, 7,
+                                     [&](rtos::TimerHandle) { ++fired; })
+                    .is_ok());
+  }
+  platform.run_for(100 * platform.config().tick_period);
+  EXPECT_GT(fired, 16 * 10);
+  for (const auto q : handles) {
+    EXPECT_TRUE(queues.receive(q).is_ok());
+  }
+}
+
+}  // namespace
+}  // namespace tytan

@@ -1,0 +1,94 @@
+// Host-side teardown of the *running* task: unload, suspend, and update must
+// leave the machine on a valid task (regression for a bug the chaos soak
+// found: the CPU kept executing the wiped region).
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+
+namespace tytan {
+namespace {
+
+using core::Platform;
+
+constexpr std::string_view kSpinner = R"(
+    .secure
+    .stack 128
+    .entry main
+main:
+    addi r5, 1
+    jmp  main
+)";
+
+rtos::TaskHandle current_after_warmup(Platform& platform, rtos::TaskHandle task) {
+  // Run until the task is the one actually executing.
+  platform.run_until(
+      [&] { return platform.scheduler().current_handle() == task; }, 5'000'000);
+  return platform.scheduler().current_handle();
+}
+
+TEST(Teardown, UnloadRunningTaskKeepsPlatformAlive) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto task = platform.load_task_source(kSpinner, {.name = "victim", .priority = 4});
+  ASSERT_TRUE(task.is_ok());
+  ASSERT_EQ(current_after_warmup(platform, *task), *task);
+
+  ASSERT_TRUE(platform.unload_task(*task).is_ok());
+  platform.run_for(500'000);
+  EXPECT_FALSE(platform.machine().halted());
+  EXPECT_EQ(platform.kernel().fault_kills(), 0u);  // no stray fetch faults
+  EXPECT_GT(platform.kernel().tick_count(), 0u);
+}
+
+TEST(Teardown, SuspendRunningTaskRestartsFreshOnResume) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto task = platform.load_task_source(kSpinner, {.name = "spin", .priority = 4});
+  ASSERT_TRUE(task.is_ok());
+  ASSERT_EQ(current_after_warmup(platform, *task), *task);
+
+  ASSERT_TRUE(platform.suspend_task(*task).is_ok());
+  platform.run_for(500'000);
+  EXPECT_FALSE(platform.machine().halted());
+  const std::uint64_t activations = platform.scheduler().get(*task)->activations;
+  platform.run_for(500'000);
+  EXPECT_EQ(platform.scheduler().get(*task)->activations, activations);  // parked
+
+  // Documented semantics: a live-suspended secure task restarts fresh.
+  ASSERT_TRUE(platform.resume_task(*task).is_ok());
+  platform.run_for(500'000);
+  EXPECT_GT(platform.scheduler().get(*task)->activations, activations);
+  EXPECT_FALSE(platform.machine().halted());
+}
+
+TEST(Teardown, UpdateRunningTaskSwitchesCleanly) {
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto v1 = platform.load_task_source(kSpinner, {.name = "svc", .priority = 4});
+  ASSERT_TRUE(v1.is_ok());
+  ASSERT_EQ(current_after_warmup(platform, *v1), *v1);
+
+  std::string v2(kSpinner);
+  v2.replace(v2.find("addi r5, 1"), 10, "addi r5, 2");
+  auto updated = platform.update_task(*v1, v2, {.name = "svc2", .priority = 4});
+  ASSERT_TRUE(updated.is_ok()) << updated.status().to_string();
+  platform.run_for(1'000'000);
+  EXPECT_FALSE(platform.machine().halted());
+  EXPECT_GT(platform.scheduler().get(*updated)->activations, 0u);
+}
+
+TEST(Teardown, UnloadIdleCurrentIsHarmless) {
+  // Unloading a task that is NOT current must not trigger a reschedule storm.
+  Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto task = platform.load_task_source(kSpinner, {.name = "parked", .priority = 2,
+                                                   .auto_start = false});
+  ASSERT_TRUE(task.is_ok());
+  platform.run_for(200'000);
+  ASSERT_TRUE(platform.unload_task(*task).is_ok());
+  platform.run_for(200'000);
+  EXPECT_FALSE(platform.machine().halted());
+}
+
+}  // namespace
+}  // namespace tytan

@@ -1,0 +1,155 @@
+// Integration test of the command-line tool chain (tytan-as, tytan-objdump):
+// assemble a source file, load the produced TBF on a platform, run it, and
+// inspect it with the dumper.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/platform.h"
+#include "tbf/tbf.h"
+
+#ifndef TYTAN_TOOL_DIR
+#define TYTAN_TOOL_DIR "."
+#endif
+
+namespace tytan {
+namespace {
+
+std::string tool(const char* name) { return std::string(TYTAN_TOOL_DIR "/") + name; }
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Run a command, capture stdout, return exit status.
+int run_command(const std::string& command, std::string* output) {
+  const std::string redirected = command + " 2>&1";
+  FILE* pipe = ::popen(redirected.c_str(), "r");
+  if (pipe == nullptr) {
+    return -1;
+  }
+  char buffer[512];
+  output->clear();
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    *output += buffer;
+  }
+  return ::pclose(pipe);
+}
+
+constexpr std::string_view kSource = R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    li   r2, text
+next:
+    ldb  r1, [r2]
+    cmpi r1, 0
+    jz   done
+    movi r0, 4
+    int  0x21
+    addi r2, 1
+    jmp  next
+done:
+    movi r0, 3
+    int  0x21
+text:
+    .ascii "tooling\0"
+)";
+
+TEST(Tools, AssembleLoadRunDump) {
+  const std::string asm_path = tmp_path("task.s");
+  const std::string tbf_path = tmp_path("task.tbf");
+  {
+    std::ofstream out(asm_path);
+    out << kSource;
+  }
+
+  // tytan-as
+  std::string output;
+  const int as_status =
+      run_command(tool("tytan-as") + " " + asm_path + " -o " + tbf_path, &output);
+  ASSERT_EQ(as_status, 0) << output;
+  EXPECT_NE(output.find("secure"), std::string::npos);
+
+  // The produced file loads and runs.
+  std::ifstream in(tbf_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  const ByteVec raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  auto object = tbf::read(raw);
+  ASSERT_TRUE(object.is_ok()) << object.status().to_string();
+
+  core::Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto task = platform.load_task(object.take(), {.name = "from-file", .priority = 3});
+  ASSERT_TRUE(task.is_ok()) << task.status().to_string();
+  platform.run_until([&] { return platform.serial().output().size() >= 7; }, 30'000'000);
+  EXPECT_EQ(platform.serial().output(), "tooling");
+
+  // tytan-objdump
+  const int dump_status = run_command(tool("tytan-objdump") + " " + tbf_path, &output);
+  ASSERT_EQ(dump_status, 0) << output;
+  EXPECT_NE(output.find("secure task"), std::string::npos);
+  EXPECT_NE(output.find("__tytan_entry"), std::string::npos);
+  EXPECT_NE(output.find("relocations"), std::string::npos);
+  EXPECT_NE(output.find("cmpi r1, 1"), std::string::npos);  // prologue disassembly
+}
+
+
+TEST(Tools, TytanRunExecutesABinary) {
+  const std::string asm_path = tmp_path("runnable.s");
+  const std::string tbf_path = tmp_path("runnable.tbf");
+  {
+    std::ofstream out(asm_path);
+    out << kSource;
+  }
+  std::string output;
+  ASSERT_EQ(run_command(tool("tytan-as") + " " + asm_path + " -o " + tbf_path, &output), 0)
+      << output;
+  const int status = run_command(
+      tool("tytan-run") + " --cycles 5000000 --attest --trace 4 " + tbf_path, &output);
+  ASSERT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("tooling"), std::string::npos);        // serial echoed
+  EXPECT_NE(output.find("id_t="), std::string::npos);          // measurement shown
+  EXPECT_NE(output.find("attestation report:"), std::string::npos);
+  EXPECT_NE(output.find("last 4 instructions"), std::string::npos);
+}
+
+TEST(Tools, AssemblerErrorsPropagate) {
+  const std::string asm_path = tmp_path("broken.s");
+  {
+    std::ofstream out(asm_path);
+    out << "bogus r1, r2\n";
+  }
+  std::string output;
+  const int status =
+      run_command(tool("tytan-as") + " " + asm_path + " -o /dev/null", &output);
+  EXPECT_NE(status, 0);
+  EXPECT_NE(output.find("line 1"), std::string::npos);
+}
+
+TEST(Tools, ObjdumpRejectsGarbage) {
+  const std::string path = tmp_path("garbage.tbf");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a TBF file at all";
+  }
+  std::string output;
+  const int status = run_command(tool("tytan-objdump") + " " + path, &output);
+  EXPECT_NE(status, 0);
+  EXPECT_NE(output.find("TBF"), std::string::npos);
+}
+
+TEST(Tools, UsageOnBadArguments) {
+  std::string output;
+  EXPECT_NE(run_command(tool("tytan-as"), &output), 0);
+  EXPECT_NE(output.find("usage"), std::string::npos);
+  EXPECT_NE(run_command(tool("tytan-objdump"), &output), 0);
+}
+
+}  // namespace
+}  // namespace tytan

@@ -1,0 +1,217 @@
+// Verifier-side infrastructure: manufacturer provisioning, golden database,
+// and the anti-replay challenge protocol — driven end-to-end against real
+// devices (simulated platforms).
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+#include "verifier/verifier.h"
+
+namespace tytan {
+namespace {
+
+using core::Platform;
+using verifier::Challenger;
+using verifier::GoldenDatabase;
+using verifier::Manufacturer;
+using verifier::VerifyOutcome;
+
+std::string firmware(unsigned version) {
+  return R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    movi r0, 2
+    movi r1, )" + std::to_string(10 + version) + R"(
+    int  0x21
+    jmp  main
+)";
+}
+
+struct Deployment {
+  Manufacturer manufacturer;
+  GoldenDatabase db;
+  std::unique_ptr<Platform> device;
+  verifier::DeviceId device_id = 0;
+  rtos::TaskHandle task = rtos::kNoTask;
+
+  void bring_up(unsigned deployed_version, unsigned released_versions) {
+    device_id = manufacturer.provision_device();
+    Platform::Config config;
+    config.kp = *manufacturer.device_kp(device_id);
+    device = std::make_unique<Platform>(config);
+    ASSERT_TRUE(device->boot().is_ok());
+    for (unsigned v = 1; v <= released_versions; ++v) {
+      auto object = isa::assemble(firmware(v));
+      ASSERT_TRUE(object.is_ok());
+      db.add_release("ecu-fw", v, *object);
+    }
+    auto handle = device->load_task_source(firmware(deployed_version),
+                                           {.name = "fw", .auto_start = false});
+    ASSERT_TRUE(handle.is_ok());
+    task = *handle;
+  }
+
+  core::AttestationReport attest(std::uint64_t nonce) {
+    auto report = device->remote_attest().attest_task(task, nonce);
+    EXPECT_TRUE(report.is_ok());
+    return *report;
+  }
+};
+
+TEST(Manufacturer, DistinctKeysPerDevice) {
+  Manufacturer manufacturer;
+  const auto a = manufacturer.provision_device();
+  const auto b = manufacturer.provision_device();
+  EXPECT_NE(*manufacturer.device_kp(a), *manufacturer.device_kp(b));
+  EXPECT_NE(*manufacturer.attestation_key(a), *manufacturer.attestation_key(b));
+  EXPECT_FALSE(manufacturer.device_kp(999).is_ok());
+}
+
+
+TEST(Manufacturer, DeterministicPerSeed) {
+  // The provisioning ladder is reproducible: two manufacturers with the same
+  // seed issue identical device keys (HSM escrow / disaster recovery).
+  Manufacturer m1(0xABCD);
+  Manufacturer m2(0xABCD);
+  Manufacturer m3(0xABCE);
+  const auto d1 = m1.provision_device();
+  const auto d2 = m2.provision_device();
+  const auto d3 = m3.provision_device();
+  EXPECT_EQ(*m1.device_kp(d1), *m2.device_kp(d2));
+  EXPECT_NE(*m1.device_kp(d1), *m3.device_kp(d3));
+}
+
+TEST(GoldenDb, MatchesDeviceMeasurements) {
+  Deployment deployment;
+  deployment.bring_up(/*deployed=*/2, /*released=*/3);
+  // The golden identity (computed offline) equals what the device's RTM
+  // measured after load + relocation.
+  const rtos::TaskIdentity device_id_t =
+      deployment.device->scheduler().get(deployment.task)->identity;
+  const verifier::Release* release = deployment.db.find(device_id_t);
+  ASSERT_NE(release, nullptr);
+  EXPECT_EQ(release->version, 2u);
+  EXPECT_EQ(deployment.db.latest("ecu-fw")->version, 3u);
+}
+
+TEST(Challenger, VerifiesLatestRelease) {
+  Deployment deployment;
+  deployment.bring_up(/*deployed=*/3, /*released=*/3);
+  Challenger challenger(*deployment.manufacturer.attestation_key(deployment.device_id),
+                        deployment.db);
+  const std::uint64_t nonce = challenger.issue_challenge();
+  const auto outcome = challenger.verify(deployment.attest(nonce), "ecu-fw");
+  EXPECT_TRUE(outcome.ok()) << verify_outcome_name(outcome.code);
+  ASSERT_NE(outcome.release, nullptr);
+  EXPECT_EQ(outcome.release->version, 3u);
+}
+
+TEST(Challenger, FlagsStaleVersion) {
+  Deployment deployment;
+  deployment.bring_up(/*deployed=*/1, /*released=*/3);
+  Challenger challenger(*deployment.manufacturer.attestation_key(deployment.device_id),
+                        deployment.db);
+  const std::uint64_t nonce = challenger.issue_challenge();
+  const auto outcome = challenger.verify(deployment.attest(nonce), "ecu-fw");
+  EXPECT_EQ(outcome.code, VerifyOutcome::Code::kStale);
+  ASSERT_NE(outcome.release, nullptr);
+  EXPECT_EQ(outcome.release->version, 1u);
+}
+
+TEST(Challenger, RejectsReplay) {
+  Deployment deployment;
+  deployment.bring_up(2, 2);
+  Challenger challenger(*deployment.manufacturer.attestation_key(deployment.device_id),
+                        deployment.db);
+  const std::uint64_t nonce = challenger.issue_challenge();
+  const auto report = deployment.attest(nonce);
+  EXPECT_TRUE(challenger.verify(report, "ecu-fw").ok());
+  // Replaying the same (valid!) report fails: the challenge is consumed.
+  EXPECT_EQ(challenger.verify(report, "ecu-fw").code,
+            VerifyOutcome::Code::kUnknownChallenge);
+}
+
+TEST(Challenger, RejectsForeignNonce) {
+  Deployment deployment;
+  deployment.bring_up(2, 2);
+  Challenger challenger(*deployment.manufacturer.attestation_key(deployment.device_id),
+                        deployment.db);
+  challenger.issue_challenge();
+  const auto report = deployment.attest(0x1234);  // self-chosen nonce
+  EXPECT_EQ(challenger.verify(report, "ecu-fw").code,
+            VerifyOutcome::Code::kUnknownChallenge);
+}
+
+TEST(Challenger, RejectsWrongDeviceKey) {
+  Deployment deployment;
+  deployment.bring_up(2, 2);
+  const auto other_device = deployment.manufacturer.provision_device();
+  // Verifier holds the wrong device's Ka.
+  Challenger challenger(*deployment.manufacturer.attestation_key(other_device),
+                        deployment.db);
+  const std::uint64_t nonce = challenger.issue_challenge();
+  EXPECT_EQ(challenger.verify(deployment.attest(nonce), "ecu-fw").code,
+            VerifyOutcome::Code::kBadMac);
+}
+
+TEST(Challenger, RejectsUnknownBinary) {
+  Deployment deployment;
+  deployment.bring_up(2, 2);
+  Challenger challenger(*deployment.manufacturer.attestation_key(deployment.device_id),
+                        deployment.db);
+  // Deploy a binary that was never released.
+  auto rogue = deployment.device->load_task_source(firmware(9), {.name = "rogue",
+                                                                 .auto_start = false});
+  ASSERT_TRUE(rogue.is_ok());
+  const std::uint64_t nonce = challenger.issue_challenge();
+  auto report = deployment.device->remote_attest().attest_task(*rogue, nonce);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(challenger.verify(*report, "ecu-fw").code,
+            VerifyOutcome::Code::kUnknownRelease);
+}
+
+TEST(Challenger, ChallengesExpire) {
+  Deployment deployment;
+  deployment.bring_up(2, 2);
+  Challenger challenger(*deployment.manufacturer.attestation_key(deployment.device_id),
+                        deployment.db, /*nonce_seed=*/7, /*validity_window=*/3);
+  const std::uint64_t old_nonce = challenger.issue_challenge();
+  const auto report = deployment.attest(old_nonce);
+  for (int i = 0; i < 5; ++i) {
+    challenger.issue_challenge();  // time passes (issue counter advances)
+  }
+  EXPECT_EQ(challenger.verify(report, "ecu-fw").code, VerifyOutcome::Code::kExpired);
+}
+
+TEST(Challenger, NoncesNeverRepeatSoon) {
+  GoldenDatabase db;
+  Challenger challenger(crypto::Key128{}, db);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(seen.insert(challenger.issue_challenge()).second) << "repeat at " << i;
+  }
+}
+
+TEST(EndToEnd, UpdateThenReattestBecomesCurrent) {
+  Deployment deployment;
+  deployment.bring_up(/*deployed=*/1, /*released=*/2);
+  Challenger challenger(*deployment.manufacturer.attestation_key(deployment.device_id),
+                        deployment.db);
+  // v1 reports stale.
+  std::uint64_t nonce = challenger.issue_challenge();
+  EXPECT_EQ(challenger.verify(deployment.attest(nonce), "ecu-fw").code,
+            VerifyOutcome::Code::kStale);
+  // Runtime update to v2...
+  auto updated = deployment.device->update_task(deployment.task, firmware(2),
+                                                {.name = "fw2"});
+  ASSERT_TRUE(updated.is_ok()) << updated.status().to_string();
+  deployment.task = *updated;
+  // ...and the next attestation verifies as current.
+  nonce = challenger.issue_challenge();
+  const auto outcome = challenger.verify(deployment.attest(nonce), "ecu-fw");
+  EXPECT_TRUE(outcome.ok()) << verify_outcome_name(outcome.code);
+}
+
+}  // namespace
+}  // namespace tytan

@@ -1,0 +1,82 @@
+// tytan-as — the TyTAN tool chain assembler.
+//
+//   tytan-as input.s -o task.tbf [--dump-symbols]
+//
+// Assembles Peak-32 source into a relocatable TBF binary ready for
+// Platform::load_task / the dynamic loader.  For `.secure` sources the
+// secure-task entry routine and IPC mailbox are injected automatically
+// (paper §4: "automatically included by the TyTAN tool chain").
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.h"
+#include "tbf/tbf.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tytan-as <input.s> -o <output.tbf> [--dump-symbols]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  bool dump_symbols = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--dump-symbols") {
+      dump_symbols = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty() || output.empty()) {
+    return usage();
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "tytan-as: cannot open '%s'\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  auto object = tytan::isa::assemble(source.str());
+  if (!object.is_ok()) {
+    std::fprintf(stderr, "tytan-as: %s: %s\n", input.c_str(),
+                 object.status().to_string().c_str());
+    return 1;
+  }
+
+  const tytan::ByteVec raw = tytan::tbf::write(*object);
+  std::ofstream out(output, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "tytan-as: cannot write '%s'\n", output.c_str());
+    return 1;
+  }
+  out.write(reinterpret_cast<const char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+
+  std::printf("%s: %zu bytes image, %zu relocation(s), entry 0x%x%s, stack %u\n",
+              output.c_str(), object->image.size(), object->relocs.size(), object->entry,
+              object->secure() ? ", secure" : "", object->stack_size);
+  if (dump_symbols) {
+    for (const auto& [name, value] : object->symbols) {
+      std::printf("  %08x  %s\n", value, name.c_str());
+    }
+  }
+  return 0;
+}

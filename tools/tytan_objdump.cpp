@@ -1,0 +1,76 @@
+// tytan-objdump — inspect a TBF binary: header, symbols, relocations, and
+// disassembly (with relocation sites annotated).
+//
+//   tytan-objdump task.tbf
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "isa/disasm.h"
+#include "tbf/tbf.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: tytan-objdump <file.tbf>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "tytan-objdump: cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+  const tytan::ByteVec raw((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  auto object = tytan::tbf::read(raw);
+  if (!object.is_ok()) {
+    std::fprintf(stderr, "tytan-objdump: %s\n", object.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("%s:\theader ok, %zu-byte image%s\n", argv[1], object->image.size(),
+              object->secure() ? " (secure task)" : "");
+  std::printf("  entry 0x%04x   msg-handler 0x%04x   mailbox 0x%04x\n", object->entry,
+              object->msg_handler, object->mailbox);
+  std::printf("  bss %u   stack %u   total load footprint %u bytes\n", object->bss_size,
+              object->stack_size, object->memory_size());
+
+  if (!object->relocs.empty()) {
+    std::printf("\nrelocations (%zu):\n", object->relocs.size());
+    for (const auto& reloc : object->relocs) {
+      const char* kind = reloc.kind == tytan::isa::RelocKind::kAbs32  ? "ABS32"
+                         : reloc.kind == tytan::isa::RelocKind::kLo16 ? "LO16"
+                                                                      : "HI16";
+      std::printf("  %04x  %-5s  addend=0x%x\n", reloc.offset, kind, reloc.addend);
+    }
+  }
+
+  // Invert the symbol table for label annotation.
+  std::map<std::uint32_t, std::vector<std::string>> labels;
+  for (const auto& [name, value] : object->symbols) {
+    labels[value].push_back(name);
+  }
+  std::map<std::uint32_t, const tytan::isa::Relocation*> reloc_at;
+  for (const auto& reloc : object->relocs) {
+    reloc_at[reloc.offset] = &reloc;
+  }
+
+  std::printf("\ndisassembly:\n");
+  // Data begins at the first symbol at/after which no instruction decodes —
+  // heuristic: decode everything, print raw words for undecodable ones.
+  for (std::uint32_t offset = 0; offset + 4 <= object->image.size(); offset += 4) {
+    if (const auto it = labels.find(offset); it != labels.end()) {
+      for (const std::string& name : it->second) {
+        std::printf("%s:\n", name.c_str());
+      }
+    }
+    const std::uint32_t word = tytan::load_le32(object->image.data() + offset);
+    std::printf("  %04x:  %08x  %s", offset, word,
+                tytan::isa::disassemble_word(word, offset).c_str());
+    if (const auto it = reloc_at.find(offset); it != reloc_at.end()) {
+      std::printf("   ; reloc");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// tytan-run — boot a TyTAN platform, load one or more TBF binaries, and run.
+//
+//   tytan-run [options] task1.tbf [task2.tbf ...]
+//     --cycles N      simulate N cycles (default 10,000,000)
+//     --priority P    priority for the loaded tasks (default 3)
+//     --pedal V       accelerator-pedal sensor value
+//     --radar V       radar sensor value
+//     --attest        print an attestation report per task after loading
+//     --trace N       dump the last N executed instructions at exit
+//
+// Serial output is echoed to stdout; per-task statistics print at exit.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "core/platform.h"
+#include "tbf/tbf.h"
+
+using namespace tytan;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tytan-run [--cycles N] [--priority P] [--pedal V] [--radar V]\n"
+               "                 [--attest] [--trace N] <task.tbf> [more.tbf ...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t cycles = 10'000'000;
+  unsigned priority = 3;
+  std::uint32_t pedal = 0;
+  std::uint32_t radar = 0;
+  bool attest = false;
+  std::size_t trace = 0;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tytan-run: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--cycles") {
+      cycles = std::strtoull(next("--cycles"), nullptr, 0);
+    } else if (arg == "--priority") {
+      priority = static_cast<unsigned>(std::strtoul(next("--priority"), nullptr, 0));
+    } else if (arg == "--pedal") {
+      pedal = static_cast<std::uint32_t>(std::strtoul(next("--pedal"), nullptr, 0));
+    } else if (arg == "--radar") {
+      radar = static_cast<std::uint32_t>(std::strtoul(next("--radar"), nullptr, 0));
+    } else if (arg == "--attest") {
+      attest = true;
+    } else if (arg == "--trace") {
+      trace = std::strtoul(next("--trace"), nullptr, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    return usage();
+  }
+
+  core::Platform platform;
+  if (trace != 0) {
+    platform.machine().enable_trace(trace);
+  }
+  auto boot = platform.boot();
+  if (!boot.is_ok()) {
+    std::fprintf(stderr, "tytan-run: secure boot failed: %s\n",
+                 boot.status().to_string().c_str());
+    return 1;
+  }
+  platform.pedal().set_value(pedal);
+  platform.radar().set_value(radar);
+
+  std::vector<rtos::TaskHandle> tasks;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "tytan-run: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    const ByteVec raw((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    auto object = tbf::read(raw);
+    if (!object.is_ok()) {
+      std::fprintf(stderr, "tytan-run: %s: %s\n", path.c_str(),
+                   object.status().to_string().c_str());
+      return 1;
+    }
+    auto task = platform.load_task(object.take(), {.name = path, .priority = priority});
+    if (!task.is_ok()) {
+      std::fprintf(stderr, "tytan-run: %s: load failed: %s\n", path.c_str(),
+                   task.status().to_string().c_str());
+      return 1;
+    }
+    const rtos::Tcb* tcb = platform.scheduler().get(*task);
+    std::printf("loaded %-20s @ 0x%05x  id_t=%s%s\n", path.c_str(), tcb->region_base,
+                hex_encode(tcb->identity).c_str(), tcb->secure ? "  [secure]" : "");
+    if (attest) {
+      const std::uint64_t nonce = platform.rng().next64();
+      auto report = platform.remote_attest().attest_task(*task, nonce);
+      if (report.is_ok()) {
+        std::printf("  attestation report: %s\n", hex_encode(report->serialize()).c_str());
+      }
+    }
+    tasks.push_back(*task);
+  }
+
+  platform.run_for(cycles);
+
+  if (!platform.serial().output().empty()) {
+    std::printf("\n--- serial ---\n%s\n--------------\n", platform.serial().output().c_str());
+  }
+  std::printf("\nsimulated %.3f ms (%llu cycles, %llu instructions, %llu interrupts, "
+              "%llu syscalls, %llu fault kills)\n",
+              static_cast<double>(platform.machine().cycles()) * 1000.0 / sim::kClockHz,
+              static_cast<unsigned long long>(platform.machine().cycles()),
+              static_cast<unsigned long long>(platform.machine().instructions_executed()),
+              static_cast<unsigned long long>(platform.machine().interrupts_dispatched()),
+              static_cast<unsigned long long>(platform.kernel().syscall_count()),
+              static_cast<unsigned long long>(platform.kernel().fault_kills()));
+  for (const rtos::TaskHandle handle : tasks) {
+    const rtos::Tcb* tcb = platform.scheduler().get(handle);
+    if (tcb == nullptr) {
+      std::printf("  task %d: exited\n", handle);
+      continue;
+    }
+    std::printf("  %-20s state=%-9s activations=%llu cpu=%llu cycles\n", tcb->name.c_str(),
+                rtos::task_state_name(tcb->state),
+                static_cast<unsigned long long>(tcb->activations),
+                static_cast<unsigned long long>(tcb->cpu_cycles));
+  }
+  if (trace != 0 && platform.machine().tracer() != nullptr) {
+    std::printf("\n--- last %zu instructions ---\n%s", trace,
+                platform.machine().tracer()->format().c_str());
+  }
+  return 0;
+}
