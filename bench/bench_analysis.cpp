@@ -1,0 +1,83 @@
+// Static-verifier throughput.
+//
+// Unlike the table benches, the analyzer runs on the *host* at load time — it
+// charges zero simulated cycles (see LoaderGate.VerifierChargesNoMachineCycles)
+// — so this bench reports host wall-clock throughput instead of cycle counts:
+// how much binary the lint gate can verify per second, and what each pass
+// (CFG, relocation, stack, MMIO) contributes to the total.
+#include <algorithm>
+#include <chrono>
+
+#include "analysis/analyzer.h"
+#include "bench_util.h"
+#include "task_gen.h"
+
+using namespace tytan;
+
+namespace {
+
+/// Median-of-reps wall-clock time for one analyze() call, in microseconds.
+double time_us(const isa::ObjectFile& object, const analysis::Config& config) {
+  constexpr int kReps = 7;
+  std::vector<double> samples;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const analysis::Report report = analysis::analyze(object, config);
+    const auto t1 = std::chrono::steady_clock::now();
+    TYTAN_CHECK(report.errors() == 0, "generated task must verify clean");
+    samples.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+std::string mb_per_s(std::uint32_t bytes, double us) {
+  return bench::fixed(bytes / us, 1);  // bytes/us == MB/s
+}
+
+}  // namespace
+
+int main() {
+  bench::Table scaling("Static verifier throughput vs. image size");
+  scaling.columns({"image", "relocs", "analyze (us)", "MB/s"});
+  for (const std::uint32_t kib : {1u, 4u, 16u, 64u}) {
+    const std::uint32_t bytes = kib * 1'024;
+    // Keep reloc density constant: one ABS32 record per 64 image bytes.
+    const unsigned relocs = bytes / 64;
+    const isa::ObjectFile object = bench::make_task(bytes, relocs, /*secure=*/false);
+    const double us = time_us(object, {});
+    scaling.row({std::to_string(kib) + " KiB", bench::num(relocs),
+                 bench::fixed(us, 1), mb_per_s(bytes, us)});
+  }
+  scaling.print();
+
+  bench::Table relocs("Relocation-pass sensitivity (16 KiB image)");
+  relocs.columns({"relocs", "analyze (us)"});
+  for (const unsigned n : {0u, 16u, 64u, 256u}) {
+    const isa::ObjectFile object = bench::make_task(16'384, n, /*secure=*/false);
+    relocs.row({bench::num(n), bench::fixed(time_us(object, {}), 1)});
+  }
+  relocs.print();
+
+  // Per-pass cost: run with a single pass enabled at a time.  CFG recovery is
+  // a fixed prerequisite of the stack and MMIO passes, so their rows include
+  // it; the "structural only" row is that shared baseline.
+  const isa::ObjectFile object = bench::make_task(16'384, 256, /*secure=*/false);
+  bench::Table passes("Per-pass cost (16 KiB image, 256 relocs)");
+  passes.columns({"configuration", "analyze (us)"});
+  const auto with = [](bool structural, bool reloc, bool stack, bool mmio) {
+    analysis::Config config;
+    config.structural = structural;
+    config.relocations = reloc;
+    config.stack = stack;
+    config.mmio = mmio;
+    return config;
+  };
+  passes.row({"structural only", bench::fixed(time_us(object, with(true, false, false, false)), 1)});
+  passes.row({"+ relocations", bench::fixed(time_us(object, with(true, true, false, false)), 1)});
+  passes.row({"+ stack depth", bench::fixed(time_us(object, with(true, false, true, false)), 1)});
+  passes.row({"+ MMIO constprop", bench::fixed(time_us(object, with(true, false, false, true)), 1)});
+  passes.row({"all passes", bench::fixed(time_us(object, with(true, true, true, true)), 1)});
+  passes.print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Static binary verifier for Peak-32/TBF task images.
+//
+// Runs up to four passes over an object file and returns a Report of rule
+// findings (see findings.h for the catalogue):
+//
+//   structural  CF001–CF006, IM001–IM002   CFG recovery + image shape
+//   relocation  RL001–RL004                 LO16/HI16 pairing, sites, ranges
+//   stack       ST001–ST003                 conservative worst-case depth
+//   mmio        MM001–MM004                 statically-known access addresses
+//
+// The verifier is conservative in what it *claims*: a clean report means no
+// statically-provable violation was found, not that the binary is correct —
+// indirect control flow (CF006) and register-relative addressing are
+// reported as unverifiable rather than guessed at.  It never charges
+// simulated machine cycles; the loader runs it host-side before any memory
+// is allocated for the task.
+#pragma once
+
+#include <set>
+
+#include "analysis/cfg.h"
+#include "analysis/findings.h"
+#include "isa/object.h"
+
+namespace tytan::analysis {
+
+struct Config {
+  bool structural = true;   ///< CF* / IM* checks
+  bool relocations = true;  ///< RL* checks
+  bool stack = true;        ///< ST* checks
+  bool mmio = true;         ///< MM* checks
+  /// Bytes the platform may push onto the task stack underneath the task's
+  /// own worst case: the hardware interrupt frame (EFLAGS + EIP, 8 bytes)
+  /// plus the Int Mux context save (r0..r6, 28 bytes).
+  std::uint32_t interrupt_reserve = 36;
+  /// Rules to drop from the report (per-rule suppression).
+  std::set<Rule> suppress;
+
+  [[nodiscard]] bool suppressed(Rule rule) const { return suppress.contains(rule); }
+};
+
+/// Analyze `object` and return all findings, sorted by (offset, rule).
+Report analyze(const isa::ObjectFile& object, const Config& config = {});
+
+}  // namespace tytan::analysis

@@ -39,6 +39,9 @@ class Platform {
     /// Platform key Kp (fused at manufacturing).
     crypto::Key128 kp{0x4b, 0x70, 0x2d, 0x74, 0x79, 0x74, 0x61, 0x6e,
                       0x2d, 0x64, 0x65, 0x76, 0x69, 0x63, 0x65, 0x31};
+    /// Static-verifier gate the loader runs before allocating task memory.
+    LintMode lint_mode = LintMode::kWarn;
+    analysis::Config lint_config{};
   };
 
   Platform() : Platform(Config{}) {}

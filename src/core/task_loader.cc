@@ -160,6 +160,7 @@ bool TaskLoader::load_quantum() {
     return false;
   }
   switch (job_->phase) {
+    case Phase::kVerify: return quantum_verify();
     case Phase::kAlloc: return quantum_alloc();
     case Phase::kCopy: return quantum_copy();
     case Phase::kReloc: return quantum_reloc();
@@ -172,6 +173,34 @@ bool TaskLoader::load_quantum() {
       return false;
   }
   return false;
+}
+
+bool TaskLoader::quantum_verify() {
+  Job& job = *job_;
+  // Step 0: static verification.  Runs host-side before any task memory is
+  // allocated and charges no simulated cycles — the paper's load-time cost
+  // model (Tables 4/5) is unchanged by the lint gate.
+  lint_report_ = analysis::Report{};
+  if (lint_mode_ != LintMode::kOff) {
+    lint_report_ = analysis::analyze(job.object, lint_config_);
+    stats_.lint_findings = static_cast<std::uint32_t>(lint_report_.findings.size());
+    for (const analysis::Finding& finding : lint_report_.findings) {
+      const LogLevel level = finding.severity == analysis::Severity::kError
+                                 ? LogLevel::kWarn
+                                 : LogLevel::kInfo;
+      TYTAN_LOG(level, "loader")
+          << "lint " << job.params.name << ": " << analysis::format_finding(finding);
+    }
+    if (lint_mode_ == LintMode::kStrict && lint_report_.errors() > 0) {
+      const analysis::Finding* first = lint_report_.first(analysis::Severity::kError);
+      fail_job(make_error(Err::kInvalidArgument,
+                          "static verifier rejected image: " +
+                              analysis::format_finding(*first)));
+      return true;
+    }
+  }
+  job.phase = Phase::kAlloc;
+  return true;
 }
 
 bool TaskLoader::quantum_alloc() {

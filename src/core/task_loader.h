@@ -17,6 +17,7 @@
 
 #include <optional>
 
+#include "analysis/analyzer.h"
 #include "core/eampu_driver.h"
 #include "core/int_mux.h"
 #include "core/rtm.h"
@@ -24,6 +25,15 @@
 #include "rtos/scheduler.h"
 
 namespace tytan::core {
+
+/// How the loader treats static-verifier findings (step 0, before any
+/// memory is touched).  The verifier runs host-side and charges no
+/// simulated cycles, so kWarn/kStrict do not perturb the cost model.
+enum class LintMode {
+  kOff,     ///< skip the verifier entirely
+  kWarn,    ///< log findings, load anyway (default)
+  kStrict,  ///< reject the image if any error-severity finding exists
+};
 
 struct LoadParams {
   std::string name;
@@ -71,6 +81,7 @@ class TaskLoader {
     std::uint32_t relocations = 0;
     std::uint32_t image_bytes = 0;
     bool secure = false;
+    std::uint32_t lint_findings = 0;  ///< verifier findings on the last load
   };
 
   static constexpr std::uint32_t kIdent = sim::kFwOsKernel;  // loading is OS work
@@ -98,14 +109,23 @@ class TaskLoader {
   [[nodiscard]] const CreateStats& last_create() const { return stats_; }
   [[nodiscard]] RamArena& arena() { return arena_; }
 
+  /// Configure the pre-load static verifier gate.
+  void set_lint(LintMode mode, analysis::Config config = {}) {
+    lint_mode_ = mode;
+    lint_config_ = std::move(config);
+  }
+  [[nodiscard]] LintMode lint_mode() const { return lint_mode_; }
+  /// Verifier report from the most recent begin_load (empty when kOff).
+  [[nodiscard]] const analysis::Report& last_lint() const { return lint_report_; }
+
  private:
-  enum class Phase { kAlloc, kCopy, kReloc, kStackPrep, kMpu, kMeasure, kRegister, kDone };
+  enum class Phase { kVerify, kAlloc, kCopy, kReloc, kStackPrep, kMpu, kMeasure, kRegister, kDone };
 
   struct Job {
     isa::ObjectFile object;
     LoadParams params;
     rtos::TaskHandle handle = rtos::kNoTask;
-    Phase phase = Phase::kAlloc;
+    Phase phase = Phase::kVerify;
     std::uint32_t base = 0;
     std::uint32_t total_size = 0;
     std::uint32_t copy_offset = 0;
@@ -116,6 +136,7 @@ class TaskLoader {
   };
 
   void fail_job(Status status);
+  bool quantum_verify();
   bool quantum_alloc();
   bool quantum_copy();
   bool quantum_reloc();
@@ -133,6 +154,9 @@ class TaskLoader {
   std::optional<Job> job_;
   rtos::TaskHandle last_loaded_ = rtos::kNoTask;
   CreateStats stats_;
+  LintMode lint_mode_ = LintMode::kWarn;
+  analysis::Config lint_config_;
+  analysis::Report lint_report_;
 };
 
 }  // namespace tytan::core

@@ -285,6 +285,11 @@ class Assembler {
     if (Status s = emit(); !s.is_ok()) {
       return s;
     }
+    // Pad trailing data to a whole instruction word so the image is always
+    // word-granular (the TBF reader and the static verifier require it).
+    while (object_.image.size() % kInstrSize != 0) {
+      object_.image.push_back(0);
+    }
     std::sort(object_.relocs.begin(), object_.relocs.end(),
               [](const Relocation& a, const Relocation& b) { return a.offset < b.offset; });
     object_.symbols = symbols_;
@@ -418,9 +423,20 @@ class Assembler {
     return std::nullopt;
   }
 
+  /// Instructions always sit on a word boundary; data directives may leave
+  /// the cursor unaligned, so code following them is padded (with zero words,
+  /// which decode as nop).  layout() and emit() must agree on this.
+  static bool is_instruction(const std::string& mnemonic) {
+    return mnemonic == "li" || mnemonic == "not" ||
+           mnemonic_table().contains(mnemonic);
+  }
+
   Status layout() {
     cursor_ = 0;
     for (const Statement& st : statements_) {
+      if (is_instruction(st.mnemonic)) {
+        cursor_ = (cursor_ + kInstrSize - 1) & ~(kInstrSize - 1);
+      }
       for (const std::string& label : st.labels) {
         if (symbols_.contains(label) || equ_.contains(label)) {
           return error(st.line, "duplicate symbol '" + label + "'");
@@ -711,6 +727,12 @@ class Assembler {
     for (const Statement& st : statements_) {
       if (st.mnemonic.empty()) {
         continue;
+      }
+      if (is_instruction(st.mnemonic)) {
+        while (cursor_ % kInstrSize != 0) {
+          object_.image.push_back(0);
+          ++cursor_;
+        }
       }
       if (st.mnemonic == "li") {
         if (Status s = emit_li(st); !s.is_ok()) return s;

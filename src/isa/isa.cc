@@ -69,6 +69,12 @@ std::optional<Instruction> decode(std::uint32_t word) {
   instr.rd = static_cast<std::uint8_t>((word >> 20) & 0xF);
   instr.ra = static_cast<std::uint8_t>((word >> 16) & 0xF);
   instr.imm = static_cast<std::uint16_t>(word & 0xFFFF);
+  // The register fields are 4 bits wide but the file has kNumGprs registers;
+  // encodings naming a nonexistent register are invalid (the machine would
+  // otherwise index past the register file).
+  if (instr.rd >= kNumGprs || instr.ra >= kNumGprs) {
+    return std::nullopt;
+  }
   return instr;
 }
 

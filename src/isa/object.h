@@ -34,7 +34,8 @@ struct Relocation {
 
 /// Task/binary capability flags.
 enum ObjectFlags : std::uint32_t {
-  kObjSecure = 1u << 0,  ///< load as a secure task (isolated from the OS)
+  kObjSecure = 1u << 0,    ///< load as a secure task (isolated from the OS)
+  kObjDataOnly = 1u << 1,  ///< image carries no code (blob container)
 };
 
 struct ObjectFile {
@@ -49,6 +50,7 @@ struct ObjectFile {
   std::map<std::string, std::uint32_t> symbols;  ///< label -> image offset
 
   [[nodiscard]] bool secure() const { return (flags & kObjSecure) != 0; }
+  [[nodiscard]] bool data_only() const { return (flags & kObjDataOnly) != 0; }
 
   /// Total memory footprint when loaded (image + bss + stack).
   [[nodiscard]] std::uint32_t memory_size() const {

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "isa/assembler.h"
+#include "isa/isa.h"
+
 namespace tytan::tbf {
 
 namespace {
@@ -134,6 +137,24 @@ Result<isa::ObjectFile> read(std::span<const std::uint8_t> raw) {
   }
   if (object.msg_handler != 0 && object.msg_handler >= image_size) {
     return make_error(Err::kCorrupt, "TBF: msg handler outside image");
+  }
+  if (!object.data_only()) {
+    // Executable images are whole instruction words; anything else cannot
+    // have been produced by the assembler and would decode garbage tails.
+    if (image_size % isa::kInstrSize != 0) {
+      return make_error(Err::kCorrupt, "TBF: image size not instruction-aligned");
+    }
+    if (object.entry % isa::kInstrSize != 0) {
+      return make_error(Err::kCorrupt, "TBF: entry not instruction-aligned");
+    }
+    if (object.msg_handler % isa::kInstrSize != 0) {
+      return make_error(Err::kCorrupt, "TBF: msg handler not instruction-aligned");
+    }
+  }
+  if (object.mailbox != 0 &&
+      (object.mailbox % 4 != 0 ||
+       object.mailbox + isa::SecureLayout::kMailboxSize > image_size)) {
+    return make_error(Err::kCorrupt, "TBF: mailbox outside image");
   }
 
   object.relocs.reserve(reloc_count);

@@ -98,7 +98,8 @@ TEST(Assembler, DataDirectives) {
       .ascii "hi\n"
       .space 3
   )");
-  ASSERT_EQ(obj.image.size(), 4u + 3u + 3u);
+  // 4 (.byte + align) + 3 (.ascii) + 3 (.space), padded to a whole word.
+  ASSERT_EQ(obj.image.size(), 12u);
   EXPECT_EQ(obj.image[0], 1);
   EXPECT_EQ(obj.image[2], 255);
   EXPECT_EQ(obj.image[3], 0);  // align padding

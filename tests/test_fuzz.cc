@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "analysis/analyzer.h"
 #include "isa/assembler.h"
 #include "sim/machine.h"
 #include "core/platform.h"
@@ -164,6 +165,187 @@ TEST(Fuzz, AttestationReportParserRobust) {
       byte = static_cast<std::uint8_t>(rng());
     }
     (void)core::AttestationReport::deserialize(raw);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structured fuzzing: the static verifier and the machine must agree.  Valid
+// images are mutated in targeted ways (branch displacements flipped,
+// relocation records corrupted, images truncated); every mutant either gets
+// rejected statically (TBF reader or analyzer error) or runs to a clean stop
+// on the bare machine — never an unclassified crash of either component.
+// ---------------------------------------------------------------------------
+
+/// A well-formed non-secure program exercising branches, a call, relocated
+/// data accesses, and a data table — the shapes the mutations target.
+constexpr std::string_view kStructuredBase = R"(
+    .entry start
+start:
+    li r1, counter
+    ldw r2, [r1]
+    cmpi r2, 0
+    jz init
+    addi r2, 1
+    jmp store
+init:
+    movi r2, 1
+store:
+    stw r2, [r1]
+    call helper
+    jmp done
+helper:
+    push r3
+    movi r3, 5
+loop:
+    subi r3, 1
+    cmpi r3, 0
+    jnz loop
+    pop r3
+    ret
+done:
+    hlt
+counter:
+    .word 0
+table:
+    .word start
+    .word helper
+)";
+
+bool is_branch_or_call(const std::optional<isa::Instruction>& instr) {
+  if (!instr.has_value()) {
+    return false;
+  }
+  switch (instr->opcode) {
+    case isa::Opcode::kJmp:
+    case isa::Opcode::kJz:
+    case isa::Opcode::kJnz:
+    case isa::Opcode::kJlt:
+    case isa::Opcode::kJge:
+    case isa::Opcode::kJc:
+    case isa::Opcode::kJnc:
+    case isa::Opcode::kCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Run a relocated mutant on a bare machine; true iff it stops cleanly
+/// (hlt or cycle budget), false on a double fault.
+bool runs_cleanly(const isa::ObjectFile& object) {
+  constexpr std::uint32_t kBase = 0x40000;
+  ByteVec image = object.image;
+  for (const isa::Relocation& reloc : object.relocs) {
+    tbf::apply_relocation(reloc, image, kBase);
+  }
+  sim::Machine machine;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    machine.memory().write8(kBase + static_cast<std::uint32_t>(i), image[i]);
+  }
+  machine.cpu().eip = kBase + object.entry;
+  machine.cpu().set_sp(0x60000);  // well clear of the image
+  const sim::HaltReason reason = machine.run(50'000);
+  return reason == sim::HaltReason::kHltInstruction ||
+         reason == sim::HaltReason::kCycleLimit;
+}
+
+TEST(Fuzz, AnalyzerVerdictAgreesWithMachineBehavior) {
+  auto assembled = isa::assemble(kStructuredBase);
+  ASSERT_TRUE(assembled.is_ok()) << assembled.status().to_string();
+  const isa::ObjectFile base = assembled.take();
+  {
+    // The unmutated base is clean and runs.
+    const auto report = analysis::analyze(base);
+    ASSERT_EQ(report.errors(), 0u) << report.to_string();
+    ASSERT_TRUE(runs_cleanly(base));
+  }
+
+  std::mt19937 rng(11);
+  int rejected = 0;
+  int survived = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    isa::ObjectFile mutant = base;
+    switch (rng() % 3) {
+      case 0: {
+        // Flip bits in the displacement of a random branch/call.
+        std::vector<std::uint32_t> sites;
+        for (std::uint32_t off = 0; off + 4 <= mutant.image.size(); off += 4) {
+          if (is_branch_or_call(isa::decode(load_le32(mutant.image.data() + off)))) {
+            sites.push_back(off);
+          }
+        }
+        ASSERT_FALSE(sites.empty());
+        const std::uint32_t site = sites[rng() % sites.size()];
+        std::uint32_t word = load_le32(mutant.image.data() + site);
+        word ^= rng() & 0xFFFFu;
+        store_le32(mutant.image.data() + site, word);
+        break;
+      }
+      case 1: {
+        // Corrupt one relocation record.
+        ASSERT_FALSE(mutant.relocs.empty());
+        isa::Relocation& reloc = mutant.relocs[rng() % mutant.relocs.size()];
+        switch (rng() % 3) {
+          case 0: reloc.offset = rng() % 64; break;
+          case 1: reloc.addend = rng(); break;
+          default: reloc.kind = static_cast<isa::RelocKind>(rng() % 3); break;
+        }
+        break;
+      }
+      default: {
+        // Truncate a whole number of words off the end (keep relocs: the
+        // dangling records must be caught statically).
+        const std::size_t words = mutant.image.size() / 4;
+        const std::size_t keep = 1 + rng() % (words - 1);
+        mutant.image.resize(keep * 4);
+        break;
+      }
+    }
+
+    // Round-trip through the container: the reader may reject outright.
+    auto reread = tbf::read(tbf::write(mutant));
+    if (!reread.is_ok()) {
+      ++rejected;
+      continue;
+    }
+    const auto report = analysis::analyze(*reread);
+    if (report.errors() > 0) {
+      ++rejected;
+      continue;
+    }
+    // The verifier passed it: the machine must not blow up on it.
+    EXPECT_TRUE(runs_cleanly(*reread)) << "analyzer-clean mutant crashed "
+                                          "(trial " << trial << "):\n"
+                                       << report.to_string();
+    ++survived;
+  }
+  // The mutation engine produces both kinds, or the test proves nothing.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(survived, 0);
+}
+
+TEST(Fuzz, AnalyzerNeverCrashesOnRandomImages) {
+  std::mt19937 rng(12);
+  for (int trial = 0; trial < 500; ++trial) {
+    isa::ObjectFile object;
+    const std::size_t words = 1 + rng() % 64;
+    for (std::size_t i = 0; i < words; ++i) {
+      std::uint32_t word = rng();
+      if (rng() % 2 == 0) {
+        word = (word & 0x00FF'FFFFu) | (static_cast<std::uint32_t>(rng() % 0x46) << 24);
+      }
+      append_le32(object.image, word);
+    }
+    object.entry = rng() % (words * 4 + 8);
+    object.stack_size = rng() % 512;
+    object.flags = rng() % 4;
+    const std::size_t n_relocs = rng() % 6;
+    for (std::size_t i = 0; i < n_relocs; ++i) {
+      object.relocs.push_back({.offset = static_cast<std::uint32_t>(rng() % (words * 4 + 8)),
+                               .kind = static_cast<isa::RelocKind>(rng() % 3),
+                               .addend = rng()});
+    }
+    (void)analysis::analyze(object);  // must return, never crash or hang
   }
 }
 

@@ -71,6 +71,49 @@ TEST(Tbf, RejectsRelocationOutsideImage) {
   EXPECT_EQ(read(write(object)).status().code(), Err::kCorrupt);
 }
 
+TEST(Tbf, RejectsImageNotWordMultiple) {
+  isa::ObjectFile object = sample_object();
+  object.image.push_back(0x00);
+  const auto parsed = read(write(object));
+  EXPECT_EQ(parsed.status().code(), Err::kCorrupt);
+  EXPECT_NE(parsed.status().to_string().find("instruction-aligned"),
+            std::string::npos);
+}
+
+TEST(Tbf, DataOnlyObjectsMayHaveOddSizedImages) {
+  isa::ObjectFile object = sample_object();
+  object.image.push_back(0x00);
+  object.flags |= isa::kObjDataOnly;
+  object.relocs.clear();  // reloc offsets were computed for the aligned image
+  EXPECT_TRUE(read(write(object)).is_ok());
+}
+
+TEST(Tbf, RejectsMisalignedEntry) {
+  isa::ObjectFile object = sample_object();
+  object.entry += 2;
+  EXPECT_EQ(read(write(object)).status().code(), Err::kCorrupt);
+}
+
+TEST(Tbf, RejectsMisalignedMsgHandler) {
+  isa::ObjectFile object = sample_object();
+  object.msg_handler = 2;
+  EXPECT_EQ(read(write(object)).status().code(), Err::kCorrupt);
+}
+
+TEST(Tbf, RejectsMailboxOutsideImage) {
+  isa::ObjectFile object = sample_object();
+  object.mailbox = static_cast<std::uint32_t>(object.image.size()) - 4;
+  const auto parsed = read(write(object));
+  EXPECT_EQ(parsed.status().code(), Err::kCorrupt);
+  EXPECT_NE(parsed.status().to_string().find("mailbox"), std::string::npos);
+}
+
+TEST(Tbf, RejectsMisalignedMailbox) {
+  isa::ObjectFile object = sample_object();
+  object.mailbox = 2;
+  EXPECT_EQ(read(write(object)).status().code(), Err::kCorrupt);
+}
+
 TEST(Relocation, ApplyAndRevertAreInverse) {
   isa::ObjectFile object = sample_object();
   ByteVec image = object.image;

@@ -149,6 +149,175 @@ TEST(Tools, UsageOnBadArguments) {
   EXPECT_NE(run_command(tool("tytan-as"), &output), 0);
   EXPECT_NE(output.find("usage"), std::string::npos);
   EXPECT_NE(run_command(tool("tytan-objdump"), &output), 0);
+  EXPECT_NE(run_command(tool("tytan-lint"), &output), 0);
+  EXPECT_NE(output.find("usage"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// tytan-lint golden corpus: four known-bad binaries, one rule each.  The
+// porcelain output (RULE \t severity \t 0xOFFSET \t message) is the stable
+// machine interface; tests pin the classification fields.
+// ---------------------------------------------------------------------------
+
+void write_tbf(const isa::ObjectFile& object, const std::string& path) {
+  const ByteVec raw = tbf::write(object);
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+}
+
+isa::ObjectFile must_assemble(std::string_view source) {
+  auto object = isa::assemble(source);
+  EXPECT_TRUE(object.is_ok()) << object.status().to_string();
+  return object.take();
+}
+
+/// Lint `object` in porcelain mode; returns the output, expects exit != 0.
+std::string lint_porcelain(const isa::ObjectFile& object, const char* name) {
+  const std::string path = tmp_path(name);
+  write_tbf(object, path);
+  std::string output;
+  const int status =
+      run_command(tool("tytan-lint") + " --porcelain " + path, &output);
+  EXPECT_NE(status, 0) << output;
+  return output;
+}
+
+TEST(Lint, GoldenBadBranchTarget) {
+  // jmp +0x60 out of a 16-byte image, hand-encoded.
+  isa::ObjectFile object;
+  append_le32(object.image, 0x3000'0060u);  // jmp +0x60
+  append_le32(object.image, 0x0000'0000u);  // nop
+  append_le32(object.image, 0x0000'0000u);  // nop
+  append_le32(object.image, 0x4200'0000u);  // hlt
+  const std::string output = lint_porcelain(object, "bad_branch.tbf");
+  EXPECT_NE(output.find("CF002\terror\t0x0000\t"), std::string::npos) << output;
+}
+
+TEST(Lint, GoldenHi16WithoutLo16) {
+  auto object = must_assemble(R"(
+      .entry start
+  start:
+      li r2, start
+      movi r0, 3
+      int 0x21
+  )");
+  std::erase_if(object.relocs, [](const isa::Relocation& r) {
+    return r.kind == isa::RelocKind::kLo16;
+  });
+  const std::string output = lint_porcelain(object, "torn_pair.tbf");
+  EXPECT_NE(output.find("RL001\terror\t0x0004\t"), std::string::npos) << output;
+}
+
+TEST(Lint, GoldenStackOverflowByConstruction) {
+  const auto object = must_assemble(R"(
+      .stack 32
+      .entry start
+  start:
+      subi sp, 64
+      movi r0, 3
+      int 0x21
+  )");
+  const std::string output = lint_porcelain(object, "stack_smash.tbf");
+  EXPECT_NE(output.find("ST001\terror\t"), std::string::npos) << output;
+}
+
+TEST(Lint, GoldenMmioStoreFromUnprivilegedTask) {
+  const auto object = must_assemble(R"(
+      .entry start
+  start:
+      li r2, 0x100400
+      movi r3, 9
+      stw r3, [r2]
+      movi r0, 3
+      int 0x21
+  )");
+  const std::string output = lint_porcelain(object, "mmio_store.tbf");
+  EXPECT_NE(output.find("MM001\terror\t0x000c\t"), std::string::npos) << output;
+}
+
+TEST(Lint, CleanBinaryExitsZeroAndHumanOutputHasContext) {
+  const std::string asm_path = tmp_path("clean.s");
+  const std::string tbf_path = tmp_path("clean.tbf");
+  {
+    std::ofstream out(asm_path);
+    out << kSource;
+  }
+  std::string output;
+  ASSERT_EQ(run_command(tool("tytan-as") + " " + asm_path + " -o " + tbf_path, &output), 0)
+      << output;
+  ASSERT_EQ(run_command(tool("tytan-lint") + " " + tbf_path, &output), 0) << output;
+  EXPECT_NE(output.find("0 error(s)"), std::string::npos) << output;
+
+  // Human (non-porcelain) output on a bad binary shows disassembly context.
+  isa::ObjectFile bad;
+  append_le32(bad.image, 0x3000'0060u);
+  append_le32(bad.image, 0x4200'0000u);
+  write_tbf(bad, tmp_path("ctx.tbf"));
+  EXPECT_NE(run_command(tool("tytan-lint") + " " + tmp_path("ctx.tbf"), &output), 0);
+  EXPECT_NE(output.find("[ERROR CF002]"), std::string::npos) << output;
+  EXPECT_NE(output.find(">"), std::string::npos) << output;  // marked instruction
+  EXPECT_NE(output.find("jmp"), std::string::npos) << output;
+}
+
+TEST(Lint, SuppressAndStrictFlags) {
+  // A warnings-only binary: indirect jump.
+  const auto object = must_assemble(R"(
+      .entry start
+  start:
+      movi r1, 0
+      jmpr r1
+  )");
+  const std::string path = tmp_path("warn_only.tbf");
+  write_tbf(object, path);
+  std::string output;
+  // Warnings alone do not fail the lint...
+  EXPECT_EQ(run_command(tool("tytan-lint") + " " + path, &output), 0) << output;
+  // ...unless --strict is given...
+  EXPECT_NE(run_command(tool("tytan-lint") + " --strict " + path, &output), 0);
+  // ...and --suppress CF006 silences the rule entirely.
+  EXPECT_EQ(run_command(
+                tool("tytan-lint") + " --strict --suppress CF006 " + path, &output),
+            0)
+      << output;
+  EXPECT_NE(run_command(tool("tytan-lint") + " --suppress NOPE " + path, &output), 0);
+}
+
+TEST(Lint, LintsAssemblySourceDirectly) {
+  const std::string asm_path = tmp_path("direct.s");
+  {
+    std::ofstream out(asm_path);
+    out << ".stack 32\n.entry start\nstart:\n    subi sp, 64\n    movi r0, 3\n    int 0x21\n";
+  }
+  std::string output;
+  EXPECT_NE(run_command(tool("tytan-lint") + " --porcelain " + asm_path, &output), 0);
+  EXPECT_NE(output.find("ST001"), std::string::npos) << output;
+}
+
+TEST(Lint, AssemblerStrictLintGate) {
+  const std::string asm_path = tmp_path("gated.s");
+  const std::string tbf_path = tmp_path("gated.tbf");
+  {
+    std::ofstream out(asm_path);
+    out << ".stack 32\n.entry start\nstart:\n    subi sp, 64\n    movi r0, 3\n    int 0x21\n";
+  }
+  std::string output;
+  // Default: warn on stderr but still assemble.
+  ASSERT_EQ(run_command(tool("tytan-as") + " " + asm_path + " -o " + tbf_path, &output), 0)
+      << output;
+  EXPECT_NE(output.find("lint"), std::string::npos) << output;
+  // Strict: refuse to produce a binary.
+  EXPECT_NE(run_command(tool("tytan-as") + " " + asm_path + " -o " + tbf_path +
+                            " --strict-lint",
+                        &output),
+            0);
+  EXPECT_NE(output.find("rejected by the static verifier"), std::string::npos) << output;
+  // Opt-out: no lint output at all.
+  ASSERT_EQ(run_command(tool("tytan-as") + " " + asm_path + " -o " + tbf_path +
+                            " --no-lint",
+                        &output),
+            0);
+  EXPECT_EQ(output.find("lint"), std::string::npos) << output;
 }
 
 }  // namespace

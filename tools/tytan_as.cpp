@@ -1,16 +1,21 @@
 // tytan-as — the TyTAN tool chain assembler.
 //
-//   tytan-as input.s -o task.tbf [--dump-symbols]
+//   tytan-as input.s -o task.tbf [--dump-symbols] [--no-lint] [--strict-lint]
 //
 // Assembles Peak-32 source into a relocatable TBF binary ready for
 // Platform::load_task / the dynamic loader.  For `.secure` sources the
 // secure-task entry routine and IPC mailbox are injected automatically
 // (paper §4: "automatically included by the TyTAN tool chain").
+//
+// The static verifier runs on every assembled object; findings go to stderr.
+// With --strict-lint, error findings make the assembly fail and no output is
+// written.  --no-lint skips the verifier.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "isa/assembler.h"
 #include "tbf/tbf.h"
 
@@ -18,7 +23,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tytan-as <input.s> -o <output.tbf> [--dump-symbols]\n");
+               "usage: tytan-as <input.s> -o <output.tbf> [--dump-symbols]"
+               " [--no-lint] [--strict-lint]\n");
   return 2;
 }
 
@@ -28,12 +34,18 @@ int main(int argc, char** argv) {
   std::string input;
   std::string output;
   bool dump_symbols = false;
+  bool lint = true;
+  bool strict_lint = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-o" && i + 1 < argc) {
       output = argv[++i];
     } else if (arg == "--dump-symbols") {
       dump_symbols = true;
+    } else if (arg == "--no-lint") {
+      lint = false;
+    } else if (arg == "--strict-lint") {
+      strict_lint = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (input.empty()) {
@@ -59,6 +71,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "tytan-as: %s: %s\n", input.c_str(),
                  object.status().to_string().c_str());
     return 1;
+  }
+
+  if (lint) {
+    const tytan::analysis::Report report = tytan::analysis::analyze(*object);
+    for (const tytan::analysis::Finding& finding : report.findings) {
+      std::fprintf(stderr, "tytan-as: lint: %s\n",
+                   tytan::analysis::format_finding(finding).c_str());
+    }
+    if (strict_lint && report.errors() > 0) {
+      std::fprintf(stderr, "tytan-as: %s: rejected by the static verifier (%zu error(s))\n",
+                   input.c_str(), report.errors());
+      return 1;
+    }
   }
 
   const tytan::ByteVec raw = tytan::tbf::write(*object);

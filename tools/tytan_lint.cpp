@@ -1,0 +1,162 @@
+// tytan-lint — static binary verifier for TBF task images.
+//
+//   tytan-lint task.tbf [options]
+//   tytan-lint task.s   [options]     (assembles first, then lints)
+//
+// Runs the same analysis the loader's lint gate runs (CFG recovery,
+// relocation lints, stack-depth analysis, MMIO/privilege lints) and prints
+// the findings with disassembly context.  Exit status: 0 when no error
+// findings (warnings allowed unless --strict), 1 on error findings or
+// unreadable input, 2 on usage errors.
+//
+// Options:
+//   --porcelain        one tab-separated line per finding:
+//                      RULE<TAB>severity<TAB>0xOFFSET<TAB>message
+//   --strict           treat warnings as errors for the exit status
+//   --suppress RULE    drop a rule (repeatable, e.g. --suppress CF006)
+//   --no-cfg --no-reloc --no-stack --no-mmio
+//                      disable individual passes
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "tbf/tbf.h"
+
+namespace {
+
+using namespace tytan;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tytan-lint <task.tbf|task.s> [--porcelain] [--strict]\n"
+               "                  [--suppress RULE]... [--no-cfg] [--no-reloc]\n"
+               "                  [--no-stack] [--no-mmio]\n");
+  return 2;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Disassembly context around a finding: two words either side, the finding's
+/// word marked with '>'.
+void print_context(const isa::ObjectFile& object, std::uint32_t offset) {
+  const auto image_size = static_cast<std::uint32_t>(object.image.size());
+  const std::uint32_t word_offset = offset & ~3u;
+  if (word_offset + 4 > image_size) {
+    return;  // finding anchors outside the image (range lints)
+  }
+  const std::uint32_t first = word_offset >= 8 ? word_offset - 8 : 0;
+  const std::uint32_t last = std::min(word_offset + 8, image_size - 4);
+  for (std::uint32_t at = first; at <= last; at += 4) {
+    const std::uint32_t word = load_le32(object.image.data() + at);
+    const char* reloc_note = "";
+    for (const isa::Relocation& reloc : object.relocs) {
+      if (reloc.offset == at) {
+        reloc_note = reloc.kind == isa::RelocKind::kAbs32  ? "   ; reloc ABS32"
+                     : reloc.kind == isa::RelocKind::kLo16 ? "   ; reloc LO16"
+                                                           : "   ; reloc HI16";
+        break;
+      }
+    }
+    std::printf("  %c 0x%04x:  %08x  %s%s\n", at == word_offset ? '>' : ' ', at,
+                word, isa::disassemble_word(word, at).c_str(), reloc_note);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  bool porcelain = false;
+  bool strict = false;
+  analysis::Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--porcelain") {
+      porcelain = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--no-cfg") {
+      config.structural = false;
+    } else if (arg == "--no-reloc") {
+      config.relocations = false;
+    } else if (arg == "--no-stack") {
+      config.stack = false;
+    } else if (arg == "--no-mmio") {
+      config.mmio = false;
+    } else if (arg == "--suppress" && i + 1 < argc) {
+      const auto rule = analysis::rule_from_id(argv[++i]);
+      if (!rule.has_value()) {
+        std::fprintf(stderr, "tytan-lint: unknown rule id '%s'\n", argv[i]);
+        return 2;
+      }
+      config.suppress.insert(*rule);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) {
+    return usage();
+  }
+
+  std::ifstream in(input, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "tytan-lint: cannot open '%s'\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+
+  isa::ObjectFile object;
+  if (ends_with(input, ".s") || ends_with(input, ".asm")) {
+    auto assembled = isa::assemble(raw);
+    if (!assembled.is_ok()) {
+      std::fprintf(stderr, "tytan-lint: %s: %s\n", input.c_str(),
+                   assembled.status().to_string().c_str());
+      return 1;
+    }
+    object = assembled.take();
+  } else {
+    auto parsed = tbf::read(
+        {reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()});
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "tytan-lint: %s: %s\n", input.c_str(),
+                   parsed.status().to_string().c_str());
+      return 1;
+    }
+    object = parsed.take();
+  }
+
+  const analysis::Report report = analysis::analyze(object, config);
+
+  if (porcelain) {
+    for (const analysis::Finding& finding : report.findings) {
+      std::printf("%s\t%s\t0x%04x\t%s\n",
+                  std::string(analysis::rule_id(finding.rule)).c_str(),
+                  std::string(analysis::severity_name(finding.severity)).c_str(),
+                  finding.offset, finding.message.c_str());
+    }
+  } else {
+    for (const analysis::Finding& finding : report.findings) {
+      std::printf("%s\n", analysis::format_finding(finding).c_str());
+      print_context(object, finding.offset);
+    }
+    std::printf("%s: %zu error(s), %zu warning(s) in %zu bytes\n", input.c_str(),
+                report.errors(), report.warnings(), object.image.size());
+  }
+
+  const bool failed = report.errors() > 0 || (strict && report.warnings() > 0);
+  return failed ? 1 : 0;
+}
