@@ -128,7 +128,15 @@ std::string khz(double v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport report("table1_usecase", options);
+  // Smoke mode (CI): shorter measurement phases and a smaller t2 image.  The
+  // default run is untouched so its cycle counts stay comparable across
+  // builds.
+  const std::uint64_t phase_ticks = options.smoke ? 30 : 120;
+  const std::uint32_t t2_pad = options.smoke ? 2'000 : 11'800;
+
   Platform::Config config;
   config.tick_period = kTick;
   Platform platform(config);
@@ -149,11 +157,11 @@ int main() {
   // Warm-up, then phase 1: before loading t2.
   platform.run_for(20 * kTick);
   const Counters p1_begin = snapshot(platform);
-  platform.run_for(120 * kTick);
+  platform.run_for(phase_ticks * kTick);
   const Counters p1_end = snapshot(platform);
 
   // Phase 2: the driver activates cruise control -> t2 is loaded on demand.
-  const std::string t2_source = monitor_source(sim::kMmioRadar, 2, 11'800);
+  const std::string t2_source = monitor_source(sim::kMmioRadar, 2, t2_pad);
   auto t2_obj = isa::assemble(t2_source);
   TYTAN_CHECK(t2_obj.is_ok(), t2_obj.status().to_string());
   auto t2 = platform.load_task_async(t2_obj.take(),
@@ -170,7 +178,7 @@ int main() {
   TYTAN_CHECK(platform.resume_task(*t2).is_ok(), "t2 start failed");
   platform.run_for(20 * kTick);
   const Counters p3_begin = snapshot(platform);
-  platform.run_for(120 * kTick);
+  platform.run_for(phase_ticks * kTick);
   const Counters p3_end = snapshot(platform);
 
   const PhaseRates before = rates(p1_begin, p1_end);
@@ -184,6 +192,13 @@ int main() {
   table.row({"After loading t2", khz(after.t1_khz), khz(after.t2_khz), khz(after.t0_khz)});
   table.row({"Paper (all phases)", "1.5 kHz", "- / - / 1.5 kHz", "1.5 kHz"});
   table.print();
+
+  auto hz = [](double v_khz) { return static_cast<std::uint64_t>(v_khz * 1000.0 + 0.5); };
+  report.add("t1 rate before load (Hz)", hz(before.t1_khz), 1500);
+  report.add("t1 rate while loading (Hz)", hz(during.t1_khz), 1500);
+  report.add("t1 rate after load (Hz)", hz(after.t1_khz), 1500);
+  report.add("t0 rate while loading (Hz)", hz(during.t0_khz), 1500);
+  report.add("t2 rate after load (Hz)", hz(after.t2_khz), 1500);
 
   const auto& create = platform.loader().last_create();
   std::printf("\nLoading t2: %.1f ms wall (paper: 27.8 ms); image %u bytes, %u relocations;"

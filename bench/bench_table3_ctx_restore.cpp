@@ -75,9 +75,15 @@ std::uint64_t measure_normal() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport report("table3_ctx_restore", options);
   const EndToEnd secure = measure_secure();
   const std::uint64_t normal = measure_normal();
+  report.add("secure branch", secure.stats.branch, 106);
+  report.add("secure restore", secure.stats.restore, 254);
+  report.add("secure overall", secure.stats.total, 384);
+  report.add("normal restore", normal, 254);
 
   bench::Table table("Table 3: restoring the context of a secure task (clock cycles)");
   table.columns({"Path", "Branch", "Restore", "Overall", "Overhead"});

@@ -42,7 +42,9 @@ core::EaMpuDriver::ConfigStats measure(std::size_t first_free_position) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport report("table6_eampu", options);
   struct PaperRow {
     std::size_t position;
     std::uint64_t find, policy, write, overall;
@@ -62,6 +64,7 @@ int main() {
       if (row.position == pos) {
         table.row({label + " (paper)", bench::num(row.find), bench::num(row.policy),
                    bench::num(row.write), bench::num(row.overall)});
+        report.add("slot " + label + " overall", stats.total, row.overall);
       }
     }
     table.row({label, bench::num(stats.find), bench::num(stats.policy),

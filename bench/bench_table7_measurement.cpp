@@ -20,9 +20,11 @@ using core::Platform;
 
 namespace {
 
-/// Image size whose padded SHA-1 stream is exactly `blocks` blocks.
+/// Largest word-multiple image size whose padded SHA-1 stream is exactly
+/// `blocks` blocks (the assembler word-aligns images, so odd sizes are not
+/// producible): 64*b - padding(1) - length(8), rounded down to a word.
 std::uint32_t bytes_for_blocks(std::uint32_t blocks) {
-  return blocks * 64 - 9;  // 64*b - padding(1) - length(8)
+  return blocks * 64 - 12;
 }
 
 core::Rtm::MeasureStats measure(std::uint32_t image_bytes, unsigned relocs) {
@@ -41,19 +43,26 @@ core::Rtm::MeasureStats measure(std::uint32_t image_bytes, unsigned relocs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport report("table7_measurement", options);
   {
     bench::Table table("Table 7a: measurement vs memory size (clock cycles)");
     table.columns({"Memory size", "Runtime (measured)", "Runtime (paper)", "Model 4300+b*3900+100"});
     const std::uint32_t blocks[] = {1, 2, 4, 8, 16, 64};
     const std::uint64_t paper[] = {8'261, 12'200, 20'078, 35'790, 0, 0};
-    for (std::size_t i = 0; i < std::size(blocks); ++i) {
+    // Smoke mode skips the large images; the paper rows all fit in 8 blocks.
+    const std::size_t block_count = options.smoke ? 4 : std::size(blocks);
+    for (std::size_t i = 0; i < block_count; ++i) {
       const auto stats = measure(bytes_for_blocks(blocks[i]), 0);
       TYTAN_CHECK(stats.blocks == blocks[i], "block count mismatch");
       const std::uint64_t runtime = stats.setup + stats.hash + stats.finalize;
       table.row({bench::num(blocks[i]) + " block(s)", bench::num(runtime),
                  paper[i] != 0 ? bench::num(paper[i]) : "-",
                  bench::num(4'300 + 3'900ull * blocks[i] + 100)});
+      if (paper[i] != 0) {
+        report.add(bench::num(blocks[i]) + " blocks", runtime, paper[i]);
+      }
     }
     table.print();
   }
@@ -62,11 +71,15 @@ int main() {
     table.columns({"# of addresses", "Runtime (measured)", "Runtime (paper)", "Model 114+a*500"});
     const unsigned addrs[] = {0, 1, 2, 4, 8, 16};
     const std::uint64_t paper[] = {114, 680, 1'188, 2'187, 0, 0};
-    for (std::size_t i = 0; i < std::size(addrs); ++i) {
+    const std::size_t addr_count = options.smoke ? 4 : std::size(addrs);
+    for (std::size_t i = 0; i < addr_count; ++i) {
       const auto stats = measure(bytes_for_blocks(4), addrs[i]);
       table.row({bench::num(addrs[i]), bench::num(stats.reloc),
                  paper[i] != 0 || addrs[i] == 0 ? bench::num(paper[i]) : "-",
                  bench::num(114 + 500ull * addrs[i])});
+      if (paper[i] != 0 || addrs[i] == 0) {
+        report.add(bench::num(addrs[i]) + " addresses", stats.reloc, paper[i]);
+      }
     }
     table.print();
   }

@@ -14,7 +14,9 @@
 using namespace tytan;
 using core::Platform;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport json("table8_memory", options);
   Platform platform;
   auto report = platform.boot();
   TYTAN_CHECK(report.is_ok(), "boot failed");
@@ -26,6 +28,7 @@ int main() {
     table.row({"  + " + component.name, bench::num(component.footprint)});
   }
   const std::uint64_t tytan_total = core::kFreeRtosFootprint + report->trusted_bytes;
+  json.add("tytan total bytes", tytan_total, 249'943);
   table.row({"TyTAN total (measured model)", bench::num(tytan_total)});
   table.row({"TyTAN total (paper)", "249,943"});
   const double overhead =

@@ -8,10 +8,88 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace tytan::bench {
+
+/// Command-line options every table bench understands:
+///   --json=FILE (or --json FILE)  append machine-readable results to FILE
+///   --smoke                       cut iteration counts for CI smoke runs
+struct BenchOptions {
+  std::string json_path;
+  bool smoke = false;
+};
+
+inline BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--json" && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --json=FILE, --smoke)\n",
+                   argv[0], arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Collects measured-vs-paper records and writes them as a JSON array of
+///   {"bench": ..., "row": ..., "paper": N, "measured": N}
+/// when the destructor runs (no file is written without --json).
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const BenchOptions& options)
+      : bench_(std::move(bench)), path_(options.json_path) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void add(std::string row, std::uint64_t measured, std::uint64_t paper) {
+    records_.push_back({std::move(row), measured, paper});
+  }
+
+  ~JsonReport() {
+    if (path_.empty()) {
+      return;
+    }
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(out,
+                   "  {\"bench\": \"%s\", \"row\": \"%s\", \"paper\": %llu, "
+                   "\"measured\": %llu}%s\n",
+                   bench_.c_str(), r.row.c_str(),
+                   static_cast<unsigned long long>(r.paper),
+                   static_cast<unsigned long long>(r.measured),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+  }
+
+ private:
+  struct Record {
+    std::string row;
+    std::uint64_t measured = 0;
+    std::uint64_t paper = 0;
+  };
+  std::string bench_;
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 /// Simple fixed-width table printer.
 class Table {

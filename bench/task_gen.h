@@ -10,12 +10,14 @@
 
 namespace tytan::bench {
 
-/// Assemble a task whose *image* is exactly `image_bytes` long and contains
-/// exactly `abs32_relocs` relocation records (ABS32 via `.word label`).
-/// `secure` controls the `.secure` attribute (and hence the auto-injected
-/// entry routine).  The body parks in a yield loop.
+/// Assemble a task whose *image* is exactly `image_bytes` long (rounded up to
+/// the next word multiple — the assembler always emits word-aligned images)
+/// and contains exactly `abs32_relocs` relocation records (ABS32 via
+/// `.word label`).  `secure` controls the `.secure` attribute (and hence the
+/// auto-injected entry routine).  The body parks in a yield loop.
 inline isa::ObjectFile make_task(std::uint32_t image_bytes, unsigned abs32_relocs,
                                  bool secure) {
+  image_bytes = (image_bytes + 3u) & ~3u;
   auto build = [&](std::uint32_t pad) {
     std::ostringstream os;
     if (secure) {

@@ -1,13 +1,16 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <utility>
 
 namespace tytan {
 
 namespace {
 LogLevel g_level = LogLevel::kOff;
+LogSink g_sink;  // empty => stderr default
+}  // namespace
 
-const char* level_name(LogLevel l) {
+const char* log_level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kTrace: return "TRACE";
     case LogLevel::kDebug: return "DEBUG";
@@ -18,16 +21,25 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
-}  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
+
+LogSink set_log_sink(LogSink sink) {
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
 
 void log_line(LogLevel level, std::string_view tag, std::string_view message) {
   if (level < g_level || g_level == LogLevel::kOff) {
     return;
   }
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+  if (g_sink) {
+    g_sink(level, tag, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", log_level_name(level),
                static_cast<int>(tag.size()), tag.data(),
                static_cast<int>(message.size()), message.data());
 }

@@ -2,6 +2,7 @@
 // examples turn on kInfo to narrate the simulated platform.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,8 +14,19 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Destination for log lines that pass the threshold.  The default sink
+/// prints "[LEVEL] tag: message" to stderr.
+using LogSink = std::function<void(LogLevel, std::string_view tag, std::string_view message)>;
+
+/// Replace the sink (tests capture output this way); pass an empty function
+/// to restore the stderr default.  Returns the previous sink (empty if the
+/// default was active).
+LogSink set_log_sink(LogSink sink);
+
 /// Emit one line at `level` with a subsystem tag, e.g. log_line(kInfo, "rtm", "...").
 void log_line(LogLevel level, std::string_view tag, std::string_view message);
+
+const char* log_level_name(LogLevel level);
 
 namespace detail {
 class LogStream {

@@ -52,6 +52,7 @@ Result<std::size_t> EaMpuDriver::configure(const hw::Rule& rule) {
   stats_.find = machine_.cycles() - t0;
   if (slot == hw::EaMpu::kNumSlots) {
     stats_.total = machine_.cycles() - t0;
+    machine_.obs().emit(obs::EventKind::kMpuReject, -1, 0);
     return make_error(Err::kOutOfMemory, "EA-MPU: no free slot");
   }
 
@@ -62,6 +63,7 @@ Result<std::size_t> EaMpuDriver::configure(const hw::Rule& rule) {
   stats_.policy = machine_.cycles() - t1;
   if (violation) {
     stats_.total = machine_.cycles() - t0;
+    machine_.obs().emit(obs::EventKind::kMpuReject, -1, 1);
     return make_error(Err::kAlreadyExists, "EA-MPU: protected regions overlap");
   }
 
@@ -75,12 +77,16 @@ Result<std::size_t> EaMpuDriver::configure(const hw::Rule& rule) {
   stats_.write = machine_.cycles() - t2;
   stats_.total = machine_.cycles() - t0;
   stats_.slot = slot;
+  machine_.obs().emit(obs::EventKind::kMpuConfig, -1,
+                      static_cast<std::uint32_t>(slot),
+                      static_cast<std::uint32_t>(stats_.total));
   return slot;
 }
 
 Status EaMpuDriver::unconfigure(std::size_t slot) {
   machine_.charge(machine_.costs().eampu_clear_rule);
   hw::EaMpu::PortUnlock unlock(mpu_);
+  machine_.obs().emit(obs::EventKind::kMpuClear, -1, static_cast<std::uint32_t>(slot));
   return mpu_.clear_slot(slot);
 }
 

@@ -103,6 +103,16 @@ void IntMux::on_interrupt() {
   save_stats_.branch = machine_.cycles() - before_branch;
   save_stats_.total = machine_.cycles() - t0;
 
+  if (tcb != nullptr && tcb->kind == rtos::TaskKind::kGuest) {
+    machine_.obs().emit(obs::EventKind::kCtxSave, tcb->handle,
+                        static_cast<std::uint32_t>(save_stats_.total),
+                        save_stats_.secure ? 1u : 0u);
+    if (save_stats_.secure) {
+      machine_.obs().emit(obs::EventKind::kCtxWipe, tcb->handle,
+                          static_cast<std::uint32_t>(save_stats_.wipe));
+    }
+  }
+
   const auto handler = vector_handlers_.find(vector);
   if (handler == vector_handlers_.end()) {
     TYTAN_LOG(LogLevel::kError, "intmux") << "no handler for vector " << int(vector);
@@ -207,6 +217,9 @@ Status IntMux::resume_secure(Tcb& tcb) {
 
   tcb.context_saved = false;
   tcb.dispatch_cycle = machine_.cycles();
+  machine_.obs().emit(obs::EventKind::kCtxRestore, tcb.handle,
+                      static_cast<std::uint32_t>(resume_stats_.total),
+                      obs::kRestoreResume);
   return Status::ok();
 }
 
@@ -225,6 +238,8 @@ Status IntMux::start_secure(Tcb& tcb) {
   machine_.fw_write32(kIdent, it->second.slot_addr + kOffSavedSp, it->second.stack_top);
   tcb.started = true;
   tcb.dispatch_cycle = machine_.cycles();
+  machine_.obs().emit(obs::EventKind::kCtxRestore, tcb.handle, 0,
+                      obs::kRestoreStart);
   return Status::ok();
 }
 
@@ -262,6 +277,8 @@ Status IntMux::enter_message(Tcb& tcb) {
   // The message handler runs as a nested activation; a pre-message frame (if
   // any) stays intact above the handler's stack usage.
   tcb.context_saved = false;
+  machine_.obs().emit(obs::EventKind::kCtxRestore, tcb.handle, 0,
+                      obs::kRestoreMessage);
   return Status::ok();
 }
 
@@ -373,6 +390,9 @@ Status IntMux::resume_normal(Tcb& tcb) {
   tcb.dispatch_cycle = machine_.cycles();
   resume_stats_.restore = machine_.cycles() - t0;
   resume_stats_.total = resume_stats_.restore;
+  machine_.obs().emit(obs::EventKind::kCtxRestore, tcb.handle,
+                      static_cast<std::uint32_t>(resume_stats_.total),
+                      obs::kRestoreNormal);
   return Status::ok();
 }
 

@@ -43,6 +43,8 @@ void IpcProxy::on_ipc() {
   if (sender == nullptr || sender->kind != rtos::TaskKind::kGuest ||
       !sender->context_saved) {
     ++rejected_;
+    machine_.obs().emit(obs::EventKind::kIpcReject,
+                        sender != nullptr ? sender->handle : -1);
     kernel_.reschedule();
     return;
   }
@@ -90,6 +92,7 @@ void IpcProxy::on_ipc() {
 
   if (receiver_entry == nullptr) {
     ++rejected_;
+    machine_.obs().emit(obs::EventKind::kIpcReject, sender->handle);
     int_mux_.poke_saved_reg(*sender, 0, kSysErr);
     kernel_.resume_specific(sender->handle);
     return;
@@ -97,6 +100,7 @@ void IpcProxy::on_ipc() {
   Tcb* receiver = scheduler_.get(receiver_entry->handle);
   if (receiver == nullptr || receiver->handle == sender->handle) {
     ++rejected_;
+    machine_.obs().emit(obs::EventKind::kIpcReject, sender->handle);
     int_mux_.poke_saved_reg(*sender, 0, kSysErr);
     kernel_.resume_specific(sender->handle);
     return;
@@ -104,6 +108,7 @@ void IpcProxy::on_ipc() {
 
   if (Status s = write_mailbox(*receiver_entry, sender_id, message); !s.is_ok()) {
     ++rejected_;
+    machine_.obs().emit(obs::EventKind::kIpcReject, sender->handle);
     int_mux_.poke_saved_reg(*sender, 0, kSysErr);
     kernel_.resume_specific(sender->handle);
     return;
@@ -113,6 +118,9 @@ void IpcProxy::on_ipc() {
   stats_.proxy = machine_.cycles() - t0;
 
   const bool sync = (op == kIpcSendSync) && !int_mux_.message_active(receiver->handle);
+  machine_.obs().emit(obs::EventKind::kIpcSend, sender->handle,
+                      static_cast<std::uint32_t>(receiver->handle), sync ? 1u : 0u);
+  machine_.obs().emit(obs::EventKind::kIpcDeliver, receiver->handle);
   if (sync) {
     // Paper: "For synchronous communication, the IPC proxy branches to R,
     // whose entry routine processes m."  The sender goes back to the ready
@@ -160,6 +168,7 @@ void IpcProxy::handle_shm(Tcb& sender, const RegistryEntry* sender_entry,
         << "shm grant rejected: sender_entry=" << (sender_entry != nullptr)
         << " receiver_entry=" << (receiver_entry != nullptr) << " size=" << size;
     ++rejected_;
+    machine_.obs().emit(obs::EventKind::kIpcReject, sender.handle);
     int_mux_.poke_saved_reg(sender, 0, kSysErr);
     kernel_.resume_specific(sender.handle);
     return;
@@ -167,6 +176,7 @@ void IpcProxy::handle_shm(Tcb& sender, const RegistryEntry* sender_entry,
   auto base = arena_.alloc(size);
   if (!base.is_ok()) {
     ++rejected_;
+    machine_.obs().emit(obs::EventKind::kIpcReject, sender.handle);
     int_mux_.poke_saved_reg(sender, 0, kSysErr);
     kernel_.resume_specific(sender.handle);
     return;
@@ -187,6 +197,7 @@ void IpcProxy::handle_shm(Tcb& sender, const RegistryEntry* sender_entry,
                                       << slot_a.status().to_string();
     arena_.free(*base);
     ++rejected_;
+    machine_.obs().emit(obs::EventKind::kIpcReject, sender.handle);
     int_mux_.poke_saved_reg(sender, 0, kSysErr);
     kernel_.resume_specific(sender.handle);
     return;
@@ -198,11 +209,13 @@ void IpcProxy::handle_shm(Tcb& sender, const RegistryEntry* sender_entry,
     driver_.unconfigure(*slot_a);
     arena_.free(*base);
     ++rejected_;
+    machine_.obs().emit(obs::EventKind::kIpcReject, sender.handle);
     int_mux_.poke_saved_reg(sender, 0, kSysErr);
     kernel_.resume_specific(sender.handle);
     return;
   }
   grants_.push_back({sender.handle, receiver_entry->handle, *base, size, *slot_a, *slot_b});
+  machine_.obs().emit(obs::EventKind::kIpcShmGrant, sender.handle, *base, size);
 
   // Tell the receiver where the window lives (async notification message).
   Tcb* receiver = scheduler_.get(receiver_entry->handle);
@@ -241,6 +254,8 @@ Status IpcProxy::deliver(const TaskIdentity& sender_id, const TaskIdentity& rece
     scheduler_.make_ready(receiver->handle);
   }
   ++delivered_;
+  machine_.obs().emit(obs::EventKind::kIpcDeliver, receiver->handle,
+                      0, sync ? 1u : 0u);
   if (sync && scheduler_.current() == nullptr) {
     return kernel_.activate_message(receiver_entry->handle);
   }

@@ -275,6 +275,7 @@ void Kernel::on_syscall() {
     return;
   }
   const std::uint32_t number = saved_reg(*tcb, 0);
+  machine_.obs().emit(obs::EventKind::kSyscall, tcb->handle, number);
   const std::uint32_t a1 = saved_reg(*tcb, 1);
   const std::uint32_t a2 = saved_reg(*tcb, 2);
   const std::uint32_t a3 = saved_reg(*tcb, 3);

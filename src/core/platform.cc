@@ -9,6 +9,13 @@ Platform::Platform(const Config& config) : config_(config) {
   mpu_ = std::make_unique<hw::EaMpu>();
   scheduler_ = std::make_unique<rtos::Scheduler>();
 
+  // Observability wiring: the scheduler feeds the machine's event bus, and
+  // the machine learns which task is current so events and tracer entries can
+  // be attributed.  No cycles are charged by any of this.
+  scheduler_->set_event_bus(&machine_->obs().bus());
+  machine_->set_task_context(
+      [s = scheduler_.get()] { return static_cast<std::int32_t>(s->current_handle()); });
+
   // MMIO devices.
   timer_ = std::make_shared<sim::TimerDevice>();
   serial_ = std::make_shared<sim::SerialConsole>();

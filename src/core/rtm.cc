@@ -47,6 +47,7 @@ Status Rtm::begin_measurement(const rtos::Tcb& tcb, std::vector<isa::Relocation>
   stats_.reloc = machine_.costs().rtm_reloc_walk;
   job_ = std::move(job);
   result_.reset();
+  machine_.obs().emit(obs::EventKind::kRtmBegin, tcb.handle, tcb.image_size);
   return Status::ok();
 }
 
@@ -97,6 +98,7 @@ bool Rtm::measure_quantum() {
         machine_.charge(costs.rtm_hash_block);
         stats_.hash += costs.rtm_hash_block;
         ++stats_.blocks;
+        machine_.obs().emit(obs::EventKind::kRtmHashBlock, job.handle, stats_.blocks);
         job.hash_offset += take;
         return true;
       }
@@ -117,6 +119,8 @@ bool Rtm::measure_quantum() {
       job.phase = Job::Phase::kDone;
       result_ = job.digest;
       stats_.total = machine_.cycles() - job.start_cycles;
+      machine_.obs().emit(obs::EventKind::kRtmDone, job.handle,
+                          static_cast<std::uint32_t>(stats_.total));
       job_.reset();
       return false;
     }

@@ -66,6 +66,8 @@ Status SecureStorage::store(const rtos::TaskIdentity& caller, std::uint32_t slot
     existing->valid = false;  // superseded; area is append-only (flash-like)
   }
   blobs_.push_back({caller, slot, addr, static_cast<std::uint32_t>(raw.size()), true});
+  machine_.obs().emit(obs::EventKind::kSealStore, -1,
+                      static_cast<std::uint32_t>(data.size()));
   return Status::ok();
 }
 
@@ -88,6 +90,8 @@ Result<ByteVec> SecureStorage::load(const rtos::TaskIdentity& caller, std::uint3
   }
   machine_.charge(machine_.costs().storage_crypt_block *
                   (raw.size() / crypto::kXteaBlockSize + 3));
+  machine_.obs().emit(obs::EventKind::kSealUnseal, -1,
+                      static_cast<std::uint32_t>(raw.size()));
   const crypto::Key128 kt = task_key(caller);
   return crypto::unseal(kt, *sealed);
 }

@@ -129,6 +129,8 @@ Result<TaskHandle> TaskLoader::begin_load(isa::ObjectFile object, LoadParams par
   stats_.relocations = static_cast<std::uint32_t>(job.object.relocs.size());
   stats_.image_bytes = static_cast<std::uint32_t>(job.object.image.size());
   job_ = std::move(job);
+  machine_.obs().emit(obs::EventKind::kLoadBegin, *handle, stats_.image_bytes,
+                      stats_.secure ? 1u : 0u);
   return *handle;
 }
 
@@ -159,20 +161,29 @@ bool TaskLoader::load_quantum() {
     job_.reset();
     return false;
   }
-  switch (job_->phase) {
-    case Phase::kVerify: return quantum_verify();
-    case Phase::kAlloc: return quantum_alloc();
-    case Phase::kCopy: return quantum_copy();
-    case Phase::kReloc: return quantum_reloc();
-    case Phase::kStackPrep: return quantum_stack_prep();
-    case Phase::kMpu: return quantum_mpu();
-    case Phase::kMeasure: return quantum_measure();
-    case Phase::kRegister: return quantum_register();
+  const Phase before = job_->phase;
+  const TaskHandle handle = job_->handle;
+  bool more = false;
+  switch (before) {
+    case Phase::kVerify: more = quantum_verify(); break;
+    case Phase::kAlloc: more = quantum_alloc(); break;
+    case Phase::kCopy: more = quantum_copy(); break;
+    case Phase::kReloc: more = quantum_reloc(); break;
+    case Phase::kStackPrep: more = quantum_stack_prep(); break;
+    case Phase::kMpu: more = quantum_mpu(); break;
+    case Phase::kMeasure: more = quantum_measure(); break;
+    case Phase::kRegister: more = quantum_register(); break;
     case Phase::kDone:
       job_.reset();
       return false;
   }
-  return false;
+  // An on_loaded callback may have replaced job_ with a different load; only
+  // report a transition of the job this quantum actually advanced.
+  if (job_.has_value() && job_->handle == handle && job_->phase != before) {
+    machine_.obs().emit(obs::EventKind::kLoadPhase, handle,
+                        static_cast<std::uint32_t>(job_->phase));
+  }
+  return more;
 }
 
 bool TaskLoader::quantum_verify() {
@@ -407,6 +418,8 @@ bool TaskLoader::quantum_register() {
     scheduler_.make_ready(job.handle);
   }
   stats_.total = machine_.cycles() - job.start_cycles;
+  machine_.obs().emit(obs::EventKind::kLoadDone, job.handle,
+                      static_cast<std::uint32_t>(stats_.total));
   last_loaded_ = job.handle;
   job.phase = Phase::kDone;
   if (job.params.on_loaded) {

@@ -1,0 +1,49 @@
+#include "obs/accounting.h"
+
+namespace tytan::obs {
+
+void TaskAccounting::close_span(std::uint64_t cycle) {
+  const std::uint64_t span = cycle >= span_start_ ? cycle - span_start_ : 0;
+  span_start_ = cycle;
+  accounted_ += span;
+  if (task_ < 0 || bucket_ == Bucket::kPlatform) {
+    platform_ += span;
+    return;
+  }
+  TaskCycles& t = tasks_[task_];
+  (bucket_ == Bucket::kRun ? t.run : t.irq) += span;
+}
+
+void TaskAccounting::on_event(const Event& event) {
+  if (!enabled_) {
+    return;
+  }
+  switch (event.kind) {
+    case EventKind::kIrqEnter:
+      // The interrupted task pays for its interruption (save + kernel path).
+      switch_to(event.cycle, task_, task_ >= 0 ? Bucket::kIrq : Bucket::kPlatform);
+      break;
+    case EventKind::kSchedDispatch:
+      // a = task kind: firmware tasks (a == 1) run immediately; guest tasks
+      // are in switch-overhead until their context is restored.
+      switch_to(event.cycle, event.task, event.a == 1 ? Bucket::kRun : Bucket::kIrq);
+      break;
+    case EventKind::kCtxRestore:
+      switch_to(event.cycle, event.task, Bucket::kRun);
+      break;
+    case EventKind::kTaskDestroy:
+      if (event.task == task_) {
+        switch_to(event.cycle, -1, Bucket::kPlatform);
+      }
+      break;
+    case EventKind::kFault:
+      if (task_ >= 0) {
+        ++tasks_[task_].faults;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace tytan::obs

@@ -1,0 +1,34 @@
+#include "obs/events.h"
+
+#include <array>
+
+namespace tytan::obs {
+
+namespace {
+constexpr std::array<std::string_view, kNumEventKinds> kNames = {
+    "sched-dispatch", "sched-preempt", "sched-yield",  "sched-block",
+    "sched-wake",     "sched-tick",    "task-create",  "task-destroy",
+    "irq-enter",      "fault",         "ctx-save",     "ctx-wipe",
+    "ctx-restore",    "ipc-send",      "ipc-deliver",  "ipc-reject",
+    "ipc-shm-grant",  "mpu-config",    "mpu-reject",   "mpu-clear",
+    "rtm-begin",      "rtm-hash-block", "rtm-done",    "load-begin",
+    "load-phase",     "load-done",     "seal-store",   "seal-unseal",
+    "syscall",
+};
+}  // namespace
+
+std::string_view kind_name(EventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kNames.size() ? kNames[i] : std::string_view{"?"};
+}
+
+EventKind kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) {
+      return static_cast<EventKind>(i);
+    }
+  }
+  return EventKind::kNumKinds;
+}
+
+}  // namespace tytan::obs

@@ -1,0 +1,41 @@
+#include "obs/hub.h"
+
+#include <string>
+
+namespace tytan::obs {
+
+void Hub::update_metrics(const Event& event) {
+  metrics_.counter("events." + std::string(kind_name(event.kind))).inc();
+  switch (event.kind) {
+    case EventKind::kCtxSave:
+      metrics_.histogram(event.b != 0 ? "ctx_save.secure.cycles" : "ctx_save.normal.cycles")
+          .observe(event.a);
+      break;
+    case EventKind::kCtxWipe:
+      metrics_.histogram("ctx_save.wipe.cycles").observe(event.a);
+      break;
+    case EventKind::kCtxRestore:
+      metrics_.histogram("ctx_restore.cycles").observe(event.a);
+      break;
+    case EventKind::kMpuConfig:
+      metrics_.histogram("eampu.configure.cycles").observe(event.b);
+      break;
+    case EventKind::kRtmDone:
+      metrics_.histogram("rtm.measure.cycles").observe(event.a);
+      break;
+    case EventKind::kLoadDone:
+      metrics_.histogram("loader.total.cycles").observe(event.a);
+      break;
+    case EventKind::kSealStore:
+    case EventKind::kSealUnseal:
+      metrics_.histogram("storage.blob.bytes").observe(event.a);
+      break;
+    case EventKind::kSchedTick:
+      metrics_.gauge("sched.tick").set(static_cast<std::int64_t>(event.a));
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace tytan::obs

@@ -1,0 +1,94 @@
+// The observability hub: one EventBus + MetricsRegistry + TaskAccounting,
+// wired together.  sim::Machine owns a Hub and points its clock at the cycle
+// counter; every instrumented component emits through machine.obs().
+//
+// Disabled by default.  While disabled, emit() is a single branch and the
+// metrics/accounting stay untouched — enabling observability never changes a
+// simulated cycle count (the layer has no access to Machine::charge at all).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/accounting.h"
+#include "obs/event_bus.h"
+#include "obs/metrics.h"
+
+namespace tytan::obs {
+
+class Hub {
+ public:
+  explicit Hub(std::size_t capacity = EventBus::kDefaultCapacity) : bus_(capacity) {
+    wire_listener();
+  }
+  // The listener captures `this`, so moves must re-wire it.
+  Hub(Hub&& other) noexcept
+      : bus_(std::move(other.bus_)),
+        metrics_(std::move(other.metrics_)),
+        accounting_(std::move(other.accounting_)),
+        clock_(other.clock_) {
+    wire_listener();
+  }
+  Hub& operator=(Hub&& other) noexcept {
+    bus_ = std::move(other.bus_);
+    metrics_ = std::move(other.metrics_);
+    accounting_ = std::move(other.accounting_);
+    clock_ = other.clock_;
+    wire_listener();
+    return *this;
+  }
+
+  void set_clock(const std::uint64_t* clock) {
+    clock_ = clock;
+    bus_.set_clock(clock);
+  }
+
+  /// Start recording events, metrics, and per-task accounting.
+  void enable() {
+    bus_.enable();
+    accounting_.enable(now());
+  }
+  void disable() {
+    accounting_.disable(now());
+    bus_.disable();
+  }
+  [[nodiscard]] bool enabled() const { return bus_.enabled(); }
+
+  void emit(EventKind kind, std::int32_t task = -1, std::uint32_t a = 0,
+            std::uint32_t b = 0) {
+    bus_.emit(kind, task, a, b);  // the bus listener fans out to metrics/accounting
+  }
+
+  /// Close the open accounting span (call before reading totals/exporting).
+  void flush() { accounting_.flush(now()); }
+
+  [[nodiscard]] EventBus& bus() { return bus_; }
+  [[nodiscard]] const EventBus& bus() const { return bus_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] TaskAccounting& accounting() { return accounting_; }
+  [[nodiscard]] const TaskAccounting& accounting() const { return accounting_; }
+
+  /// Task currently charged by the accounting tracker (-1 = platform).
+  [[nodiscard]] std::int32_t current_task() const { return accounting_.current_task(); }
+
+ private:
+  [[nodiscard]] std::uint64_t now() const { return clock_ != nullptr ? *clock_ : 0; }
+  void update_metrics(const Event& event);
+
+  // The hub listens on its own bus so every emitter — whether it goes through
+  // Hub::emit or holds the EventBus directly (rtos::Scheduler) — drives
+  // metrics and accounting exactly once.
+  void wire_listener() {
+    bus_.set_listener([this](const Event& event) {
+      accounting_.on_event(event);
+      update_metrics(event);
+    });
+  }
+
+  EventBus bus_;
+  MetricsRegistry metrics_;
+  TaskAccounting accounting_;
+  const std::uint64_t* clock_ = nullptr;
+};
+
+}  // namespace tytan::obs

@@ -1,0 +1,96 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace tytan::obs {
+
+void Histogram::observe(std::uint64_t value) {
+  // Bucket i holds samples with value < 2^i: bucket 0 is {0}, bucket 1 is
+  // {1}, bucket 2 is {2,3}, ... — i.e. bit_width(value).
+  const auto width = static_cast<std::size_t>(std::bit_width(value));
+  buckets_[std::min(width, kNumBuckets)] += 1;
+  ++count_;
+  sum_ += value;
+  min_ = (count_ == 1) ? value : std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::format_table() const {
+  std::ostringstream os;
+  std::size_t width = 0;
+  for (const auto& [name, _] : counters_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, _] : gauges_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, _] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  auto pad = [&](const std::string& name) {
+    os << "  " << name << std::string(width - name.size() + 2, ' ');
+  };
+  for (const auto& [name, c] : counters_) {
+    pad(name);
+    os << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    pad(name);
+    os << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    pad(name);
+    os << "count=" << h->count() << " mean=" << h->mean() << " min=" << h->min()
+       << " max=" << h->max() << '\n';
+  }
+  return os.str();
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace tytan::obs

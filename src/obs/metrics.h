@@ -1,0 +1,86 @@
+// Metrics registry: monotonic counters, gauges, and fixed-bucket cycle
+// histograms.  Names are dotted strings ("ctx_save.secure.cycles"); the
+// registry owns the instruments and hands out stable pointers so hot paths
+// never look up by name twice.  Purely host-side — recording a sample charges
+// no simulated cycles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tytan::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t by) { value_ += by; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Power-of-two bucketed histogram for cycle quantities: bucket i counts
+/// samples with value < 2^i (first bucket that fits), up to 2^(kNumBuckets-1);
+/// larger samples land in the overflow bucket.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 24;  ///< up to 2^23 = 8.3M cycles
+
+  void observe(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Count of samples in bucket i (value < 2^i); i == kNumBuckets => overflow.
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return i <= kNumBuckets ? buckets_[i] : 0;
+  }
+
+ private:
+  std::uint64_t buckets_[kNumBuckets + 1] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Sorted "name value" summary table (counters, gauges, then histograms
+  /// with count/mean/min/max), for --metrics and the tests.
+  [[nodiscard]] std::string format_table() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tytan::obs

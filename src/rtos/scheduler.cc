@@ -42,6 +42,11 @@ Result<TaskHandle> Scheduler::create(const TaskParams& params) {
   tcb->kind = params.kind;
   tcb->state = TaskState::kSuspended;  // not runnable until made ready
   tasks_[handle] = std::move(tcb);
+  if (events_ != nullptr) {
+    events_->set_task_name(handle, params.name);
+  }
+  emit(obs::EventKind::kTaskCreate, handle, params.priority,
+       static_cast<std::uint32_t>(params.kind));
   return handle;
 }
 
@@ -54,6 +59,7 @@ Status Scheduler::destroy(TaskHandle handle) {
     current_ = kNoTask;
   }
   tasks_[handle]->state = TaskState::kDead;
+  emit(obs::EventKind::kTaskDestroy, handle);
   return Status::ok();
 }
 
@@ -78,6 +84,7 @@ Status Scheduler::make_ready(TaskHandle handle) {
   tcb->state = TaskState::kReady;
   tcb->block_reason = BlockReason::kNone;
   ready_[tcb->priority].push_back(handle);
+  emit(obs::EventKind::kSchedWake, handle, tcb->priority);
   return Status::ok();
 }
 
@@ -92,6 +99,7 @@ Status Scheduler::block(TaskHandle handle, BlockReason reason) {
   }
   tcb->state = TaskState::kBlocked;
   tcb->block_reason = reason;
+  emit(obs::EventKind::kSchedBlock, handle, static_cast<std::uint32_t>(reason));
   return Status::ok();
 }
 
@@ -117,6 +125,7 @@ Status Scheduler::suspend(TaskHandle handle) {
     current_ = kNoTask;
   }
   tcb->state = TaskState::kSuspended;
+  emit(obs::EventKind::kSchedBlock, handle, kSuspendReasonCode);
   return Status::ok();
 }
 
@@ -139,6 +148,7 @@ void Scheduler::preempt_current() {
   ++tcb->preemptions;
   tcb->state = TaskState::kReady;
   ready_[tcb->priority].push_back(tcb->handle);
+  emit(obs::EventKind::kSchedPreempt, tcb->handle, tcb->priority);
   current_ = kNoTask;
 }
 
@@ -149,6 +159,7 @@ void Scheduler::yield_current() {
   }
   tcb->state = TaskState::kReady;
   ready_[tcb->priority].push_back(tcb->handle);
+  emit(obs::EventKind::kSchedYield, tcb->handle, tcb->priority);
   current_ = kNoTask;
 }
 
@@ -176,11 +187,14 @@ Status Scheduler::dispatch(TaskHandle handle) {
   tcb->state = TaskState::kRunning;
   ++tcb->activations;
   current_ = handle;
+  emit(obs::EventKind::kSchedDispatch, handle,
+       tcb->kind == TaskKind::kFirmware ? 1u : 0u, tcb->priority);
   return Status::ok();
 }
 
 bool Scheduler::tick() {
   ++tick_count_;
+  emit(obs::EventKind::kSchedTick, current_, static_cast<std::uint32_t>(tick_count_));
   bool needs_reschedule = false;
   const Tcb* running = current();
   const unsigned current_priority = running != nullptr ? running->priority : 0;

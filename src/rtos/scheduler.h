@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/event_bus.h"
 #include "rtos/task.h"
 
 namespace tytan::rtos {
@@ -23,6 +24,10 @@ struct TaskParams {
   bool secure = false;
   TaskKind kind = TaskKind::kGuest;
 };
+
+/// `a` payload of a kSchedBlock event raised by suspend() rather than
+/// block(); distinguishes it from every BlockReason value.
+inline constexpr std::uint32_t kSuspendReasonCode = 0xFFu;
 
 class Scheduler {
  public:
@@ -70,7 +75,19 @@ class Scheduler {
   [[nodiscard]] std::size_t task_count() const;
   [[nodiscard]] std::vector<TaskHandle> handles() const;
 
+  // -- observability ------------------------------------------------------------------
+  /// Wire the platform event bus (non-owning; nullptr = no events).  Every
+  /// state transition emits a typed event; nothing is charged to the
+  /// simulated clock.
+  void set_event_bus(obs::EventBus* bus) { events_ = bus; }
+
  private:
+  void emit(obs::EventKind kind, TaskHandle handle, std::uint32_t a = 0,
+            std::uint32_t b = 0) {
+    if (events_ != nullptr) {
+      events_->emit(kind, handle, a, b);
+    }
+  }
   void remove_from_ready(TaskHandle handle);
   [[nodiscard]] bool is_live(TaskHandle handle) const {
     return handle >= 0 && handle < static_cast<TaskHandle>(tasks_.size()) &&
@@ -81,6 +98,7 @@ class Scheduler {
   std::array<std::deque<TaskHandle>, kNumPriorities> ready_;
   TaskHandle current_ = kNoTask;
   std::uint64_t tick_count_ = 0;
+  obs::EventBus* events_ = nullptr;
 };
 
 }  // namespace tytan::rtos

@@ -32,7 +32,11 @@ std::string FaultInfo::to_string() const {
   return os.str();
 }
 
-Machine::Machine(CostModel costs) : costs_(costs) {}
+Machine::Machine(CostModel costs) : costs_(costs) { obs_.set_clock(&cycles_); }
+
+std::int32_t Machine::current_task_context() const {
+  return task_context_ ? task_context_() : -1;
+}
 
 // ---------------------------------------------------------------------------
 // Interrupts and faults
@@ -82,11 +86,21 @@ void Machine::dispatch_interrupt(std::uint8_t vector, std::uint32_t origin_eip,
   cpu_.set_flag(isa::kFlagIF, false);
   cpu_.eip = handler;
   ++interrupts_;
+  obs_.emit(obs::EventKind::kIrqEnter, current_task_context(), vector, origin_eip);
+}
+
+void Machine::record_fault(const FaultInfo& fault) {
+  last_fault_ = fault;
+  ++fault_count_;
+  obs_.emit(obs::EventKind::kFault, current_task_context(),
+            static_cast<std::uint32_t>(fault.type), fault.eip);
 }
 
 void Machine::raise_fault(const FaultInfo& fault) {
   last_fault_ = fault;
   ++fault_count_;
+  obs_.emit(obs::EventKind::kFault, current_task_context(),
+            static_cast<std::uint32_t>(fault.type), fault.eip);
   TYTAN_LOG(LogLevel::kDebug, "machine") << "fault: " << fault.to_string();
   if (in_fault_dispatch_) {
     halt(HaltReason::kDoubleFault);
@@ -359,13 +373,19 @@ StepOutcome Machine::step() {
   if (fw != firmware_.end()) {
     ++fw_invocations_;
     if (tracer_ != nullptr) {
-      tracer_->record(cycles_, cpu_.eip, 0, fw->second.name);
+      tracer_->record(cycles_, cpu_.eip, 0, fw->second.name, current_task_context(),
+                      Tracer::kVerdictNone);
     }
     fw->second.handler(*this);
     return halted() ? StepOutcome::kHalted : StepOutcome::kOk;
   }
   if (tracer_ != nullptr && memory_.in_bounds(cpu_.eip, 4) && !is_mmio(cpu_.eip)) {
-    tracer_->record(cycles_, cpu_.eip, memory_.read32(cpu_.eip));
+    const int verdict = policy_ == nullptr ? Tracer::kVerdictNone
+                        : policy_->allows(cpu_.eip, cpu_.eip, Access::kExecute)
+                            ? Tracer::kVerdictAllowed
+                            : Tracer::kVerdictDenied;
+    tracer_->record(cycles_, cpu_.eip, memory_.read32(cpu_.eip), {},
+                    current_task_context(), verdict);
   }
   execute_one();
   return halted() ? StepOutcome::kHalted : StepOutcome::kOk;

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/hub.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/device.h"
@@ -78,10 +79,7 @@ class Machine {
   void raise_fault(const FaultInfo& fault);
   /// Record a fault without dispatching (used by firmware that routes to the
   /// fault handler itself and must not recurse through the IDT).
-  void record_fault(const FaultInfo& fault) {
-    last_fault_ = fault;
-    ++fault_count_;
-  }
+  void record_fault(const FaultInfo& fault);
   [[nodiscard]] const FaultInfo& last_fault() const { return last_fault_; }
   [[nodiscard]] std::uint64_t fault_count() const { return fault_count_; }
 
@@ -116,12 +114,26 @@ class Machine {
   [[nodiscard]] std::uint64_t interrupts_dispatched() const { return interrupts_; }
   [[nodiscard]] std::uint64_t firmware_invocations() const { return fw_invocations_; }
 
-  /// Enable (or disable with nullptr-like empty capacity 0) instruction
-  /// tracing into a ring buffer; useful for post-mortem fault analysis.
+  /// Enable (capacity > 0) or disable (capacity == 0) instruction tracing
+  /// into a ring buffer; useful for post-mortem fault analysis.
   void enable_trace(std::size_t capacity) {
     tracer_ = capacity == 0 ? nullptr : std::make_unique<Tracer>(capacity);
   }
   [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
+
+  /// Structured observability (event bus + metrics + per-task accounting).
+  /// Disabled by default; never charges simulated cycles.
+  [[nodiscard]] obs::Hub& obs() {
+    obs_.set_clock(&cycles_);  // re-wire in case the Machine object moved
+    return obs_;
+  }
+
+  /// Source of the current rtos task handle, wired by the platform so the
+  /// tracer can stamp entries with the running task (-1 when unknown).  Only
+  /// consulted while tracing is enabled.
+  void set_task_context(std::function<std::int32_t()> provider) {
+    task_context_ = std::move(provider);
+  }
 
   /// IDT entry for `vector` (raw read, as the exception engine sees it).
   [[nodiscard]] std::uint32_t idt_entry(std::uint8_t vector) const;
@@ -130,6 +142,7 @@ class Machine {
   void set_idt_entry(std::uint8_t vector, std::uint32_t handler);
 
  private:
+  [[nodiscard]] std::int32_t current_task_context() const;
   [[nodiscard]] bool check(std::uint32_t exec_ip, std::uint32_t addr, Access access) const;
   [[nodiscard]] bool is_mmio(std::uint32_t addr) const {
     return addr >= kMmioBase && addr < kMmioBase + kMmioSize;
@@ -183,6 +196,8 @@ class Machine {
   std::uint64_t interrupts_ = 0;
   std::uint64_t fw_invocations_ = 0;
   std::unique_ptr<Tracer> tracer_;
+  obs::Hub obs_;
+  std::function<std::int32_t()> task_context_;
 };
 
 }  // namespace tytan::sim

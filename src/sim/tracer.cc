@@ -10,10 +10,16 @@ std::string Tracer::format() const {
   std::ostringstream os;
   for (const Entry& entry : entries_) {
     os << "cycle " << entry.cycle << "  0x" << std::hex << entry.eip << std::dec << "  ";
+    if (entry.task >= 0) {
+      os << "[task " << entry.task << "] ";
+    }
     if (!entry.note.empty()) {
       os << "[firmware: " << entry.note << "]";
     } else {
       os << isa::disassemble_word(entry.word, entry.eip);
+      if (entry.verdict == kVerdictDenied) {
+        os << "  <exec denied>";
+      }
     }
     os << '\n';
   }

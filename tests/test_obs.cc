@@ -1,0 +1,330 @@
+// Observability layer: event bus, metrics, per-task cycle accounting,
+// exporters, and the zero-overhead-when-off guarantee.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/log.h"
+#include "core/platform.h"
+#include "obs/event_bus.h"
+#include "obs/export.h"
+#include "obs/hub.h"
+#include "obs/metrics.h"
+#include "obs/trace_reader.h"
+#include "sim/tracer.h"
+
+using namespace tytan;
+
+namespace {
+
+constexpr std::string_view kSecureSpinner = R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    addi r5, 1
+    jmp  main
+)";
+
+constexpr std::string_view kNormalSpinner = R"(
+    .stack 256
+    .entry main
+main:
+    addi r5, 1
+    jmp  main
+)";
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EventBus
+// ---------------------------------------------------------------------------
+
+TEST(EventBus, DisabledEmitIsANoOp) {
+  obs::EventBus bus;
+  bus.emit(obs::EventKind::kSchedTick);
+  EXPECT_EQ(bus.size(), 0u);
+}
+
+TEST(EventBus, StampsEventsFromTheWiredClock) {
+  std::uint64_t clock = 0;
+  obs::EventBus bus;
+  bus.set_clock(&clock);
+  bus.enable();
+  clock = 123;
+  bus.emit(obs::EventKind::kSchedDispatch, 2, 1, 5);
+  clock = 456;
+  bus.emit(obs::EventKind::kIrqEnter, 2, 0x20, 0x40000);
+  const auto events = bus.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].cycle, 123u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kSchedDispatch);
+  EXPECT_EQ(events[0].task, 2);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 5u);
+  EXPECT_EQ(events[1].cycle, 456u);
+}
+
+TEST(EventBus, RingEvictsOldestAndCountsDrops) {
+  obs::EventBus bus(4);
+  bus.enable();
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    bus.emit(obs::EventKind::kSchedTick, -1, i);
+  }
+  EXPECT_EQ(bus.size(), 4u);
+  EXPECT_EQ(bus.dropped(), 6u);
+  const auto events = bus.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().a, 6u);  // oldest surviving
+  EXPECT_EQ(events.back().a, 9u);   // newest
+}
+
+TEST(EventBus, ZeroCapacityIsClampedToOne) {
+  obs::EventBus bus(0);
+  EXPECT_EQ(bus.capacity(), 1u);
+  bus.enable();
+  bus.emit(obs::EventKind::kSchedTick, -1, 1);
+  bus.emit(obs::EventKind::kSchedTick, -1, 2);
+  ASSERT_EQ(bus.size(), 1u);
+  EXPECT_EQ(bus.snapshot().front().a, 2u);
+}
+
+TEST(EventBus, ListenerSeesEveryEventDespiteEviction) {
+  obs::EventBus bus(2);
+  bus.enable();
+  std::size_t seen = 0;
+  bus.set_listener([&](const obs::Event&) { ++seen; });
+  for (int i = 0; i < 8; ++i) {
+    bus.emit(obs::EventKind::kSchedTick);
+  }
+  EXPECT_EQ(seen, 8u);
+  EXPECT_EQ(bus.size(), 2u);
+}
+
+TEST(EventKinds, NamesRoundTrip) {
+  for (std::size_t i = 0; i < obs::kNumEventKinds; ++i) {
+    const auto kind = static_cast<obs::EventKind>(i);
+    const std::string_view name = obs::kind_name(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(obs::kind_from_name(name), kind) << name;
+  }
+  EXPECT_EQ(obs::kind_from_name("no-such-kind"), obs::EventKind::kNumKinds);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  obs::Histogram h;
+  h.observe(1);    // < 2^1 -> bucket 1
+  h.observe(95);   // < 2^7 -> bucket 7
+  h.observe(95);
+  h.observe(1'000'000'000);  // beyond 2^23 -> overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1'000'000'000u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(7), 2u);
+  EXPECT_EQ(h.bucket(obs::Histogram::kNumBuckets), 1u);
+}
+
+TEST(Metrics, RegistryHandsOutStableInstruments) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("events.total");
+  c.inc(3);
+  registry.counter("events.total").inc();
+  EXPECT_EQ(registry.find_counter("events.total")->value(), 4u);
+  EXPECT_EQ(registry.find_counter("missing"), nullptr);
+  registry.gauge("sched.tick").set(7);
+  EXPECT_EQ(registry.find_gauge("sched.tick")->value(), 7);
+  const std::string table = registry.format_table();
+  EXPECT_NE(table.find("events.total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Platform integration
+// ---------------------------------------------------------------------------
+
+TEST(Accounting, BooksBalanceToTheCycle) {
+  core::Platform platform;
+  obs::Hub& hub = platform.machine().obs();
+  hub.enable();  // from cycle 0: boot + loads count as platform/task work
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto sec = platform.load_task_source(kSecureSpinner, {.name = "sec"});
+  auto norm = platform.load_task_source(kNormalSpinner, {.name = "norm"});
+  ASSERT_TRUE(sec.is_ok() && norm.is_ok());
+  platform.run_for(500'000);
+
+  hub.flush();
+  const obs::TaskAccounting& accounting = hub.accounting();
+  EXPECT_EQ(accounting.accounted_cycles(), platform.machine().cycles());
+  std::uint64_t sum = accounting.platform_cycles();
+  for (const auto& [task, cycles] : accounting.tasks()) {
+    sum += cycles.run + cycles.irq;
+  }
+  EXPECT_EQ(sum, platform.machine().cycles());
+  // Both spinners actually ran and took interrupts (firmware tasks such as
+  // the idle task may also appear — their dispatch quanta are accounted too).
+  EXPECT_GE(accounting.tasks().size(), 2u);
+  for (const rtos::TaskHandle handle : {*sec, *norm}) {
+    const auto it = accounting.tasks().find(handle);
+    ASSERT_NE(it, accounting.tasks().end()) << "task " << handle;
+    EXPECT_GT(it->second.run, 0u) << "task " << handle;
+    EXPECT_GT(it->second.irq, 0u) << "task " << handle;
+  }
+}
+
+TEST(Events, SecureContextSaveCosts95CyclesPerTable2) {
+  core::Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  platform.machine().obs().enable();
+  ASSERT_TRUE(platform.load_task_source(kSecureSpinner, {.name = "sec"}).is_ok());
+  platform.run_for(500'000);
+
+  std::size_t saves = 0;
+  std::size_t wipes = 0;
+  for (const obs::Event& event : platform.machine().obs().bus().snapshot()) {
+    if (event.kind == obs::EventKind::kCtxSave && event.b == 1) {
+      EXPECT_EQ(event.a, 95u);  // store 38 + wipe 16 + branch 41
+      ++saves;
+    }
+    if (event.kind == obs::EventKind::kCtxWipe) {
+      EXPECT_EQ(event.a, 16u);
+      ++wipes;
+    }
+  }
+  EXPECT_GT(saves, 0u);
+  EXPECT_EQ(saves, wipes);
+}
+
+TEST(Events, MetricsMirrorTheEventStream) {
+  core::Platform platform;
+  ASSERT_TRUE(platform.boot().is_ok());
+  obs::Hub& hub = platform.machine().obs();
+  hub.enable();
+  ASSERT_TRUE(platform.load_task_source(kSecureSpinner, {.name = "sec"}).is_ok());
+  platform.run_for(500'000);
+
+  const obs::Histogram* save = hub.metrics().find_histogram("ctx_save.secure.cycles");
+  ASSERT_NE(save, nullptr);
+  EXPECT_GT(save->count(), 0u);
+  EXPECT_DOUBLE_EQ(save->mean(), 95.0);
+  const obs::Counter* dispatches = hub.metrics().find_counter("events.sched-dispatch");
+  ASSERT_NE(dispatches, nullptr);
+  EXPECT_GT(dispatches->value(), 0u);
+  const std::string summary = obs::export_metrics_summary(hub);
+  EXPECT_NE(summary.find("ctx_save.secure.cycles"), std::string::npos);
+  EXPECT_NE(summary.find("sec"), std::string::npos);  // accounting table row
+}
+
+TEST(Events, TracingOffLeavesCycleCountsBitIdentical) {
+  auto run = [](bool traced) {
+    core::Platform platform;
+    if (traced) {
+      platform.machine().obs().enable();
+    }
+    EXPECT_TRUE(platform.boot().is_ok());
+    EXPECT_TRUE(platform.load_task_source(kSecureSpinner, {.name = "sec"}).is_ok());
+    EXPECT_TRUE(platform.load_task_source(kNormalSpinner, {.name = "norm"}).is_ok());
+    platform.run_for(300'000);
+    return platform.machine().cycles();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Export, ChromeTraceRoundTripsThroughTheReader) {
+  core::Platform platform;
+  platform.machine().obs().enable();
+  ASSERT_TRUE(platform.boot().is_ok());
+  ASSERT_TRUE(platform.load_task_source(kSecureSpinner, {.name = "sec"}).is_ok());
+  platform.run_for(300'000);
+
+  obs::EventBus& bus = platform.machine().obs().bus();
+  const std::string json = obs::export_chrome_trace(bus);
+  auto trace = obs::parse_chrome_trace(json);
+  ASSERT_TRUE(trace.is_ok()) << trace.status().to_string();
+  EXPECT_EQ(trace->events.size(), bus.snapshot().size());
+  EXPECT_FALSE(trace->slices.empty());
+
+  // Thread names: tid 1 = platform, the task's tid carries its name.
+  EXPECT_EQ(trace->thread_names.at(1), "platform");
+  bool named = false;
+  for (const auto& [tid, name] : trace->thread_names) {
+    named = named || name == "sec";
+  }
+  EXPECT_TRUE(named);
+
+  // Payloads survive: find a secure ctx-save instant with a == 95.
+  bool found = false;
+  for (const obs::TraceInstant& ev : trace->events) {
+    if (ev.name == "ctx-save" && ev.b == 1) {
+      EXPECT_EQ(ev.a, 95u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Export, TimelineListsEventsInOrder) {
+  std::uint64_t clock = 100;
+  obs::EventBus bus;
+  bus.set_clock(&clock);
+  bus.enable();
+  bus.set_task_name(0, "t0");
+  bus.emit(obs::EventKind::kSchedDispatch, 0, 0, 3);
+  const std::string timeline = obs::export_timeline(bus);
+  EXPECT_NE(timeline.find("sched-dispatch"), std::string::npos);
+  EXPECT_NE(timeline.find("[t0]"), std::string::npos);
+  EXPECT_NE(timeline.find("100"), std::string::npos);
+}
+
+TEST(Export, ReaderRejectsGarbage) {
+  EXPECT_FALSE(obs::parse_chrome_trace("not a trace").is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Satellites: tracer attribution + pluggable log sink
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, ZeroCapacityIsClampedInsteadOfUndefined) {
+  sim::Tracer tracer(0);
+  EXPECT_EQ(tracer.capacity(), 1u);
+  tracer.record(1, 0x100, 0x42);
+  tracer.record(2, 0x104, 0x43);  // would pop_front() an empty deque before
+  const auto entries = tracer.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.front().cycle, 2u);
+}
+
+TEST(Tracer, EntriesCarryTaskAndMpuVerdict) {
+  sim::Tracer tracer(8);
+  tracer.record(10, 0x100, 0x42, "", 3, sim::Tracer::kVerdictAllowed);
+  tracer.record(11, 0x104, 0x43, "", 3, sim::Tracer::kVerdictDenied);
+  const std::string text = tracer.format();
+  EXPECT_NE(text.find("[task 3]"), std::string::npos);
+  EXPECT_NE(text.find("<exec denied>"), std::string::npos);
+}
+
+TEST(Log, SinkCapturesLinesAndRestores) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  LogSink previous = set_log_sink(
+      [&](LogLevel level, std::string_view tag, std::string_view message) {
+        lines.push_back(std::string(log_level_name(level)) + " " + std::string(tag) +
+                        ": " + std::string(message));
+      });
+  log_line(LogLevel::kInfo, "obs", "hello");
+  log_line(LogLevel::kDebug, "obs", "filtered");  // below threshold
+  set_log_sink(std::move(previous));
+  set_log_level(old_level);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "INFO obs: hello");
+}

@@ -7,14 +7,18 @@
 //     --radar V       radar sensor value
 //     --attest        print an attestation report per task after loading
 //     --trace N       dump the last N executed instructions at exit
+//     --trace-out F   record platform events; write a Chrome/Perfetto trace to F
+//     --metrics       print the metrics summary and per-task cycle accounting
 //
 // Serial output is echoed to stdout; per-task statistics print at exit.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/platform.h"
+#include "obs/export.h"
 #include "tbf/tbf.h"
 
 using namespace tytan;
@@ -24,7 +28,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: tytan-run [--cycles N] [--priority P] [--pedal V] [--radar V]\n"
-               "                 [--attest] [--trace N] <task.tbf> [more.tbf ...]\n");
+               "                 [--attest] [--trace N] [--trace-out FILE] [--metrics]\n"
+               "                 <task.tbf> [more.tbf ...]\n");
   return 2;
 }
 
@@ -37,6 +42,8 @@ int main(int argc, char** argv) {
   std::uint32_t radar = 0;
   bool attest = false;
   std::size_t trace = 0;
+  std::string trace_out;
+  bool metrics = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -60,6 +67,12 @@ int main(int argc, char** argv) {
       attest = true;
     } else if (arg == "--trace") {
       trace = std::strtoul(next("--trace"), nullptr, 0);
+    } else if (arg == "--trace-out") {
+      trace_out = next("--trace-out");
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -73,6 +86,10 @@ int main(int argc, char** argv) {
   core::Platform platform;
   if (trace != 0) {
     platform.machine().enable_trace(trace);
+  }
+  if (!trace_out.empty() || metrics) {
+    // Enable before boot so loader / RTM / EA-MPU events are captured too.
+    platform.machine().obs().enable();
   }
   auto boot = platform.boot();
   if (!boot.is_ok()) {
@@ -144,6 +161,20 @@ int main(int argc, char** argv) {
   if (trace != 0 && platform.machine().tracer() != nullptr) {
     std::printf("\n--- last %zu instructions ---\n%s", trace,
                 platform.machine().tracer()->format().c_str());
+  }
+  obs::Hub& hub = platform.machine().obs();
+  hub.flush();
+  if (metrics) {
+    std::printf("\n%s", obs::export_metrics_summary(hub).c_str());
+  }
+  if (!trace_out.empty()) {
+    if (Status s = obs::write_chrome_trace(trace_out, hub.bus()); !s.is_ok()) {
+      std::fprintf(stderr, "tytan-run: cannot write trace '%s': %s\n", trace_out.c_str(),
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu events to %s (load in ui.perfetto.dev or chrome://tracing)\n",
+                hub.bus().snapshot().size(), trace_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,199 @@
+// tytan-trace — inspect a Chrome/Perfetto trace written by
+// `tytan-run --trace-out=FILE` (or obs::write_chrome_trace).
+//
+//   tytan-trace stats  FILE              event counts per kind, cycle range,
+//                                        context-switch cost summary (Table 2)
+//   tytan-trace tasks  FILE              per-task run time from the derived
+//                                        run slices
+//   tytan-trace events FILE [filters]    dump events as a timeline
+//     --kind=NAME     only events of this kind ("ctx-save", "sched-dispatch", ...)
+//     --task=N        only events concerning task handle N
+//     --limit=N       stop after N lines
+//
+// Everything here is computed from the trace file alone — no live platform —
+// so the numbers double as a check that the exporter loses nothing.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/trace_reader.h"
+
+using namespace tytan;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tytan-trace stats  <trace.json>\n"
+               "       tytan-trace tasks  <trace.json>\n"
+               "       tytan-trace events <trace.json> [--kind=NAME] [--task=N] "
+               "[--limit=N]\n");
+  return 2;
+}
+
+std::string task_label(const obs::Trace& trace, std::int32_t task) {
+  const auto it = trace.thread_names.find(obs::trace_tid(task));
+  if (it != trace.thread_names.end()) {
+    return it->second;
+  }
+  return task >= 0 ? "task " + std::to_string(task) : "platform";
+}
+
+/// Mean of the `a` payload over events matching kind + predicate on `b`.
+struct CycleStat {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+int cmd_stats(const obs::Trace& trace) {
+  if (trace.events.empty()) {
+    std::printf("empty trace\n");
+    return 0;
+  }
+  std::uint64_t first = trace.events.front().cycle;
+  std::uint64_t last = first;
+  std::map<std::string, std::uint64_t> by_kind;
+  CycleStat save_secure;
+  CycleStat save_normal;
+  CycleStat wipe;
+  CycleStat restore_secure;
+  for (const obs::TraceInstant& ev : trace.events) {
+    first = std::min(first, ev.cycle);
+    last = std::max(last, ev.cycle);
+    ++by_kind[ev.name];
+    if (ev.name == "ctx-save") {
+      (ev.b != 0 ? save_secure : save_normal).count += 1;
+      (ev.b != 0 ? save_secure : save_normal).sum += ev.a;
+    } else if (ev.name == "ctx-wipe") {
+      wipe.count += 1;
+      wipe.sum += ev.a;
+    } else if (ev.name == "ctx-restore" && ev.b == 0) {
+      restore_secure.count += 1;
+      restore_secure.sum += ev.a;
+    }
+  }
+  std::printf("%zu events, cycles %llu..%llu (%.1f us at 48 MHz)\n\n",
+              trace.events.size(), static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(last),
+              obs::cycles_to_us(last - first));
+  std::printf("%-16s %8s\n", "kind", "count");
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("%-16s %8llu\n", kind.c_str(), static_cast<unsigned long long>(count));
+  }
+  if (save_secure.count != 0 || save_normal.count != 0) {
+    std::printf("\ncontext save (Table 2):\n");
+    if (save_secure.count != 0) {
+      std::printf("  secure:  %llu saves, avg %.1f cycles (wipe avg %.1f)\n",
+                  static_cast<unsigned long long>(save_secure.count),
+                  save_secure.mean(), wipe.mean());
+    }
+    if (save_normal.count != 0) {
+      std::printf("  normal:  %llu saves, avg %.1f cycles\n",
+                  static_cast<unsigned long long>(save_normal.count),
+                  save_normal.mean());
+    }
+    if (restore_secure.count != 0) {
+      std::printf("  secure resume: %llu, avg %.1f cycles (Table 3)\n",
+                  static_cast<unsigned long long>(restore_secure.count),
+                  restore_secure.mean());
+    }
+  }
+  return 0;
+}
+
+int cmd_tasks(const obs::Trace& trace) {
+  struct Row {
+    std::uint64_t slices = 0;
+    std::uint64_t run_cycles = 0;
+  };
+  std::map<int, Row> rows;
+  for (const obs::TraceSlice& slice : trace.slices) {
+    Row& row = rows[slice.tid];
+    ++row.slices;
+    row.run_cycles += slice.dur_cycles;
+  }
+  std::printf("%-20s %8s %13s %12s\n", "task", "slices", "run cycles", "run us");
+  for (const auto& [tid, row] : rows) {
+    const auto it = trace.thread_names.find(tid);
+    const std::string name =
+        it != trace.thread_names.end() ? it->second : "tid " + std::to_string(tid);
+    std::printf("%-20s %8llu %13llu %12.1f\n", name.c_str(),
+                static_cast<unsigned long long>(row.slices),
+                static_cast<unsigned long long>(row.run_cycles),
+                obs::cycles_to_us(row.run_cycles));
+  }
+  return 0;
+}
+
+int cmd_events(const obs::Trace& trace, const std::string& kind, std::int32_t task,
+               bool have_task, std::uint64_t limit) {
+  std::uint64_t printed = 0;
+  for (const obs::TraceInstant& ev : trace.events) {
+    if (!kind.empty() && ev.name != kind) {
+      continue;
+    }
+    if (have_task && ev.task != task) {
+      continue;
+    }
+    std::printf("cycle %10llu  [%s] %s a=%u b=%u\n",
+                static_cast<unsigned long long>(ev.cycle),
+                task_label(trace, ev.task).c_str(), ev.name.c_str(), ev.a, ev.b);
+    if (limit != 0 && ++printed >= limit) {
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  std::string kind;
+  std::int32_t task = -1;
+  bool have_task = false;
+  std::uint64_t limit = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--kind=", 0) == 0) {
+      kind = arg.substr(std::strlen("--kind="));
+    } else if (arg.rfind("--task=", 0) == 0) {
+      task = static_cast<std::int32_t>(
+          std::strtol(arg.c_str() + std::strlen("--task="), nullptr, 0));
+      have_task = true;
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      limit = std::strtoull(arg.c_str() + std::strlen("--limit="), nullptr, 0);
+    } else {
+      return usage();
+    }
+  }
+
+  auto trace = obs::read_chrome_trace_file(path);
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "tytan-trace: %s: %s\n", path.c_str(),
+                 trace.status().to_string().c_str());
+    return 1;
+  }
+  if (command == "stats") {
+    return cmd_stats(*trace);
+  }
+  if (command == "tasks") {
+    return cmd_tasks(*trace);
+  }
+  if (command == "events") {
+    return cmd_events(*trace, kind, task, have_task, limit);
+  }
+  return usage();
+}
