@@ -1,0 +1,77 @@
+// Fleet throughput bench — host-side scaling of the multi-device runner.
+//
+// Unlike the table benches, this measures *host* throughput (devices/sec and
+// attestations/sec versus worker-thread count), not simulated cycles: the
+// paper has no fleet-scale numbers, so every row's paper value is 0.  The
+// simulated side stays deterministic — the bench asserts that total simulated
+// cycles and the verified count are identical at every thread count, which is
+// the same invariant tests/test_fleet.cc pins down.
+#include <thread>
+
+#include "bench_util.h"
+#include "fleet/verifier_workload.h"
+
+using namespace tytan;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport report("fleet", options);
+
+  const std::size_t devices = options.smoke ? 4 : 16;
+  const std::uint64_t cycles = options.smoke ? 200'000 : 1'000'000;
+  std::vector<std::size_t> thread_counts = {1, 2};
+  if (!options.smoke) {
+    const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    if (hw >= 4) thread_counts.push_back(4);
+    if (hw >= 8) thread_counts.push_back(8);
+  }
+
+  bench::Table table("Fleet throughput (" + bench::num(devices) + " devices, " +
+                     bench::num(cycles) + " cycles each)");
+  table.columns({"threads", "total s", "devices/s", "attests/s", "verified",
+                 "sim cycles"});
+
+  std::uint64_t baseline_cycles = 0;
+  bool deterministic = true;
+  for (const std::size_t threads : thread_counts) {
+    fleet::WorkloadConfig config;
+    config.fleet.device_count = devices;
+    config.fleet.threads = threads;
+    config.cycles = cycles;
+    const fleet::WorkloadResult result = fleet::run_verifier_workload(config);
+    if (!result.status.is_ok()) {
+      std::fprintf(stderr, "bench_fleet: workload failed: %s\n",
+                   result.status.to_string().c_str());
+      return 1;
+    }
+    if (baseline_cycles == 0) {
+      baseline_cycles = result.totals.cycles;
+    } else if (result.totals.cycles != baseline_cycles) {
+      deterministic = false;
+    }
+    table.row({bench::num(threads), bench::fixed(result.total_seconds, 3),
+               bench::fixed(result.devices_per_sec(), 1),
+               bench::fixed(result.attests_per_sec(), 1),
+               bench::num(result.verified) + "/" + bench::num(result.devices),
+               bench::num(result.totals.cycles)});
+    const std::string prefix = "t" + bench::num(threads);
+    report.add(prefix + ".attests_per_sec",
+               static_cast<std::uint64_t>(result.attests_per_sec()), 0);
+    report.add(prefix + ".devices_per_sec",
+               static_cast<std::uint64_t>(result.devices_per_sec()), 0);
+    report.add(prefix + ".verified", result.verified, devices);
+    report.add(prefix + ".sim_cycles", result.totals.cycles, 0);
+  }
+  table.print();
+
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "bench_fleet: simulated cycle totals differ across thread "
+                 "counts — determinism broken\n");
+    return 1;
+  }
+  std::printf("\nsimulated work identical at every thread count "
+              "(%llu total cycles)\n",
+              static_cast<unsigned long long>(baseline_cycles));
+  return 0;
+}

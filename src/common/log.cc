@@ -5,11 +5,6 @@
 
 namespace tytan {
 
-namespace {
-LogLevel g_level = LogLevel::kOff;
-LogSink g_sink;  // empty => stderr default
-}  // namespace
-
 const char* log_level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kTrace: return "TRACE";
@@ -22,26 +17,38 @@ const char* log_level_name(LogLevel l) {
   return "?";
 }
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
-
-LogSink set_log_sink(LogSink sink) {
-  LogSink previous = std::move(g_sink);
-  g_sink = std::move(sink);
+LogSink LogContext::set_sink(LogSink sink) {
+  LogSink previous = std::move(sink_);
+  sink_ = std::move(sink);
   return previous;
 }
 
-void log_line(LogLevel level, std::string_view tag, std::string_view message) {
-  if (level < g_level || g_level == LogLevel::kOff) {
+void LogContext::line(LogLevel level, std::string_view tag,
+                      std::string_view message) const {
+  if (!enabled(level)) {
     return;
   }
-  if (g_sink) {
-    g_sink(level, tag, message);
+  if (sink_) {
+    sink_(level, tag, message);
     return;
   }
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", log_level_name(level),
                static_cast<int>(tag.size()), tag.data(),
                static_cast<int>(message.size()), message.data());
+}
+
+LogContext& process_log_context() {
+  static LogContext context;
+  return context;
+}
+
+void set_log_level(LogLevel level) { process_log_context().set_level(level); }
+LogLevel log_level() { return process_log_context().level(); }
+LogSink set_log_sink(LogSink sink) {
+  return process_log_context().set_sink(std::move(sink));
+}
+void log_line(LogLevel level, std::string_view tag, std::string_view message) {
+  process_log_context().line(level, tag, message);
 }
 
 }  // namespace tytan

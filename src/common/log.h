@@ -1,5 +1,11 @@
 // Tiny leveled logger.  Off by default so tests and benches stay quiet;
 // examples turn on kInfo to narrate the simulated platform.
+//
+// Log state lives in a LogContext so that N simulated platforms in one
+// process (the fleet runner) can each have their own level and sink without
+// sharing any mutable state — a LogContext is only ever driven by the thread
+// that drives its platform.  CLIs and tests that care about one platform use
+// the process-default context through the legacy free functions.
 #pragma once
 
 #include <functional>
@@ -10,20 +16,42 @@ namespace tytan {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log threshold; messages below it are discarded.
-void set_log_level(LogLevel level);
-LogLevel log_level();
-
 /// Destination for log lines that pass the threshold.  The default sink
 /// prints "[LEVEL] tag: message" to stderr.
 using LogSink = std::function<void(LogLevel, std::string_view tag, std::string_view message)>;
 
-/// Replace the sink (tests capture output this way); pass an empty function
-/// to restore the stderr default.  Returns the previous sink (empty if the
-/// default was active).
-LogSink set_log_sink(LogSink sink);
+/// Per-platform log state: a threshold plus an optional sink.  Not
+/// internally synchronized — the thread-safety invariant is the platform's
+/// (one thread drives a platform, and therefore its LogContext, at a time).
+class LogContext {
+ public:
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
 
-/// Emit one line at `level` with a subsystem tag, e.g. log_line(kInfo, "rtm", "...").
+  /// Replace the sink (tests capture output this way); pass an empty
+  /// function to restore the stderr default.  Returns the previous sink.
+  LogSink set_sink(LogSink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_ && level_ != LogLevel::kOff;
+  }
+
+  /// Emit one line at `level` with a subsystem tag.
+  void line(LogLevel level, std::string_view tag, std::string_view message) const;
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  LogSink sink_;  // empty => stderr default
+};
+
+/// The process-default context used by CLIs and by code with no platform in
+/// scope.  Platform-owned components log through their machine's context.
+LogContext& process_log_context();
+
+/// Legacy free functions; all forward to process_log_context().
+void set_log_level(LogLevel level);
+LogLevel log_level();
+LogSink set_log_sink(LogSink sink);
 void log_line(LogLevel level, std::string_view tag, std::string_view message);
 
 const char* log_level_name(LogLevel level);
@@ -31,8 +59,9 @@ const char* log_level_name(LogLevel level);
 namespace detail {
 class LogStream {
  public:
-  LogStream(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
-  ~LogStream() { log_line(level_, tag_, os_.str()); }
+  LogStream(const LogContext& context, LogLevel level, std::string_view tag)
+      : context_(context), level_(level), tag_(tag) {}
+  ~LogStream() { context_.line(level_, tag_, os_.str()); }
   template <typename T>
   LogStream& operator<<(const T& v) {
     os_ << v;
@@ -40,12 +69,18 @@ class LogStream {
   }
 
  private:
+  const LogContext& context_;
   LogLevel level_;
   std::string tag_;
   std::ostringstream os_;
 };
 }  // namespace detail
 
-#define TYTAN_LOG(level, tag) ::tytan::detail::LogStream(level, tag)
+/// Stream into the process-default context (CLIs, tests).
+#define TYTAN_LOG(level, tag) \
+  ::tytan::detail::LogStream(::tytan::process_log_context(), level, tag)
+
+/// Stream into an explicit LogContext (platform-owned components).
+#define TYTAN_CLOG(context, level, tag) ::tytan::detail::LogStream(context, level, tag)
 
 }  // namespace tytan

@@ -115,7 +115,7 @@ void IntMux::on_interrupt() {
 
   const auto handler = vector_handlers_.find(vector);
   if (handler == vector_handlers_.end()) {
-    TYTAN_LOG(LogLevel::kError, "intmux") << "no handler for vector " << int(vector);
+    TYTAN_CLOG(machine_.log(), LogLevel::kError, "intmux") << "no handler for vector " << int(vector);
     machine_.halt(sim::HaltReason::kDoubleFault);
     return;
   }

@@ -164,7 +164,7 @@ void IpcProxy::handle_shm(Tcb& sender, const RegistryEntry* sender_entry,
   machine_.charge(machine_.costs().ipc_shm_setup);
   if (sender_entry == nullptr || receiver_entry == nullptr || size == 0 ||
       size > 0x10000) {
-    TYTAN_LOG(LogLevel::kWarn, "ipc")
+    TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "ipc")
         << "shm grant rejected: sender_entry=" << (sender_entry != nullptr)
         << " receiver_entry=" << (receiver_entry != nullptr) << " size=" << size;
     ++rejected_;
@@ -193,7 +193,7 @@ void IpcProxy::handle_shm(Tcb& sender, const RegistryEntry* sender_entry,
                         .perms = hw::kPermRead | hw::kPermWrite};
   auto slot_a = driver_.configure(rule_a);
   if (!slot_a.is_ok()) {
-    TYTAN_LOG(LogLevel::kWarn, "ipc") << "shm rule A rejected: "
+    TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "ipc") << "shm rule A rejected: "
                                       << slot_a.status().to_string();
     arena_.free(*base);
     ++rejected_;
@@ -204,7 +204,7 @@ void IpcProxy::handle_shm(Tcb& sender, const RegistryEntry* sender_entry,
   }
   auto slot_b = driver_.configure(rule_b);
   if (!slot_b.is_ok()) {
-    TYTAN_LOG(LogLevel::kWarn, "ipc") << "shm rule B rejected: "
+    TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "ipc") << "shm rule B rejected: "
                                       << slot_b.status().to_string();
     driver_.unconfigure(*slot_a);
     arena_.free(*base);

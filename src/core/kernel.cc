@@ -469,7 +469,7 @@ void Kernel::on_syscall() {
 void Kernel::on_fault() {
   const sim::FaultInfo& fault = machine_.last_fault();
   Tcb* tcb = scheduler_.current();
-  TYTAN_LOG(LogLevel::kWarn, "kernel")
+  TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "kernel")
       << "fault: " << fault.to_string() << " current="
       << (tcb != nullptr ? tcb->name : std::string("<none>"));
   if (tcb != nullptr && tcb->kind == TaskKind::kGuest) {

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "common/log.h"
 #include "core/eampu_driver.h"
 #include "core/int_mux.h"
 #include "core/ipc_proxy.h"
@@ -30,6 +32,30 @@
 
 namespace tytan::core {
 
+/// The MMIO device complement of one platform instance.  Construction is
+/// separated from Platform so callers (PlatformBuilder, the fleet runner,
+/// tests) can select devices and parameterize them per instance; every
+/// device is owned by exactly one platform — nothing is shared.
+struct DeviceSet {
+  std::shared_ptr<sim::TimerDevice> timer;
+  std::shared_ptr<sim::SerialConsole> serial;
+  std::shared_ptr<sim::SensorDevice> pedal;
+  std::shared_ptr<sim::SensorDevice> radar;
+  std::shared_ptr<sim::EngineActuator> engine;
+  std::shared_ptr<sim::RngDevice> rng;
+  std::shared_ptr<sim::CanBusDevice> can;
+  std::shared_ptr<hw::KeyRegister> key_register;
+  /// Additional devices attached after the core set (custom workloads).
+  std::vector<std::shared_ptr<sim::Device>> extra;
+
+  /// The paper's fixed device complement (Figure 2), parameterized per
+  /// instance: `kp` fuses the key register, `rng_seed` seeds the nonce RNG.
+  static DeviceSet standard(const crypto::Key128& kp, std::uint64_t rng_seed);
+
+  /// Every non-null device, core set first then extras, in attach order.
+  [[nodiscard]] std::vector<std::shared_ptr<sim::Device>> all() const;
+};
+
 class Platform {
  public:
   struct Config {
@@ -39,13 +65,29 @@ class Platform {
     /// Platform key Kp (fused at manufacturing).
     crypto::Key128 kp{0x4b, 0x70, 0x2d, 0x74, 0x79, 0x74, 0x61, 0x6e,
                       0x2d, 0x64, 0x65, 0x76, 0x69, 0x63, 0x65, 0x31};
+    /// Seed for the deterministic nonce RNG.  Fleet devices need distinct
+    /// but reproducible seeds; 0 falls back to the device default.
+    std::uint64_t rng_seed = sim::RngDevice::kDefaultSeed;
     /// Static-verifier gate the loader runs before allocating task memory.
     LintMode lint_mode = LintMode::kWarn;
     analysis::Config lint_config{};
+    /// Log context every component of this platform emits through; nullptr
+    /// means the process-default context (single-platform CLIs and tests).
+    const LogContext* log = nullptr;
   };
 
   Platform() : Platform(Config{}) {}
-  explicit Platform(const Config& config);
+  explicit Platform(const Config& config)
+      : Platform(config, DeviceSet::standard(config.kp, config.rng_seed)) {}
+  /// Full control: a platform built around an explicit device set.  The
+  /// standard accessors (timer() .. key_register()) require the matching
+  /// member to be present; boot needs at least timer + key_register.
+  Platform(const Config& config, DeviceSet devices);
+
+  // One thread drives a Platform at a time; instances share no mutable
+  // state, so distinct Platforms may run on distinct threads concurrently.
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
 
   /// Secure boot + kernel start.  Must be called exactly once before tasks
   /// are loaded.
@@ -91,6 +133,7 @@ class Platform {
 
   // -- component access ----------------------------------------------------------------
   [[nodiscard]] sim::Machine& machine() { return *machine_; }
+  [[nodiscard]] const sim::Machine& machine() const { return *machine_; }
   [[nodiscard]] hw::EaMpu& mpu() { return *mpu_; }
   [[nodiscard]] rtos::Scheduler& scheduler() { return *scheduler_; }
   [[nodiscard]] IntMux& int_mux() { return *int_mux_; }
@@ -103,14 +146,15 @@ class Platform {
   [[nodiscard]] SecureStorage& secure_storage() { return *storage_; }
   [[nodiscard]] UpdateManager& updater() { return *updater_; }
 
-  [[nodiscard]] sim::TimerDevice& timer() { return *timer_; }
-  [[nodiscard]] sim::SerialConsole& serial() { return *serial_; }
-  [[nodiscard]] sim::SensorDevice& pedal() { return *pedal_; }
-  [[nodiscard]] sim::SensorDevice& radar() { return *radar_; }
-  [[nodiscard]] sim::EngineActuator& engine() { return *engine_; }
-  [[nodiscard]] sim::RngDevice& rng() { return *rng_; }
-  [[nodiscard]] sim::CanBusDevice& can_bus() { return *can_; }
-  [[nodiscard]] hw::KeyRegister& key_register() { return *key_register_; }
+  [[nodiscard]] sim::TimerDevice& timer() { return *devices_.timer; }
+  [[nodiscard]] sim::SerialConsole& serial() { return *devices_.serial; }
+  [[nodiscard]] sim::SensorDevice& pedal() { return *devices_.pedal; }
+  [[nodiscard]] sim::SensorDevice& radar() { return *devices_.radar; }
+  [[nodiscard]] sim::EngineActuator& engine() { return *devices_.engine; }
+  [[nodiscard]] sim::RngDevice& rng() { return *devices_.rng; }
+  [[nodiscard]] sim::CanBusDevice& can_bus() { return *devices_.can; }
+  [[nodiscard]] hw::KeyRegister& key_register() { return *devices_.key_register; }
+  [[nodiscard]] const DeviceSet& devices() const { return devices_; }
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] bool booted() const { return booted_; }
@@ -134,14 +178,7 @@ class Platform {
   std::unique_ptr<UpdateManager> updater_;
   std::unique_ptr<SecureBootRom> boot_rom_;
 
-  std::shared_ptr<sim::TimerDevice> timer_;
-  std::shared_ptr<sim::SerialConsole> serial_;
-  std::shared_ptr<sim::SensorDevice> pedal_;
-  std::shared_ptr<sim::SensorDevice> radar_;
-  std::shared_ptr<sim::EngineActuator> engine_;
-  std::shared_ptr<sim::RngDevice> rng_;
-  std::shared_ptr<sim::CanBusDevice> can_;
-  std::shared_ptr<hw::KeyRegister> key_register_;
+  DeviceSet devices_;
 
   bool booted_ = false;
   BootReport boot_report_;

@@ -1,0 +1,13 @@
+#include "core/platform_builder.h"
+
+namespace tytan::core {
+
+std::unique_ptr<Platform> PlatformBuilder::build() const {
+  DeviceSet set = devices_.has_value()
+                      ? *devices_
+                      : DeviceSet::standard(config_.kp, config_.rng_seed);
+  set.extra.insert(set.extra.end(), extra_.begin(), extra_.end());
+  return std::make_unique<Platform>(config_, std::move(set));
+}
+
+}  // namespace tytan::core

@@ -126,7 +126,7 @@ Result<BootReport> SecureBootRom::verify_and_lock(
     if (verified) {
       report.trusted_bytes += component.footprint;
     } else {
-      TYTAN_LOG(LogLevel::kError, "boot")
+      TYTAN_CLOG(machine_.log(), LogLevel::kError, "boot")
           << "component '" << component.name << "' failed verification";
     }
   }
@@ -141,6 +141,9 @@ Result<BootReport> SecureBootRom::verify_and_lock(
   mpu_.set_port_guard(true);
   machine_.set_policy(&mpu_);
   report.ok = true;
+  TYTAN_CLOG(machine_.log(), LogLevel::kInfo, "boot")
+      << "secure boot complete: " << report.components.size() << " components, "
+      << report.trusted_bytes << " trusted bytes";
   return report;
 }
 

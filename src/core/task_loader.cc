@@ -135,7 +135,7 @@ Result<TaskHandle> TaskLoader::begin_load(isa::ObjectFile object, LoadParams par
 }
 
 void TaskLoader::fail_job(Status status) {
-  TYTAN_LOG(LogLevel::kWarn, "loader") << "load failed: " << status.to_string();
+  TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "loader") << "load failed: " << status.to_string();
   if (rtos::Tcb* tcb = scheduler_.get(job_->handle); tcb != nullptr) {
     if (tcb->mpu_slot >= 0) {
       driver_.unconfigure(static_cast<std::size_t>(tcb->mpu_slot));
@@ -199,7 +199,7 @@ bool TaskLoader::quantum_verify() {
       const LogLevel level = finding.severity == analysis::Severity::kError
                                  ? LogLevel::kWarn
                                  : LogLevel::kInfo;
-      TYTAN_LOG(level, "loader")
+      TYTAN_CLOG(machine_.log(), level, "loader")
           << "lint " << job.params.name << ": " << analysis::format_finding(finding);
     }
     if (lint_mode_ == LintMode::kStrict && lint_report_.errors() > 0) {
@@ -420,6 +420,8 @@ bool TaskLoader::quantum_register() {
   stats_.total = machine_.cycles() - job.start_cycles;
   machine_.obs().emit(obs::EventKind::kLoadDone, job.handle,
                       static_cast<std::uint32_t>(stats_.total));
+  TYTAN_CLOG(machine_.log(), LogLevel::kInfo, "loader")
+      << "loaded " << job.params.name << " in " << stats_.total << " cycles";
   last_loaded_ = job.handle;
   job.phase = Phase::kDone;
   if (job.params.on_loaded) {

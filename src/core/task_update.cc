@@ -36,7 +36,7 @@ Status UpdateManager::swap(TaskHandle old_handle, TaskHandle new_handle,
     if (!migrated.is_ok()) {
       return migrated.status();
     }
-    TYTAN_LOG(LogLevel::kInfo, "update")
+    TYTAN_CLOG(machine_.log(), LogLevel::kInfo, "update")
         << "migrated " << *migrated << " sealed blob(s) to the new identity";
   }
 
@@ -81,7 +81,7 @@ Result<TaskHandle> UpdateManager::begin_update(TaskHandle old_handle, isa::Objec
   load_params.on_loaded = [this, old_handle, params](TaskHandle new_handle) {
     last_swap_status_ = swap(old_handle, new_handle, params);
     if (!last_swap_status_.is_ok()) {
-      TYTAN_LOG(LogLevel::kWarn, "update")
+      TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "update")
           << "swap failed: " << last_swap_status_.to_string();
       loader_.unload(new_handle);
     }

@@ -1,0 +1,181 @@
+#include "fleet/fleet.h"
+
+#include "isa/assembler.h"
+
+namespace tytan::fleet {
+
+Fleet::Fleet(FleetConfig config)
+    : config_(config),
+      manufacturer_(config.manufacturer_seed),
+      pool_(config.threads) {
+  devices_.reserve(config_.device_count);
+  for (std::size_t i = 0; i < config_.device_count; ++i) {
+    devices_.push_back(std::make_unique<FleetDevice>());
+  }
+}
+
+Status Fleet::bring_up() {
+  // Provisioning mutates the manufacturer's key ledger — sequential, and
+  // deterministic in device order.
+  for (const std::unique_ptr<FleetDevice>& device : devices_) {
+    device->id_ = manufacturer_.provision_device();
+  }
+  // Platform construction and secure boot touch only per-device state.
+  pool_.parallel_for(devices_.size(), [this](std::size_t i) {
+    FleetDevice& device = *devices_[i];
+    auto kp = manufacturer_.device_kp(device.id_);
+    if (!kp.is_ok()) {
+      device.status_ = kp.status();
+      return;
+    }
+    device.platform_ = core::PlatformBuilder()
+                           .costs(config_.base.costs)
+                           .tick_period(config_.base.tick_period)
+                           .lint(config_.base.lint_mode, config_.base.lint_config)
+                           .kp(*kp)
+                           .rng_seed(config_.rng_seed_base == 0
+                                         ? 0
+                                         : config_.rng_seed_base + i)
+                           .log_context(&device.log_)
+                           .build();
+    if (config_.enable_obs) {
+      device.platform_->machine().obs().enable();
+    }
+    if (auto boot = device.platform_->boot(); !boot.is_ok()) {
+      device.status_ = boot.status();
+    }
+  });
+  for (const std::unique_ptr<FleetDevice>& device : devices_) {
+    if (!device->status_.is_ok()) {
+      return device->status_;
+    }
+  }
+  return Status::ok();
+}
+
+Status Fleet::deploy(std::string_view source, std::string_view release_name,
+                     unsigned version) {
+  auto object = isa::assemble(source);
+  if (!object.is_ok()) {
+    return object.status();
+  }
+  golden_.add_release(std::string(release_name), version, *object);
+  // Each device loads its own copy; the shared ObjectFile is read-only from
+  // here on.
+  const isa::ObjectFile& image = *object;
+  pool_.parallel_for(devices_.size(), [&](std::size_t i) {
+    FleetDevice& device = *devices_[i];
+    if (!device.status_.is_ok()) {
+      return;
+    }
+    auto handle = device.platform_->load_task(
+        isa::ObjectFile(image), {.name = std::string(release_name)});
+    if (!handle.is_ok()) {
+      device.status_ = handle.status();
+      return;
+    }
+    device.task_ = *handle;
+  });
+  for (const std::unique_ptr<FleetDevice>& device : devices_) {
+    if (!device->status_.is_ok()) {
+      return device->status_;
+    }
+  }
+  return Status::ok();
+}
+
+void Fleet::run(std::uint64_t cycles) {
+  const std::uint64_t quantum = config_.quantum == 0 ? cycles : config_.quantum;
+  for (std::uint64_t done = 0; done < cycles; done += quantum) {
+    const std::uint64_t slice = std::min(quantum, cycles - done);
+    pool_.parallel_for(devices_.size(), [&](std::size_t i) {
+      FleetDevice& device = *devices_[i];
+      if (device.status_.is_ok() && device.platform_->booted()) {
+        device.platform_->run_for(slice);
+      }
+    });
+  }
+}
+
+std::size_t Fleet::attest_all(std::string_view release_name) {
+  // Challenger construction reads the manufacturer ledger (const) — still
+  // done here, per device, so Ka never has to be stored fleet-side.
+  pool_.parallel_for(devices_.size(), [&](std::size_t i) {
+    FleetDevice& device = *devices_[i];
+    if (!device.status_.is_ok() || device.task_ == rtos::kNoTask) {
+      return;
+    }
+    if (device.challenger_ == nullptr) {
+      auto ka = manufacturer_.attestation_key(device.id_);
+      if (!ka.is_ok()) {
+        device.status_ = ka.status();
+        return;
+      }
+      // Distinct, deterministic nonce stream per device.
+      device.challenger_ = std::make_unique<verifier::Challenger>(
+          *ka, golden_, /*nonce_seed=*/0x6e6f'6e63'6500ull + device.id_);
+    }
+    device.nonce_ = device.challenger_->issue_challenge();
+    auto report = device.platform_->remote_attest().attest_task(device.task_,
+                                                                device.nonce_);
+    if (!report.is_ok()) {
+      device.status_ = report.status();
+      return;
+    }
+    device.report_ = *report;
+    device.attested_ = true;
+    device.outcome_ = device.challenger_->verify(device.report_, release_name);
+  });
+  std::size_t verified = 0;
+  for (const std::unique_ptr<FleetDevice>& device : devices_) {
+    if (device->attested_ && device->outcome_.ok()) {
+      ++verified;
+    }
+  }
+  return verified;
+}
+
+void Fleet::aggregate_metrics() {
+  metrics_.clear();
+  for (const std::unique_ptr<FleetDevice>& device : devices_) {
+    if (device->platform_ == nullptr) {
+      continue;
+    }
+    obs::Hub& hub = device->platform_->machine().obs();
+    if (hub.enabled()) {
+      hub.flush();
+      metrics_.merge_from(hub.metrics());
+    }
+  }
+  const Totals t = totals();
+  metrics_.counter("fleet.devices").inc(devices_.size());
+  metrics_.counter("fleet.cycles").inc(t.cycles);
+  metrics_.counter("fleet.instructions").inc(t.instructions);
+  metrics_.counter("fleet.interrupts").inc(t.interrupts);
+  metrics_.counter("fleet.faults").inc(t.faults);
+  metrics_.counter("fleet.attestations").inc(t.attested);
+  metrics_.counter("fleet.attestations_verified").inc(t.verified);
+}
+
+Fleet::Totals Fleet::totals() const {
+  Totals t;
+  for (const std::unique_ptr<FleetDevice>& device : devices_) {
+    if (device->platform_ == nullptr) {
+      continue;
+    }
+    const sim::Machine& machine = device->platform_->machine();
+    t.cycles += machine.cycles();
+    t.instructions += machine.instructions_executed();
+    t.interrupts += machine.interrupts_dispatched();
+    t.faults += machine.fault_count();
+    if (device->attested_) {
+      ++t.attested;
+      if (device->outcome_.ok()) {
+        ++t.verified;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace tytan::fleet

@@ -1,0 +1,135 @@
+// A fleet of independent TyTAN platforms driven concurrently.
+//
+// The fleet owns N fully self-contained core::Platform instances — each with
+// its own machine, devices, per-device Kp (provisioned by a
+// verifier::Manufacturer), per-device RNG seed, and per-device LogContext —
+// and advances them on a fixed-size thread pool in round-robin cycle quanta:
+// every round, each device runs `quantum` simulated cycles, with a barrier
+// between rounds.
+//
+// Thread-safety invariant: one thread drives a Platform at a time, and
+// Platforms share no mutable state, so any device may run on any worker in
+// any round without synchronization beyond the round barrier.  A device's
+// simulation is therefore byte-identical regardless of thread count — the
+// property tests/test_fleet.cc pins down.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/platform_builder.h"
+#include "fleet/thread_pool.h"
+#include "obs/metrics.h"
+#include "verifier/verifier.h"
+
+namespace tytan::fleet {
+
+struct FleetConfig {
+  std::size_t device_count = 1;
+  std::size_t threads = 1;
+  /// Round-robin slice: simulated cycles each device advances per round.
+  std::uint64_t quantum = 100'000;
+  /// Seed for the manufacturer's key-provisioning ladder (per-device Kp).
+  std::uint64_t manufacturer_seed = 0x7479'7461'6e21ull;
+  /// Device i's nonce RNG is seeded rng_seed_base + i (0 => device default).
+  std::uint64_t rng_seed_base = 0x5eed'0000'0000'0001ull;
+  /// Enable per-device observability (event bus + metrics + accounting) so
+  /// fleet-level metrics can be aggregated.  Costs host time, never cycles.
+  bool enable_obs = true;
+  /// Template for every device's Platform::Config; kp, rng_seed, and log are
+  /// overridden per device.
+  core::Platform::Config base{};
+};
+
+/// One simulated device plus the fleet-side state needed to drive and
+/// attest it.  All members are exclusive to the device; the fleet hands a
+/// device to at most one worker thread at a time.
+class FleetDevice {
+ public:
+  [[nodiscard]] verifier::DeviceId id() const { return id_; }
+  [[nodiscard]] core::Platform& platform() { return *platform_; }
+  [[nodiscard]] const core::Platform& platform() const { return *platform_; }
+  [[nodiscard]] LogContext& log_context() { return log_; }
+  [[nodiscard]] rtos::TaskHandle task() const { return task_; }
+  [[nodiscard]] std::uint64_t nonce() const { return nonce_; }
+  [[nodiscard]] const core::AttestationReport& report() const { return report_; }
+  [[nodiscard]] const verifier::VerifyOutcome& outcome() const { return outcome_; }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] bool attested() const { return attested_; }
+
+ private:
+  friend class Fleet;
+
+  verifier::DeviceId id_ = 0;
+  LogContext log_;
+  std::unique_ptr<core::Platform> platform_;
+  std::unique_ptr<verifier::Challenger> challenger_;
+  rtos::TaskHandle task_ = rtos::kNoTask;
+  std::uint64_t nonce_ = 0;
+  bool attested_ = false;
+  core::AttestationReport report_{};
+  verifier::VerifyOutcome outcome_{verifier::VerifyOutcome::Code::kUnknownChallenge,
+                                   nullptr};
+  Status status_;  ///< first error hit while driving this device
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config);
+
+  /// Provision a Kp for every device (sequential — the manufacturer is the
+  /// one shared trust root), then build and boot every platform in parallel.
+  Status bring_up();
+
+  /// Assemble `source` once, register it in the golden database as
+  /// `release_name` version `version`, and load it on every device in
+  /// parallel.  bring_up() must have succeeded.
+  Status deploy(std::string_view source, std::string_view release_name,
+                unsigned version);
+
+  /// Advance every device by `cycles` simulated cycles, in round-robin
+  /// quanta of config().quantum with a barrier between rounds.
+  void run(std::uint64_t cycles);
+
+  /// Challenge-response attestation sweep: issue a fresh nonce per device,
+  /// collect the device's report, verify it against the golden database.
+  /// Returns the number of devices whose reports verified.
+  std::size_t attest_all(std::string_view release_name);
+
+  /// Fold every device's obs metrics into the fleet registry (no-op for
+  /// devices without obs enabled) and refresh the fleet rollup counters.
+  void aggregate_metrics();
+
+  // -- access ----------------------------------------------------------------
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+  [[nodiscard]] FleetDevice& device(std::size_t i) { return *devices_[i]; }
+  [[nodiscard]] const FleetDevice& device(std::size_t i) const { return *devices_[i]; }
+  [[nodiscard]] verifier::Manufacturer& manufacturer() { return manufacturer_; }
+  [[nodiscard]] verifier::GoldenDatabase& golden_db() { return golden_; }
+  /// Fleet-level metrics: per-device registries merged, plus fleet.* rollups
+  /// (devices, cycles, instructions, attestations issued/verified).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+  struct Totals {
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t faults = 0;
+    std::size_t attested = 0;
+    std::size_t verified = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  FleetConfig config_;
+  verifier::Manufacturer manufacturer_;
+  verifier::GoldenDatabase golden_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<FleetDevice>> devices_;
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace tytan::fleet

@@ -1,0 +1,51 @@
+// Fixed-size worker pool for the fleet runner.
+//
+// The only primitive the fleet needs is a blocking parallel_for: run
+// fn(0..count-1) across the workers, return when every index completed.
+// Indices are claimed dynamically (an atomic cursor under the pool mutex),
+// so a device that halts early never stalls a whole stripe, and the barrier
+// at the end of each call is what gives the fleet its round-robin cycle
+// quanta semantics.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tytan::fleet {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 is coerced to 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Invoke fn(i) for every i in [0, count), distributed over the workers;
+  /// blocks until all invocations return.  fn must not throw.  Not
+  /// reentrant — one parallel_for at a time.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers wait for a new generation
+  std::condition_variable done_cv_;   ///< caller waits for pending_ == 0
+  std::uint64_t generation_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tytan::fleet

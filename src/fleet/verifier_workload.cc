@@ -1,0 +1,65 @@
+#include "fleet/verifier_workload.h"
+
+#include <chrono>
+
+namespace tytan::fleet {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+std::string default_task_source() {
+  return R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    addi r6, 1          ; heartbeat counter
+    movi r0, 2          ; kSysDelay
+    movi r1, 5          ; sleep five ticks
+    int  0x21
+    jmp  main
+)";
+}
+
+WorkloadResult run_verifier_workload(Fleet& fleet, const WorkloadConfig& config) {
+  WorkloadResult result;
+  result.devices = fleet.size();
+  const Clock::time_point t0 = Clock::now();
+
+  result.status = fleet.bring_up();
+  result.boot_seconds = seconds_since(t0);
+  if (result.status.is_ok()) {
+    const std::string source =
+        config.task_source.empty() ? default_task_source() : config.task_source;
+    result.status =
+        fleet.deploy(source, config.release_name, config.release_version);
+  }
+
+  if (result.status.is_ok()) {
+    const Clock::time_point run_start = Clock::now();
+    fleet.run(config.cycles);
+    result.run_seconds = seconds_since(run_start);
+
+    const Clock::time_point attest_start = Clock::now();
+    result.verified = fleet.attest_all(config.release_name);
+    result.attest_seconds = seconds_since(attest_start);
+  }
+
+  fleet.aggregate_metrics();
+  result.totals = fleet.totals();
+  result.attested = result.totals.attested;
+  result.total_seconds = seconds_since(t0);
+  return result;
+}
+
+WorkloadResult run_verifier_workload(const WorkloadConfig& config) {
+  Fleet fleet(config.fleet);
+  return run_verifier_workload(fleet, config);
+}
+
+}  // namespace tytan::fleet

@@ -17,6 +17,19 @@ void Histogram::observe(std::uint64_t value) {
   max_ = std::max(max_, value);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i <= kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  min_ = (count_ == 0) ? other.min_ : std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   auto& slot = counters_[name];
   if (slot == nullptr) {
@@ -85,6 +98,37 @@ std::string MetricsRegistry::format_table() const {
        << " max=" << h->max() << '\n';
   }
   return os.str();
+}
+
+void MetricsRegistry::visit_counters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  for (const auto& [name, c] : counters_) {
+    fn(name, *c);
+  }
+}
+
+void MetricsRegistry::visit_gauges(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  for (const auto& [name, g] : gauges_) {
+    fn(name, *g);
+  }
+}
+
+void MetricsRegistry::visit_histograms(
+    const std::function<void(const std::string&, const Histogram&)>& fn) const {
+  for (const auto& [name, h] : histograms_) {
+    fn(name, *h);
+  }
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  other.visit_counters(
+      [this](const std::string& name, const Counter& c) { counter(name).inc(c.value()); });
+  other.visit_gauges(
+      [this](const std::string& name, const Gauge& g) { gauge(name).add(g.value()); });
+  other.visit_histograms([this](const std::string& name, const Histogram& h) {
+    histogram(name).merge(h);
+  });
 }
 
 void MetricsRegistry::clear() {

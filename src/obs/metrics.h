@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -41,6 +42,9 @@ class Histogram {
 
   void observe(std::uint64_t value);
 
+  /// Fold another histogram's samples into this one (fleet aggregation).
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] std::uint64_t sum() const { return sum_; }
   [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
@@ -74,6 +78,19 @@ class MetricsRegistry {
   /// Sorted "name value" summary table (counters, gauges, then histograms
   /// with count/mean/min/max), for --metrics and the tests.
   [[nodiscard]] std::string format_table() const;
+
+  /// Ordered iteration, for exporters and fleet-level rollups.
+  void visit_counters(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void visit_gauges(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void visit_histograms(
+      const std::function<void(const std::string&, const Histogram&)>& fn) const;
+
+  /// Fold `other` into this registry: counters and gauges add, histograms
+  /// merge sample-wise.  Used to aggregate per-device registries into
+  /// fleet-level metrics; `other` must not be mutated concurrently.
+  void merge_from(const MetricsRegistry& other);
 
   void clear();
 

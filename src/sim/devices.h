@@ -168,10 +168,16 @@ class CanBusDevice : public Device {
   std::uint64_t rx_overflows_ = 0;
 };
 
-/// Deterministic xorshift RNG for nonces.
+/// Deterministic xorshift RNG for nonces.  The seed is per-instance
+/// (Platform::Config::rng_seed) so fleet devices draw distinct but
+/// reproducible nonce streams; a zero seed is coerced to the default
+/// (xorshift has an all-zero fixed point).
 class RngDevice : public Device {
  public:
-  explicit RngDevice(std::uint64_t seed = 0x1234'5678'9abc'def0ull) : state_(seed) {}
+  static constexpr std::uint64_t kDefaultSeed = 0x1234'5678'9abc'def0ull;
+
+  explicit RngDevice(std::uint64_t seed = kDefaultSeed)
+      : state_(seed != 0 ? seed : kDefaultSeed) {}
 
   [[nodiscard]] std::string_view name() const override { return "rng"; }
   [[nodiscard]] std::uint32_t base() const override { return kMmioRng; }

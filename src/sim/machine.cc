@@ -32,7 +32,10 @@ std::string FaultInfo::to_string() const {
   return os.str();
 }
 
-Machine::Machine(CostModel costs) : costs_(costs) { obs_.set_clock(&cycles_); }
+Machine::Machine(CostModel costs, const LogContext* log)
+    : costs_(costs), log_(log != nullptr ? log : &process_log_context()) {
+  obs_.set_clock(&cycles_);
+}
 
 std::int32_t Machine::current_task_context() const {
   return task_context_ ? task_context_() : -1;
@@ -101,7 +104,7 @@ void Machine::raise_fault(const FaultInfo& fault) {
   ++fault_count_;
   obs_.emit(obs::EventKind::kFault, current_task_context(),
             static_cast<std::uint32_t>(fault.type), fault.eip);
-  TYTAN_LOG(LogLevel::kDebug, "machine") << "fault: " << fault.to_string();
+  TYTAN_CLOG(log(), LogLevel::kDebug, "machine") << "fault: " << fault.to_string();
   if (in_fault_dispatch_) {
     halt(HaltReason::kDoubleFault);
     in_fault_dispatch_ = false;

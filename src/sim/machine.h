@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "common/log.h"
 #include "common/status.h"
 #include "obs/hub.h"
 #include "sim/cost_model.h"
@@ -42,7 +43,17 @@ enum class StepOutcome : std::uint8_t {
 
 class Machine {
  public:
-  explicit Machine(CostModel costs = {});
+  /// `log` may be nullptr, meaning the process-default context.  Machines
+  /// built by a fleet get a per-platform context so concurrent devices never
+  /// share mutable log state.
+  explicit Machine(CostModel costs = {}, const LogContext* log = nullptr);
+
+  // The obs hub's clock and the firmware handlers' captured references are
+  // wired to this object once, in the constructor — a Machine never moves.
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  Machine(Machine&&) = delete;
+  Machine& operator=(Machine&&) = delete;
 
   // -- component access -------------------------------------------------------
   [[nodiscard]] PhysicalMemory& memory() { return memory_; }
@@ -122,11 +133,14 @@ class Machine {
   [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
 
   /// Structured observability (event bus + metrics + per-task accounting).
-  /// Disabled by default; never charges simulated cycles.
-  [[nodiscard]] obs::Hub& obs() {
-    obs_.set_clock(&cycles_);  // re-wire in case the Machine object moved
-    return obs_;
-  }
+  /// Disabled by default; never charges simulated cycles.  The clock is
+  /// wired once in the constructor (Machine is non-movable).
+  [[nodiscard]] obs::Hub& obs() { return obs_; }
+  [[nodiscard]] const obs::Hub& obs() const { return obs_; }
+
+  /// The log context this machine (and every component built on it) emits
+  /// through.  Defaults to the process-wide context.
+  [[nodiscard]] const LogContext& log() const { return *log_; }
 
   /// Source of the current rtos task handle, wired by the platform so the
   /// tracer can stamp entries with the running task (-1 when unknown).  Only
@@ -197,6 +211,7 @@ class Machine {
   std::uint64_t fw_invocations_ = 0;
   std::unique_ptr<Tracer> tracer_;
   obs::Hub obs_;
+  const LogContext* log_;  ///< never null; defaults to process_log_context()
   std::function<std::int32_t()> task_context_;
 };
 

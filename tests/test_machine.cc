@@ -2,6 +2,8 @@
 // on a bare machine (no EA-MPU policy).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "isa/assembler.h"
 #include "sim/devices.h"
 #include "sim/machine.h"
@@ -13,10 +15,14 @@ constexpr std::uint32_t kCodeBase = 0x40000;
 constexpr std::uint32_t kStackTop = 0x48000;
 
 /// Assemble and run `source` at kCodeBase until HLT (or cycle limit).
-Machine run_program(std::string_view source, std::uint64_t limit = 200'000) {
+std::unique_ptr<Machine> run_program(std::string_view source,
+                                     std::uint64_t limit = 200'000) {
   auto object = isa::assemble(source);
   EXPECT_TRUE(object.is_ok()) << object.status().to_string();
-  Machine machine;
+  // Machine is non-movable (the obs clock is wired to it once, in the
+  // constructor), so the helper hands back a unique_ptr.
+  auto machine_ptr = std::make_unique<Machine>();
+  Machine& machine = *machine_ptr;
   ByteVec image = object->image;
   for (const isa::Relocation& reloc : object->relocs) {
     // Minimal loader for bare tests.
@@ -36,11 +42,11 @@ Machine run_program(std::string_view source, std::uint64_t limit = 200'000) {
   machine.cpu().eip = kCodeBase + object->entry;
   machine.cpu().set_sp(kStackTop);
   machine.run(limit);
-  return machine;
+  return machine_ptr;
 }
 
 TEST(Machine, ArithmeticAndFlags) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       movi r0, 10
       addi r0, 5
       movi r1, 3
@@ -49,21 +55,23 @@ TEST(Machine, ArithmeticAndFlags) {
       mul  r2, r0      ; r2 = 48
       hlt
   )");
+  Machine& m = *m_ptr;
   EXPECT_EQ(m.halt_reason(), HaltReason::kHltInstruction);
   EXPECT_EQ(m.cpu().regs[0], 12u);
   EXPECT_EQ(m.cpu().regs[2], 48u);
 }
 
 TEST(Machine, Immediate32BitMaterialization) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       li r3, 0xdeadbeef
       hlt
   )");
+  Machine& m = *m_ptr;
   EXPECT_EQ(m.cpu().regs[3], 0xdeadbeefu);
 }
 
 TEST(Machine, LoopWithConditionalBranch) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       movi r0, 0
       movi r1, 10
   loop:
@@ -72,11 +80,12 @@ TEST(Machine, LoopWithConditionalBranch) {
       jnz  loop
       hlt
   )");
+  Machine& m = *m_ptr;
   EXPECT_EQ(m.cpu().regs[0], 10u);
 }
 
 TEST(Machine, SignedComparisons) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       movi r0, -3
       cmpi r0, 2
       jlt  is_less
@@ -86,11 +95,12 @@ TEST(Machine, SignedComparisons) {
       movi r5, 1
       hlt
   )");
+  Machine& m = *m_ptr;
   EXPECT_EQ(m.cpu().regs[5], 1u);
 }
 
 TEST(Machine, UnsignedComparisonViaCarry) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       movi r0, 1
       cmpi r0, 2        ; 1 - 2 borrows -> carry set
       jc   below
@@ -100,11 +110,12 @@ TEST(Machine, UnsignedComparisonViaCarry) {
       movi r5, 1
       hlt
   )");
+  Machine& m = *m_ptr;
   EXPECT_EQ(m.cpu().regs[5], 1u);
 }
 
 TEST(Machine, MemoryLoadsAndStores) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       li   r1, buffer
       movi r2, 0x55
       stw  r2, [r1]
@@ -115,12 +126,13 @@ TEST(Machine, MemoryLoadsAndStores) {
   buffer:
       .word 0, 0
   )");
+  Machine& m = *m_ptr;
   EXPECT_EQ(m.cpu().regs[3], 0x55u);
   EXPECT_EQ(m.cpu().regs[4], 0x55u);
 }
 
 TEST(Machine, CallRetAndStack) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       movi r0, 5
       call double
       call double
@@ -129,18 +141,20 @@ TEST(Machine, CallRetAndStack) {
       add r0, r0
       ret
   )");
+  Machine& m = *m_ptr;
   EXPECT_EQ(m.cpu().regs[0], 20u);
   EXPECT_EQ(m.cpu().sp(), kStackTop);  // balanced
 }
 
 TEST(Machine, PushPop) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       movi r0, 7
       push r0
       movi r0, 0
       pop  r1
       hlt
   )");
+  Machine& m = *m_ptr;
   EXPECT_EQ(m.cpu().regs[1], 7u);
 }
 
@@ -215,11 +229,12 @@ TEST(Machine, FaultVectorsToHandler) {
 }
 
 TEST(Machine, BusErrorOnOutOfBounds) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       li  r1, 0x200000      ; beyond physical memory
       ldw r2, [r1]
       hlt
   )", 1'000);
+  Machine& m = *m_ptr;
   EXPECT_EQ(m.last_fault().type, FaultType::kBusError);
 }
 
@@ -306,21 +321,23 @@ TEST(Machine, CliMasksInterrupts) {
 }
 
 TEST(Machine, RdcycReadsClock) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       rdcyc r0
       nop
       nop
       rdcyc r1
       hlt
   )");
+  Machine& m = *m_ptr;
   EXPECT_GT(m.cpu().regs[1], m.cpu().regs[0]);
 }
 
 TEST(Machine, CycleAccounting) {
-  Machine m = run_program(R"(
+  auto m_ptr = run_program(R"(
       movi r0, 1
       hlt
   )");
+  Machine& m = *m_ptr;
   // movi (1) + hlt (1) = 2 cycles exactly on the bare machine.
   EXPECT_EQ(m.cycles(), 2u);
   EXPECT_EQ(m.instructions_executed(), 2u);

@@ -1,0 +1,166 @@
+// tytan-fleet — drive a fleet of TyTAN devices through the remote-attestation
+// verifier workload.
+//
+//   tytan-fleet [options]
+//     --devices N     number of independent platforms (default 8)
+//     --threads T     worker threads advancing the fleet (default 1)
+//     --cycles C      simulated cycles per device (default 2,000,000)
+//     --quantum Q     round-robin slice in cycles (default 100,000)
+//     --task FILE     Peak-32 source to deploy (default: built-in heartbeat)
+//     --json FILE     write fleet results + host timing as JSON
+//     --metrics       print the aggregated fleet metrics registry
+//
+// stdout is deterministic for a given fleet config — the same devices, seeds,
+// and cycles produce byte-identical reports whatever --threads is.  Host-side
+// timing (wall clock, devices/sec, attestations/sec) goes to stderr and the
+// JSON file only.  Exits 0 iff every device's report verified.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fleet/verifier_workload.h"
+#include "obs/export.h"
+
+using namespace tytan;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tytan-fleet [--devices N] [--threads T] [--cycles C]\n"
+               "                   [--quantum Q] [--task FILE] [--json FILE] [--metrics]\n");
+  return 2;
+}
+
+void write_json(const std::string& path, const fleet::Fleet& fleet,
+                const fleet::WorkloadConfig& config,
+                const fleet::WorkloadResult& result) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"devices\": " << result.devices << ",\n";
+  out << "  \"threads\": " << config.fleet.threads << ",\n";
+  out << "  \"cycles\": " << config.cycles << ",\n";
+  out << "  \"quantum\": " << config.fleet.quantum << ",\n";
+  out << "  \"attested\": " << result.attested << ",\n";
+  out << "  \"verified\": " << result.verified << ",\n";
+  out << "  \"total_cycles\": " << result.totals.cycles << ",\n";
+  out << "  \"total_instructions\": " << result.totals.instructions << ",\n";
+  out << "  \"boot_seconds\": " << result.boot_seconds << ",\n";
+  out << "  \"run_seconds\": " << result.run_seconds << ",\n";
+  out << "  \"attest_seconds\": " << result.attest_seconds << ",\n";
+  out << "  \"total_seconds\": " << result.total_seconds << ",\n";
+  out << "  \"devices_per_sec\": " << result.devices_per_sec() << ",\n";
+  out << "  \"attests_per_sec\": " << result.attests_per_sec() << ",\n";
+  out << "  \"reports\": [\n";
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const fleet::FleetDevice& device = fleet.device(i);
+    out << "    {\"device\": " << device.id() << ", \"outcome\": \""
+        << verifier::verify_outcome_name(device.outcome().code)
+        << "\", \"report\": \""
+        << (device.attested() ? hex_encode(device.report().serialize()) : "")
+        << "\"}" << (i + 1 < fleet.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::ofstream file(path);
+  file << out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fleet::WorkloadConfig config;
+  config.fleet.device_count = 8;
+  std::string json_path;
+  std::string task_path;
+  bool metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tytan-fleet: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--devices") {
+      config.fleet.device_count = std::strtoull(next("--devices"), nullptr, 0);
+    } else if (arg == "--threads") {
+      config.fleet.threads = std::strtoull(next("--threads"), nullptr, 0);
+    } else if (arg == "--cycles") {
+      config.cycles = std::strtoull(next("--cycles"), nullptr, 0);
+    } else if (arg == "--quantum") {
+      config.fleet.quantum = std::strtoull(next("--quantum"), nullptr, 0);
+    } else if (arg == "--task") {
+      task_path = next("--task");
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else {
+      return usage();
+    }
+  }
+  if (config.fleet.device_count == 0) {
+    std::fprintf(stderr, "tytan-fleet: --devices must be at least 1\n");
+    return 2;
+  }
+  if (!task_path.empty()) {
+    std::ifstream in(task_path);
+    if (!in) {
+      std::fprintf(stderr, "tytan-fleet: cannot open '%s'\n", task_path.c_str());
+      return 1;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+    config.task_source = source.str();
+  }
+
+  fleet::Fleet fleet(config.fleet);
+  const fleet::WorkloadResult result = fleet::run_verifier_workload(fleet, config);
+  if (!result.status.is_ok()) {
+    std::fprintf(stderr, "tytan-fleet: workload failed: %s\n",
+                 result.status.to_string().c_str());
+    return 1;
+  }
+
+  // Deterministic per-device results — stdout only.
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const fleet::FleetDevice& device = fleet.device(i);
+    std::printf("device %3u  cycles=%llu  nonce=%016llx  %-9s  report=%s\n",
+                device.id(),
+                static_cast<unsigned long long>(device.platform().machine().cycles()),
+                static_cast<unsigned long long>(device.nonce()),
+                verifier::verify_outcome_name(device.outcome().code),
+                device.attested() ? hex_encode(device.report().serialize()).c_str()
+                                  : "-");
+  }
+  std::printf("fleet: %zu devices, %zu attested, %zu verified\n", result.devices,
+              result.attested, result.verified);
+  if (metrics) {
+    std::printf("\n--- fleet metrics ---\n");
+    fleet.metrics().visit_counters(
+        [](const std::string& name, const obs::Counter& counter) {
+          std::printf("  %-32s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(counter.value()));
+        });
+  }
+
+  // Host-side timing — stderr, so stdout stays thread-count-invariant.
+  std::fprintf(stderr,
+               "timing: boot=%.3fs run=%.3fs attest=%.3fs total=%.3fs "
+               "(%.1f devices/sec, %.1f attests/sec, %zu threads)\n",
+               result.boot_seconds, result.run_seconds, result.attest_seconds,
+               result.total_seconds, result.devices_per_sec(),
+               result.attests_per_sec(), fleet.config().threads);
+
+  if (!json_path.empty()) {
+    write_json(json_path, fleet, config, result);
+  }
+  return result.all_verified() ? 0 : 1;
+}
