@@ -1,0 +1,135 @@
+// Telemetry & profiler overhead bench — the cost of observing a fleet.
+//
+// The observability contract is "free when off, cheap when on, and never a
+// single simulated cycle either way".  This bench measures the host-side
+// price of (a) fleet telemetry snapshots + anomaly rules and (b) the guest-PC
+// sampling profiler, and *asserts* the simulated-cycle invariant: the same
+// workload must execute an identical number of simulated cycles with the
+// feature on and off.  The paper has no telemetry numbers, so every row's
+// paper value is 0.
+#include <chrono>
+
+#include "bench_util.h"
+#include "core/platform.h"
+#include "fleet/verifier_workload.h"
+
+using namespace tytan;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport report("telemetry", options);
+
+  const std::size_t devices = options.smoke ? 4 : 8;
+  const std::uint64_t cycles = options.smoke ? 200'000 : 1'000'000;
+
+  // ---- fleet telemetry: off vs on ---------------------------------------
+  bench::Table fleet_table("Fleet telemetry overhead (" + bench::num(devices) +
+                           " devices, " + bench::num(cycles) + " cycles each)");
+  fleet_table.columns({"telemetry", "total s", "snapshots", "anomalies",
+                       "sim cycles"});
+
+  std::uint64_t fleet_cycles_off = 0;
+  std::uint64_t fleet_cycles_on = 0;
+  for (const bool enabled : {false, true}) {
+    fleet::WorkloadConfig config;
+    config.fleet.device_count = devices;
+    config.fleet.threads = 2;
+    config.fleet.telemetry.enabled = enabled;
+    config.cycles = cycles;
+    fleet::Fleet fleet(config.fleet);
+    const fleet::WorkloadResult result = fleet::run_verifier_workload(fleet, config);
+    if (!result.status.is_ok()) {
+      std::fprintf(stderr, "bench_telemetry: workload failed: %s\n",
+                   result.status.to_string().c_str());
+      return 1;
+    }
+    (enabled ? fleet_cycles_on : fleet_cycles_off) = result.totals.cycles;
+    const std::size_t snapshots = fleet.telemetry().snapshots().size();
+    const std::size_t anomalies = fleet.telemetry().anomalies().size();
+    fleet_table.row({enabled ? "on" : "off", bench::fixed(result.total_seconds, 3),
+                     bench::num(snapshots), bench::num(anomalies),
+                     bench::num(result.totals.cycles)});
+    const std::string prefix = enabled ? "telemetry_on" : "telemetry_off";
+    report.add(prefix + ".total_ms",
+               static_cast<std::uint64_t>(result.total_seconds * 1000.0), 0);
+    report.add(prefix + ".snapshots", snapshots, 0);
+    report.add(prefix + ".sim_cycles", result.totals.cycles, 0);
+  }
+  fleet_table.print();
+
+  if (fleet_cycles_off != fleet_cycles_on) {
+    std::fprintf(stderr,
+                 "bench_telemetry: telemetry changed simulated cycles "
+                 "(%llu off vs %llu on) — cost invariant broken\n",
+                 static_cast<unsigned long long>(fleet_cycles_off),
+                 static_cast<unsigned long long>(fleet_cycles_on));
+    return 1;
+  }
+
+  // ---- sampling profiler: off vs on -------------------------------------
+  const std::uint64_t profile_cycles = options.smoke ? 500'000 : 4'000'000;
+  bench::Table prof_table("Sampling profiler overhead (" +
+                          bench::num(profile_cycles) + " cycles, interval " +
+                          bench::num(obs::SampleProfiler::kDefaultInterval) + ")");
+  prof_table.columns({"profiler", "host s", "samples", "sim cycles", "instr"});
+
+  std::uint64_t prof_cycles_off = 0;
+  std::uint64_t prof_cycles_on = 0;
+  for (const bool enabled : {false, true}) {
+    core::Platform platform;
+    if (enabled) {
+      platform.machine().enable_profiler(obs::SampleProfiler::kDefaultInterval);
+    }
+    if (!platform.boot().is_ok()) {
+      std::fprintf(stderr, "bench_telemetry: boot failed\n");
+      return 1;
+    }
+    auto task = platform.load_task_source(fleet::default_task_source(),
+                                          {.name = "heartbeat"});
+    if (!task.is_ok()) {
+      std::fprintf(stderr, "bench_telemetry: load failed: %s\n",
+                   task.status().to_string().c_str());
+      return 1;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    platform.run_for(profile_cycles);
+    const double host_seconds = seconds_since(start);
+    const std::uint64_t sim_cycles = platform.machine().cycles();
+    (enabled ? prof_cycles_on : prof_cycles_off) = sim_cycles;
+    const std::uint64_t samples =
+        enabled ? platform.machine().profiler()->taken() : 0;
+    prof_table.row({enabled ? "on" : "off", bench::fixed(host_seconds, 3),
+                    bench::num(samples), bench::num(sim_cycles),
+                    bench::num(platform.machine().instructions_executed())});
+    const std::string prefix = enabled ? "profiler_on" : "profiler_off";
+    report.add(prefix + ".host_ms",
+               static_cast<std::uint64_t>(host_seconds * 1000.0), 0);
+    report.add(prefix + ".samples", samples, 0);
+    report.add(prefix + ".sim_cycles", sim_cycles, 0);
+  }
+  prof_table.print();
+
+  if (prof_cycles_off != prof_cycles_on) {
+    std::fprintf(stderr,
+                 "bench_telemetry: profiler changed simulated cycles "
+                 "(%llu off vs %llu on) — cost invariant broken\n",
+                 static_cast<unsigned long long>(prof_cycles_off),
+                 static_cast<unsigned long long>(prof_cycles_on));
+    return 1;
+  }
+
+  std::printf("\nsimulated work identical with observability on and off "
+              "(fleet %llu cycles, single device %llu cycles)\n",
+              static_cast<unsigned long long>(fleet_cycles_on),
+              static_cast<unsigned long long>(prof_cycles_on));
+  return 0;
+}

@@ -60,7 +60,13 @@ Result<AttestationReport> RemoteAttest::attest_task(rtos::TaskHandle handle,
   if (entry == nullptr) {
     return make_error(Err::kNotFound, "attest: task not in RTM registry");
   }
-  return attest_identity(entry->identity, nonce);
+  const std::uint64_t start = machine_.cycles();
+  auto report = attest_identity(entry->identity, nonce);
+  if (report.is_ok()) {
+    machine_.obs().emit(obs::EventKind::kAttest, handle,
+                        static_cast<std::uint32_t>(machine_.cycles() - start));
+  }
+  return report;
 }
 
 Result<rtos::TaskIdentity> RemoteAttest::local_attest(rtos::TaskHandle handle) {

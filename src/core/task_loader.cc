@@ -417,6 +417,13 @@ bool TaskLoader::quantum_register() {
   if (job.params.auto_start) {
     scheduler_.make_ready(job.handle);
   }
+  if (machine_.profiler() != nullptr) {
+    // Side table for the sampling profiler: the task's code region plus the
+    // TBF symbol table (every assembler label), so samples resolve to
+    // task + symbol without touching the simulated state.
+    machine_.profiler()->add_region(job.handle, job.params.name, tcb->region_base,
+                                    tcb->region_size, job.object.symbols);
+  }
   stats_.total = machine_.cycles() - job.start_cycles;
   machine_.obs().emit(obs::EventKind::kLoadDone, job.handle,
                       static_cast<std::uint32_t>(stats_.total));
@@ -472,6 +479,9 @@ Status TaskLoader::unload(TaskHandle handle) {
     // Wipe the region so secrets never leak into the next allocation.
     machine_.memory().fill(tcb->region_base, tcb->region_size, 0);
     arena_.free(tcb->region_base);
+  }
+  if (machine_.profiler() != nullptr) {
+    machine_.profiler()->remove_region(handle);
   }
   return scheduler_.destroy(handle);
 }

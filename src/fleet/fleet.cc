@@ -7,10 +7,14 @@ namespace tytan::fleet {
 Fleet::Fleet(FleetConfig config)
     : config_(config),
       manufacturer_(config.manufacturer_seed),
-      pool_(config.threads) {
+      pool_(config.threads),
+      telemetry_(config.telemetry.flight_events) {
   devices_.reserve(config_.device_count);
   for (std::size_t i = 0; i < config_.device_count; ++i) {
     devices_.push_back(std::make_unique<FleetDevice>());
+  }
+  if (config_.telemetry.enabled && config_.telemetry.default_rules) {
+    telemetry_.install_default_rules(config_.telemetry.thresholds);
   }
 }
 
@@ -94,6 +98,14 @@ void Fleet::run(std::uint64_t cycles) {
         device.platform_->run_for(slice);
       }
     });
+    // Snapshot at the round barrier, on this thread, in device order — the
+    // workers are parked, so telemetry sees a consistent fleet and its output
+    // is byte-identical whatever the thread count.
+    ++rounds_run_;
+    if (config_.telemetry.enabled && config_.telemetry.every_rounds != 0 &&
+        rounds_run_ % config_.telemetry.every_rounds == 0) {
+      snapshot_all();
+    }
   }
 }
 
@@ -116,21 +128,31 @@ std::size_t Fleet::attest_all(std::string_view release_name) {
           *ka, golden_, /*nonce_seed=*/0x6e6f'6e63'6500ull + device.id_);
     }
     device.nonce_ = device.challenger_->issue_challenge();
+    device.attest_total_ += 1;
     auto report = device.platform_->remote_attest().attest_task(device.task_,
                                                                 device.nonce_);
     if (!report.is_ok()) {
       device.status_ = report.status();
+      device.attest_failed_ += 1;
       return;
     }
     device.report_ = *report;
     device.attested_ = true;
     device.outcome_ = device.challenger_->verify(device.report_, release_name);
+    if (device.outcome_.ok()) {
+      device.attest_verified_ += 1;
+    } else {
+      device.attest_failed_ += 1;
+    }
   });
   std::size_t verified = 0;
   for (const std::unique_ptr<FleetDevice>& device : devices_) {
     if (device->attested_ && device->outcome_.ok()) {
       ++verified;
     }
+  }
+  if (config_.telemetry.enabled) {
+    snapshot_all();  // catch attestation verdicts at the sweep barrier
   }
   return verified;
 }
@@ -155,6 +177,73 @@ void Fleet::aggregate_metrics() {
   metrics_.counter("fleet.faults").inc(t.faults);
   metrics_.counter("fleet.attestations").inc(t.attested);
   metrics_.counter("fleet.attestations_verified").inc(t.verified);
+}
+
+void Fleet::snapshot_all() {
+  std::vector<obs::HealthSnapshot> round;
+  std::vector<const obs::EventBus*> buses;
+  round.reserve(devices_.size());
+  buses.reserve(devices_.size());
+  for (const std::unique_ptr<FleetDevice>& device : devices_) {
+    if (device->platform_ == nullptr) {
+      continue;
+    }
+    round.push_back(snapshot_device(*device));
+    obs::Hub& hub = device->platform_->machine().obs();
+    buses.push_back(hub.enabled() ? &hub.bus() : nullptr);
+  }
+  telemetry_.record_round(round, [&](std::size_t i) { return buses[i]; });
+}
+
+obs::HealthSnapshot Fleet::snapshot_device(FleetDevice& dev) {
+  obs::HealthSnapshot s;
+  core::Platform& platform = *dev.platform_;
+  const sim::Machine& machine = platform.machine();
+  s.device = dev.id_;
+  s.seq = ++dev.telemetry_seq_;
+  s.cycle = machine.cycles();
+  s.instructions = machine.instructions_executed();
+  s.faults = machine.fault_count();
+  s.fault_kills = platform.kernel().fault_kills();
+  s.interrupts = machine.interrupts_dispatched();
+  s.syscalls = platform.kernel().syscall_count();
+  s.ipc_delivered = platform.ipc_proxy().messages_delivered();
+  s.ipc_rejects = platform.ipc_proxy().messages_rejected();
+  s.attest_total = dev.attest_total_;
+  s.attest_verified = dev.attest_verified_;
+  s.attest_failed = dev.attest_failed_;
+  s.halted = machine.halted();
+  const obs::Hub& hub = machine.obs();
+  if (hub.enabled()) {
+    // Context switches have no component counter — they only exist as the
+    // hub's events.ctx-save metric, so the field reads 0 with obs disabled.
+    const obs::Counter* ctx = hub.metrics().find_counter("events.ctx-save");
+    s.ctx_switches = ctx != nullptr ? ctx->value() : 0;
+    s.events_dropped = hub.bus().dropped();
+  }
+  return s;
+}
+
+Status Fleet::deploy_rogue(std::size_t index, std::string_view source) {
+  if (index >= devices_.size()) {
+    return make_error(Err::kInvalidArgument, "deploy_rogue: no such device");
+  }
+  FleetDevice& device = *devices_[index];
+  if (!device.status_.is_ok()) {
+    return device.status_;
+  }
+  auto object = isa::assemble(source);
+  if (!object.is_ok()) {
+    return object.status();
+  }
+  // Deliberately NOT added to golden_ — the loaded task measures to an
+  // identity the verifier has never blessed, so verify() => kUnknownRelease.
+  auto handle = device.platform_->load_task(std::move(*object), {.name = "rogue"});
+  if (!handle.is_ok()) {
+    return handle.status();
+  }
+  device.task_ = *handle;
+  return Status::ok();
 }
 
 Fleet::Totals Fleet::totals() const {

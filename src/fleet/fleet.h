@@ -22,9 +22,26 @@
 #include "core/platform_builder.h"
 #include "fleet/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "verifier/verifier.h"
 
 namespace tytan::fleet {
+
+/// Fleet-level telemetry: health snapshots at round barriers, anomaly rules,
+/// flight-recorder dumps.  Off by default; snapshot collection runs on the
+/// caller's thread in device order, so telemetry output is deterministic
+/// whatever the worker-thread count.
+struct TelemetryConfig {
+  bool enabled = false;
+  /// Snapshot cadence: every N round barriers (and once after attest_all).
+  std::uint64_t every_rounds = 1;
+  /// Last-N events captured from a device's bus when a rule trips.
+  std::size_t flight_events = obs::TelemetryHub::kDefaultFlightEvents;
+  /// Install the built-in rule set (attestation failure, fault spike,
+  /// stalled device, event drops) with these thresholds.
+  bool default_rules = true;
+  obs::AnomalyThresholds thresholds{};
+};
 
 struct FleetConfig {
   std::size_t device_count = 1;
@@ -41,6 +58,8 @@ struct FleetConfig {
   /// Template for every device's Platform::Config; kp, rng_seed, and log are
   /// overridden per device.
   core::Platform::Config base{};
+  /// Health snapshots + anomaly detection (off by default).
+  TelemetryConfig telemetry{};
 };
 
 /// One simulated device plus the fleet-side state needed to drive and
@@ -58,6 +77,10 @@ class FleetDevice {
   [[nodiscard]] const verifier::VerifyOutcome& outcome() const { return outcome_; }
   [[nodiscard]] const Status& status() const { return status_; }
   [[nodiscard]] bool attested() const { return attested_; }
+  /// Cumulative attestation verdicts over every attest_all() sweep.
+  [[nodiscard]] std::uint64_t attest_total() const { return attest_total_; }
+  [[nodiscard]] std::uint64_t attest_verified() const { return attest_verified_; }
+  [[nodiscard]] std::uint64_t attest_failed() const { return attest_failed_; }
 
  private:
   friend class Fleet;
@@ -73,6 +96,10 @@ class FleetDevice {
   verifier::VerifyOutcome outcome_{verifier::VerifyOutcome::Code::kUnknownChallenge,
                                    nullptr};
   Status status_;  ///< first error hit while driving this device
+  std::uint64_t attest_total_ = 0;
+  std::uint64_t attest_verified_ = 0;
+  std::uint64_t attest_failed_ = 0;
+  std::uint64_t telemetry_seq_ = 0;  ///< per-device HealthSnapshot sequence
 };
 
 class Fleet {
@@ -112,6 +139,23 @@ class Fleet {
   /// Fleet-level metrics: per-device registries merged, plus fleet.* rollups
   /// (devices, cycles, instructions, attestations issued/verified).
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Telemetry hub: health snapshots, anomaly records, flight-recorder dumps.
+  /// Populated only when config().telemetry.enabled.
+  [[nodiscard]] obs::TelemetryHub& telemetry() { return telemetry_; }
+  [[nodiscard]] const obs::TelemetryHub& telemetry() const { return telemetry_; }
+
+  /// Snapshot every device's health into the telemetry hub, running anomaly
+  /// rules against the fleet baseline.  Called automatically at round
+  /// barriers (per config().telemetry.every_rounds) and after attest_all();
+  /// callable directly for ad-hoc collection.  Always sequential in device
+  /// order, so telemetry output never depends on the worker-thread count.
+  void snapshot_all();
+
+  /// Replace device `index`'s workload with `source` WITHOUT registering it
+  /// in the golden database — the device now runs a binary the verifier has
+  /// no golden identity for, so its next attestation fails.  Test/CI hook
+  /// for seeding attestation-failure anomalies.
+  Status deploy_rogue(std::size_t index, std::string_view source);
 
   struct Totals {
     std::uint64_t cycles = 0;
@@ -124,12 +168,16 @@ class Fleet {
   [[nodiscard]] Totals totals() const;
 
  private:
+  [[nodiscard]] obs::HealthSnapshot snapshot_device(FleetDevice& dev);
+
   FleetConfig config_;
   verifier::Manufacturer manufacturer_;
   verifier::GoldenDatabase golden_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<FleetDevice>> devices_;
   obs::MetricsRegistry metrics_;
+  obs::TelemetryHub telemetry_;
+  std::uint64_t rounds_run_ = 0;  ///< round barriers crossed (snapshot cadence)
 };
 
 }  // namespace tytan::fleet

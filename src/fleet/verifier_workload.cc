@@ -10,6 +10,36 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+/// Functionally a heartbeat, but a different image — so it measures to an
+/// identity the golden database has never seen.
+std::string rogue_task_source() {
+  return R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    addi r6, 3          ; beats in threes — definitely not the blessed build
+    movi r0, 2          ; kSysDelay
+    movi r1, 5
+    int  0x21
+    jmp  main
+)";
+}
+
+/// Reads address 0 — an EA-MPU data violation; the kernel kills the task on
+/// its first quantum, bumping fault_count and fault_kills exactly once.
+std::string fault_task_source() {
+  return R"(
+    .secure
+    .stack 128
+    .entry main
+main:
+    li   r2, 0
+    ldw  r3, [r2]
+h:  jmp  h
+)";
+}
 }  // namespace
 
 std::string default_task_source() {
@@ -38,6 +68,22 @@ WorkloadResult run_verifier_workload(Fleet& fleet, const WorkloadConfig& config)
         config.task_source.empty() ? default_task_source() : config.task_source;
     result.status =
         fleet.deploy(source, config.release_name, config.release_version);
+  }
+
+  if (result.status.is_ok() && config.rogue_device >= 0 &&
+      static_cast<std::size_t>(config.rogue_device) < fleet.size()) {
+    result.status = fleet.deploy_rogue(
+        static_cast<std::size_t>(config.rogue_device), rogue_task_source());
+  }
+  if (result.status.is_ok() && config.fault_device >= 0 &&
+      static_cast<std::size_t>(config.fault_device) < fleet.size()) {
+    auto handle =
+        fleet.device(static_cast<std::size_t>(config.fault_device))
+            .platform()
+            .load_task_source(fault_task_source(), {.name = "fault-probe"});
+    if (!handle.is_ok()) {
+      result.status = handle.status();
+    }
   }
 
   if (result.status.is_ok()) {

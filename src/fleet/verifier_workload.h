@@ -24,6 +24,13 @@ struct WorkloadConfig {
   /// Peak-32 source for the deployed task; empty selects the built-in
   /// heartbeat task (counter + kSysDelay loop).
   std::string task_source;
+  /// Anomaly injection (tests / CI fault-injection smoke).  If >= 0:
+  ///   rogue_device — that device's attested task is swapped for a binary the
+  ///     golden database never blessed, so its attestation fails;
+  ///   fault_device — that device additionally loads a task that trips the
+  ///     EA-MPU once and is killed, spiking its fault counters.
+  int rogue_device = -1;
+  int fault_device = -1;
 };
 
 struct WorkloadResult {

@@ -62,6 +62,9 @@ enum class EventKind : std::uint8_t {
   // OS kernel (src/core/kernel).
   kSyscall,            ///< a = syscall number
 
+  // Remote attestation (src/core/remote_attest).
+  kAttest,             ///< task = attested handle, a = round-trip cycles
+
   kNumKinds,           // sentinel — keep last
 };
 

@@ -46,12 +46,19 @@ std::string task_label(const EventBus& bus, std::int32_t task) {
 
 }  // namespace
 
-std::string export_chrome_trace(const EventBus& bus) {
+std::string export_chrome_trace(const EventBus& bus, const SampleProfiler* profiler) {
   const std::vector<Event> events = bus.snapshot();
   std::vector<std::string> lines;
   lines.reserve(events.size() * 2 + 8);
 
   lines.push_back(R"({"ph":"M","pid":1,"name":"process_name","args":{"name":"tytan"}})");
+  {
+    // Eviction metadata: readers surface a warning when dropped > 0.
+    std::ostringstream os;
+    os << R"({"ph":"M","pid":1,"name":"tytan_event_bus","args":{"recorded":)"
+       << bus.size() << R"(,"dropped":)" << bus.dropped() << "}}";
+    lines.push_back(os.str());
+  }
   lines.push_back(R"({"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"platform"}})");
   for (const auto& [task, name] : bus.task_names()) {
     std::ostringstream os;
@@ -110,6 +117,19 @@ std::string export_chrome_trace(const EventBus& bus) {
     lines.push_back(os.str());
   }
 
+  if (profiler != nullptr) {
+    for (const SampleProfiler::Sample& sample : profiler->samples()) {
+      const SampleProfiler::Frame frame = profiler->resolve(sample);
+      std::ostringstream os;
+      os << R"({"ph":"i","pid":1,"tid":)" << trace_tid(sample.task)
+         << R"(,"name":"prof-sample","cat":"prof","s":"t","ts":)" << us(sample.cycle)
+         << R"(,"args":{"cycle":)" << sample.cycle << R"(,"pc":)" << sample.pc
+         << R"(,"task":)" << sample.task << R"(,"frame":")"
+         << json_escape(frame.task + ";" + frame.symbol) << R"("}})";
+      lines.push_back(os.str());
+    }
+  }
+
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -119,12 +139,13 @@ std::string export_chrome_trace(const EventBus& bus) {
   return os.str();
 }
 
-Status write_chrome_trace(const std::string& path, const EventBus& bus) {
+Status write_chrome_trace(const std::string& path, const EventBus& bus,
+                          const SampleProfiler* profiler) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return make_error(Err::kUnavailable, "cannot open trace output '" + path + "'");
   }
-  out << export_chrome_trace(bus);
+  out << export_chrome_trace(bus, profiler);
   if (!out.good()) {
     return make_error(Err::kInternal, "short write to '" + path + "'");
   }
@@ -165,7 +186,11 @@ std::string format_accounting(const TaskAccounting& accounting, const EventBus& 
 std::string export_metrics_summary(const Hub& hub) {
   std::ostringstream os;
   os << "--- per-task cycle accounting ---\n"
-     << format_accounting(hub.accounting(), hub.bus()) << "--- metrics ---\n"
+     << format_accounting(hub.accounting(), hub.bus()) << "--- event bus ---\n"
+     << "  events recorded       " << hub.bus().size() << "\n"
+     << "  events dropped        " << hub.bus().dropped()
+     << (hub.bus().dropped() != 0 ? "   (ring full — oldest events evicted)" : "")
+     << "\n--- metrics ---\n"
      << hub.metrics().format_table();
   return os.str();
 }

@@ -19,6 +19,7 @@
 #include "obs/accounting.h"
 #include "obs/event_bus.h"
 #include "obs/hub.h"
+#include "obs/profiler.h"
 
 namespace tytan::obs {
 
@@ -30,11 +31,16 @@ inline double cycles_to_us(std::uint64_t cycles) {
 /// Trace-viewer tid for a task handle (tid 1 = platform track).
 inline int trace_tid(std::int32_t task) { return task >= 0 ? task + 2 : 1; }
 
-/// Serialize the bus contents as Chrome trace-event JSON.
-[[nodiscard]] std::string export_chrome_trace(const EventBus& bus);
+/// Serialize the bus contents as Chrome trace-event JSON.  When a profiler
+/// is supplied, every sample appears as a "prof-sample" instant on its
+/// task's track with the resolved frame in args; a metadata line carries
+/// the bus's dropped-event count so readers can flag eviction.
+[[nodiscard]] std::string export_chrome_trace(const EventBus& bus,
+                                              const SampleProfiler* profiler = nullptr);
 
-/// Write export_chrome_trace(bus) to `path`.
-Status write_chrome_trace(const std::string& path, const EventBus& bus);
+/// Write export_chrome_trace(bus, profiler) to `path`.
+Status write_chrome_trace(const std::string& path, const EventBus& bus,
+                          const SampleProfiler* profiler = nullptr);
 
 /// Plain-text timeline, one event per line:
 ///   "cycle 123456  [t0] sched-dispatch a=0 b=3"

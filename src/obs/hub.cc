@@ -33,6 +33,22 @@ void Hub::update_metrics(const Event& event) {
     case EventKind::kSchedTick:
       metrics_.gauge("sched.tick").set(static_cast<std::int64_t>(event.a));
       break;
+    case EventKind::kAttest:
+      metrics_.histogram("attest.roundtrip.cycles").observe(event.a);
+      break;
+    case EventKind::kIpcSend:
+      // `a` is the receiver handle: remember when the message left so the
+      // matching deliver can record the send->deliver latency.
+      ipc_send_cycle_[static_cast<std::int32_t>(event.a)] = event.cycle;
+      break;
+    case EventKind::kIpcDeliver: {
+      const auto it = ipc_send_cycle_.find(event.task);
+      if (it != ipc_send_cycle_.end()) {
+        metrics_.histogram("ipc.send_to_deliver.cycles").observe(event.cycle - it->second);
+        ipc_send_cycle_.erase(it);
+      }
+      break;
+    }
     default:
       break;
   }

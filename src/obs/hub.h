@@ -25,7 +25,8 @@ class Hub {
       : bus_(std::move(other.bus_)),
         metrics_(std::move(other.metrics_)),
         accounting_(std::move(other.accounting_)),
-        clock_(other.clock_) {
+        clock_(other.clock_),
+        ipc_send_cycle_(std::move(other.ipc_send_cycle_)) {
     wire_listener();
   }
   Hub& operator=(Hub&& other) noexcept {
@@ -33,6 +34,7 @@ class Hub {
     metrics_ = std::move(other.metrics_);
     accounting_ = std::move(other.accounting_);
     clock_ = other.clock_;
+    ipc_send_cycle_ = std::move(other.ipc_send_cycle_);
     wire_listener();
     return *this;
   }
@@ -89,6 +91,9 @@ class Hub {
   MetricsRegistry metrics_;
   TaskAccounting accounting_;
   const std::uint64_t* clock_ = nullptr;
+  /// Receiver handle -> cycle of the in-flight kIpcSend, for the
+  /// ipc.send_to_deliver.cycles latency histogram.
+  std::map<std::int32_t, std::uint64_t> ipc_send_cycle_;
 };
 
 }  // namespace tytan::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <sstream>
 
 namespace tytan::obs {
@@ -15,6 +16,13 @@ void Histogram::observe(std::uint64_t value) {
   sum_ += value;
   min_ = (count_ == 1) ? value : std::min(min_, value);
   max_ = std::max(max_, value);
+  if (exact_) {
+    values_[value] += 1;
+    if (values_.size() > kMaxExactValues) {
+      exact_ = false;
+      values_.clear();
+    }
+  }
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -28,6 +36,55 @@ void Histogram::merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
   count_ += other.count_;
   sum_ += other.sum_;
+  if (exact_ && other.exact_) {
+    for (const auto& [value, n] : other.values_) {
+      values_[value] += n;
+    }
+    if (values_.size() > kMaxExactValues) {
+      exact_ = false;
+      values_.clear();
+    }
+  } else {
+    exact_ = false;
+    values_.clear();
+  }
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest value with cumulative count >= ceil(p/100 * N).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
+  if (exact_) {
+    std::uint64_t seen = 0;
+    for (const auto& [value, n] : values_) {
+      seen += n;
+      if (seen >= rank) {
+        return value;
+      }
+    }
+    return max_;
+  }
+  // Approximate from the pow2 buckets: the upper bound of the bucket that
+  // contains the rank, clamped to the observed max.
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i <= kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      if (i == 0) {
+        return 0;
+      }
+      if (i == kNumBuckets) {
+        return max_;  // overflow bucket: only the max is known
+      }
+      return std::min(max_, (std::uint64_t{1} << i) - 1);
+    }
+  }
+  return max_;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -95,7 +152,8 @@ std::string MetricsRegistry::format_table() const {
   for (const auto& [name, h] : histograms_) {
     pad(name);
     os << "count=" << h->count() << " mean=" << h->mean() << " min=" << h->min()
-       << " max=" << h->max() << '\n';
+       << " max=" << h->max() << " p50=" << h->p50() << " p95=" << h->p95()
+       << " p99=" << h->p99() << (h->exact_percentiles() ? "" : "~") << '\n';
   }
   return os.str();
 }

@@ -36,13 +36,23 @@ class Gauge {
 /// Power-of-two bucketed histogram for cycle quantities: bucket i counts
 /// samples with value < 2^i (first bucket that fits), up to 2^(kNumBuckets-1);
 /// larger samples land in the overflow bucket.
+///
+/// Alongside the pow2 buckets the histogram keeps an exact value->count map
+/// while the number of *distinct* values stays within kMaxExactValues — latency
+/// distributions in the simulator are highly repetitive (the same calibrated
+/// costs recur), so in practice percentiles are exact.  Once the map would
+/// exceed the cap it is discarded and percentile() falls back to the pow2
+/// bucket upper bound (exact_percentiles() reports which regime applies).
 class Histogram {
  public:
   static constexpr std::size_t kNumBuckets = 24;  ///< up to 2^23 = 8.3M cycles
+  static constexpr std::size_t kMaxExactValues = 4096;
 
   void observe(std::uint64_t value);
 
   /// Fold another histogram's samples into this one (fleet aggregation).
+  /// Exactness is sticky-down: the result is exact only if both inputs are
+  /// and the merged map still fits the cap.
   void merge(const Histogram& other);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
@@ -57,12 +67,23 @@ class Histogram {
     return i <= kNumBuckets ? buckets_[i] : 0;
   }
 
+  /// Nearest-rank percentile, p in [0,100].  Exact while the distinct-value
+  /// map is within its cap; afterwards the upper bound of the pow2 bucket
+  /// containing the rank (clamped to the observed max).
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+  [[nodiscard]] std::uint64_t p50() const { return percentile(50.0); }
+  [[nodiscard]] std::uint64_t p95() const { return percentile(95.0); }
+  [[nodiscard]] std::uint64_t p99() const { return percentile(99.0); }
+  [[nodiscard]] bool exact_percentiles() const { return exact_; }
+
  private:
   std::uint64_t buckets_[kNumBuckets + 1] = {};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
+  bool exact_ = true;
+  std::map<std::uint64_t, std::uint64_t> values_;  ///< value -> sample count
 };
 
 class MetricsRegistry {

@@ -1,0 +1,106 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tytan::obs {
+
+void SampleProfiler::take(std::uint64_t cycle, std::uint32_t pc, std::int32_t task) {
+  // Schedule the next sample one whole interval past *this* one, so a long
+  // firmware quantum that skips several due points still yields one sample.
+  next_ = cycle + interval_;
+  ++taken_;
+  const Sample sample{cycle, pc, task};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(sample);
+  } else {
+    ring_[head_] = sample;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+void SampleProfiler::add_region(std::int32_t task, std::string name,
+                                std::uint32_t base, std::uint32_t size,
+                                const std::map<std::string, std::uint32_t>& symbols) {
+  Region region;
+  region.name = std::move(name);
+  region.base = base;
+  region.size = size;
+  region.symbols.reserve(symbols.size());
+  for (const auto& [label, offset] : symbols) {
+    region.symbols.emplace_back(offset, label);
+  }
+  std::sort(region.symbols.begin(), region.symbols.end());
+  regions_[task] = std::move(region);
+}
+
+void SampleProfiler::remove_region(std::int32_t task) { regions_.erase(task); }
+
+void SampleProfiler::add_global_symbol(std::uint32_t addr, std::string name) {
+  global_symbols_[addr] = std::move(name);
+}
+
+SampleProfiler::Frame SampleProfiler::resolve(const Sample& sample) const {
+  // Firmware entry points are exact-address matches: a resumable handler
+  // parks EIP at its own address, so every sample inside it hits exactly.
+  if (const auto fw = global_symbols_.find(sample.pc); fw != global_symbols_.end()) {
+    return {"firmware", fw->second};
+  }
+  const auto region = regions_.find(sample.task);
+  if (region != regions_.end() && sample.pc >= region->second.base &&
+      sample.pc < region->second.base + region->second.size) {
+    const Region& r = region->second;
+    const std::uint32_t offset = sample.pc - r.base;
+    // Greatest symbol offset <= pc offset.
+    auto it = std::upper_bound(
+        r.symbols.begin(), r.symbols.end(), offset,
+        [](std::uint32_t o, const std::pair<std::uint32_t, std::string>& s) {
+          return o < s.first;
+        });
+    if (it != r.symbols.begin()) {
+      return {r.name, std::prev(it)->second};
+    }
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "+0x%x", offset);
+    return {r.name, buf};
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", sample.pc);
+  if (sample.task >= 0) {
+    return {"task " + std::to_string(sample.task), buf};
+  }
+  return {"platform", buf};
+}
+
+std::vector<SampleProfiler::Sample> SampleProfiler::samples() const {
+  std::vector<Sample> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string SampleProfiler::folded() const {
+  std::map<std::string, std::uint64_t> counts;
+  for (const Sample& sample : samples()) {
+    const Frame frame = resolve(sample);
+    counts[frame.task + ";" + frame.symbol] += 1;
+  }
+  std::ostringstream os;
+  for (const auto& [stack, n] : counts) {
+    os << stack << ' ' << n << '\n';
+  }
+  return os.str();
+}
+
+void SampleProfiler::clear() {
+  ring_.clear();
+  head_ = 0;
+  taken_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace tytan::obs

@@ -52,20 +52,31 @@ Result<Trace> parse_chrome_trace(std::string_view json) {
   while (std::getline(in, line)) {
     const std::string ph = find_str(line, "ph");
     if (ph == "M") {
-      if (find_str(line, "name") == "thread_name") {
+      const std::string name = find_str(line, "name");
+      if (name == "thread_name") {
         trace.thread_names[static_cast<int>(find_int(line, "tid", 0))] =
             find_str(line, "args\":{\"name");
+      } else if (name == "tytan_event_bus") {
+        trace.recorded_events = static_cast<std::uint64_t>(find_int(line, "recorded", 0));
+        trace.dropped_events = static_cast<std::uint64_t>(find_int(line, "dropped", 0));
       }
     } else if (ph == "X") {
       trace.slices.push_back({static_cast<int>(find_int(line, "tid", 0)),
                               static_cast<std::uint64_t>(find_int(line, "cycle", 0)),
                               static_cast<std::uint64_t>(find_int(line, "dur_cycles", 0))});
     } else if (ph == "i") {
-      trace.events.push_back({find_str(line, "name"),
-                              static_cast<std::uint64_t>(find_int(line, "cycle", 0)),
-                              static_cast<std::int32_t>(find_int(line, "task", -1)),
-                              static_cast<std::uint32_t>(find_int(line, "a", 0)),
-                              static_cast<std::uint32_t>(find_int(line, "b", 0))});
+      if (find_str(line, "name") == "prof-sample") {
+        trace.samples.push_back({static_cast<std::uint64_t>(find_int(line, "cycle", 0)),
+                                 static_cast<std::uint32_t>(find_int(line, "pc", 0)),
+                                 static_cast<std::int32_t>(find_int(line, "task", -1)),
+                                 find_str(line, "frame")});
+      } else {
+        trace.events.push_back({find_str(line, "name"),
+                                static_cast<std::uint64_t>(find_int(line, "cycle", 0)),
+                                static_cast<std::int32_t>(find_int(line, "task", -1)),
+                                static_cast<std::uint32_t>(find_int(line, "a", 0)),
+                                static_cast<std::uint32_t>(find_int(line, "b", 0))});
+      }
     }
   }
   return trace;

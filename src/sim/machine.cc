@@ -133,7 +133,21 @@ void Machine::raise_fault(const FaultInfo& fault) {
 void Machine::register_firmware(std::uint32_t addr, std::string name,
                                 FirmwareHandler handler) {
   TYTAN_CHECK(!firmware_.contains(addr), "firmware address already registered");
+  if (profiler_ != nullptr) {
+    profiler_->add_global_symbol(addr, name);
+  }
   firmware_[addr] = {std::move(name), std::move(handler)};
+}
+
+void Machine::enable_profiler(std::uint64_t interval_cycles, std::size_t capacity) {
+  if (interval_cycles == 0) {
+    profiler_ = nullptr;
+    return;
+  }
+  profiler_ = std::make_unique<obs::SampleProfiler>(interval_cycles, capacity);
+  for (const auto& [addr, entry] : firmware_) {
+    profiler_->add_global_symbol(addr, entry.name);
+  }
 }
 
 std::string_view Machine::firmware_name(std::uint32_t addr) const {
@@ -366,6 +380,11 @@ void Machine::set_alu_flags_addsub(std::uint64_t wide, std::uint32_t a, std::uin
 StepOutcome Machine::step() {
   if (halted()) {
     return StepOutcome::kHalted;
+  }
+  // Sampling reads the clock and EIP only — never charges a cycle, so the
+  // profiler-on run is bit-identical to the profiler-off run.
+  if (profiler_ != nullptr && profiler_->due(cycles_)) {
+    profiler_->take(cycles_, cpu_.eip, current_task_context());
   }
   bus_.tick_all(cycles_);
   if (pending_ != 0 && cpu_.flag(isa::kFlagIF)) {

@@ -20,6 +20,7 @@
 #include "common/log.h"
 #include "common/status.h"
 #include "obs/hub.h"
+#include "obs/profiler.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/device.h"
@@ -132,6 +133,16 @@ class Machine {
   }
   [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
 
+  /// Enable (interval > 0) or disable (interval == 0) the guest-PC sampling
+  /// profiler: one sample every `interval_cycles` simulated cycles.  Like the
+  /// obs hub, sampling never charges simulated cycles — cycle counts stay
+  /// bit-identical with the profiler on.  Already-registered firmware entry
+  /// points are imported as exact-address symbols.
+  void enable_profiler(std::uint64_t interval_cycles,
+                       std::size_t capacity = obs::SampleProfiler::kDefaultCapacity);
+  [[nodiscard]] obs::SampleProfiler* profiler() { return profiler_.get(); }
+  [[nodiscard]] const obs::SampleProfiler* profiler() const { return profiler_.get(); }
+
   /// Structured observability (event bus + metrics + per-task accounting).
   /// Disabled by default; never charges simulated cycles.  The clock is
   /// wired once in the constructor (Machine is non-movable).
@@ -210,6 +221,7 @@ class Machine {
   std::uint64_t interrupts_ = 0;
   std::uint64_t fw_invocations_ = 0;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<obs::SampleProfiler> profiler_;
   obs::Hub obs_;
   const LogContext* log_;  ///< never null; defaults to process_log_context()
   std::function<std::int32_t()> task_context_;

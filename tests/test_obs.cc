@@ -131,6 +131,120 @@ TEST(Metrics, HistogramBucketsAndStats) {
   EXPECT_EQ(h.bucket(obs::Histogram::kNumBuckets), 1u);
 }
 
+TEST(Metrics, PercentilesExactWhileDistinctValuesFit) {
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    h.observe(v);
+  }
+  EXPECT_TRUE(h.exact_percentiles());
+  // Nearest-rank over 1..100: pXX is exactly XX.
+  EXPECT_EQ(h.p50(), 50u);
+  EXPECT_EQ(h.p95(), 95u);
+  EXPECT_EQ(h.p99(), 99u);
+  EXPECT_EQ(h.percentile(0.0), 1u);    // rank clamps to the first sample
+  EXPECT_EQ(h.percentile(100.0), 100u);
+}
+
+TEST(Metrics, PercentilesFallBackToBucketsPastTheCap) {
+  obs::Histogram h;
+  // Exceed kMaxExactValues distinct values to force the approximate regime.
+  for (std::uint64_t v = 0; v < obs::Histogram::kMaxExactValues + 10; ++v) {
+    h.observe(v * 2 + 1);
+  }
+  EXPECT_FALSE(h.exact_percentiles());
+  // Approximate percentiles are pow2 bucket upper bounds, clamped to max.
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p99(), h.max());
+  EXPECT_LE(h.p50(), h.p99());
+}
+
+TEST(Metrics, MergeEmptyIntoNonEmptyIsIdentity) {
+  obs::Histogram a;
+  a.observe(10);
+  a.observe(20);
+  obs::Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 30u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 20u);
+  EXPECT_TRUE(a.exact_percentiles());
+  // And the other direction: empty absorbs a's samples wholesale.
+  obs::Histogram b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.sum(), 30u);
+  EXPECT_EQ(b.p50(), 10u);
+}
+
+TEST(Metrics, MergePreservesOverflowBucketAndMax) {
+  obs::Histogram a;
+  a.observe(1'000'000'000);  // overflow bucket
+  obs::Histogram b;
+  b.observe(5);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.bucket(obs::Histogram::kNumBuckets), 1u);
+  EXPECT_EQ(b.max(), 1'000'000'000u);
+  EXPECT_EQ(b.p99(), 1'000'000'000u);  // exact map still holds both values
+}
+
+TEST(Metrics, MergeThenPercentileAgreesWithDirectObservation) {
+  obs::Histogram split_a;
+  obs::Histogram split_b;
+  obs::Histogram whole;
+  for (std::uint64_t v = 1; v <= 200; ++v) {
+    (v % 2 == 0 ? split_a : split_b).observe(v * 3);
+    whole.observe(v * 3);
+  }
+  split_a.merge(split_b);
+  EXPECT_EQ(split_a.count(), whole.count());
+  EXPECT_EQ(split_a.sum(), whole.sum());
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(split_a.percentile(p), whole.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(Metrics, MergeExactnessIsStickyDown) {
+  obs::Histogram approx;
+  for (std::uint64_t v = 0; v < obs::Histogram::kMaxExactValues + 10; ++v) {
+    approx.observe(v);
+  }
+  ASSERT_FALSE(approx.exact_percentiles());
+  obs::Histogram exact;
+  exact.observe(7);
+  exact.merge(approx);
+  EXPECT_FALSE(exact.exact_percentiles());
+  EXPECT_EQ(exact.count(), obs::Histogram::kMaxExactValues + 11);
+}
+
+TEST(Metrics, RegistryMergeHandlesDisjointNames) {
+  obs::MetricsRegistry a;
+  a.counter("only.in.a").inc(2);
+  a.histogram("hist.a").observe(10);
+  obs::MetricsRegistry b;
+  b.counter("only.in.b").inc(5);
+  b.counter("only.in.a").inc(1);
+  b.histogram("hist.b").observe(20);
+  a.merge_from(b);
+  EXPECT_EQ(a.find_counter("only.in.a")->value(), 3u);
+  EXPECT_EQ(a.find_counter("only.in.b")->value(), 5u);
+  EXPECT_EQ(a.find_histogram("hist.a")->count(), 1u);
+  EXPECT_EQ(a.find_histogram("hist.b")->count(), 1u);
+  EXPECT_EQ(a.find_histogram("hist.b")->sum(), 20u);
+}
+
+TEST(Metrics, FormatTableShowsPercentiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("latency.cycles");
+  h.observe(10);
+  h.observe(20);
+  h.observe(30);
+  const std::string table = registry.format_table();
+  EXPECT_NE(table.find("p50="), std::string::npos) << table;
+  EXPECT_NE(table.find("p99="), std::string::npos) << table;
+}
+
 TEST(Metrics, RegistryHandsOutStableInstruments) {
   obs::MetricsRegistry registry;
   obs::Counter& c = registry.counter("events.total");
@@ -287,6 +401,58 @@ TEST(Export, TimelineListsEventsInOrder) {
 
 TEST(Export, ReaderRejectsGarbage) {
   EXPECT_FALSE(obs::parse_chrome_trace("not a trace").is_ok());
+}
+
+TEST(Export, MetricsSummarySurfacesEventBusDrops) {
+  std::uint64_t clock = 0;
+  obs::Hub hub(/*capacity=*/4);
+  hub.set_clock(&clock);
+  hub.enable();
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    clock = i;
+    hub.emit(obs::EventKind::kSchedTick, -1, i);
+  }
+  hub.flush();
+  const std::string summary = obs::export_metrics_summary(hub);
+  EXPECT_NE(summary.find("events recorded       4"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("events dropped        6"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("ring full"), std::string::npos) << summary;
+}
+
+TEST(Export, TraceMetadataCarriesDropCountsThroughTheReader) {
+  std::uint64_t clock = 0;
+  obs::EventBus bus(/*capacity=*/2);
+  bus.set_clock(&clock);
+  bus.enable();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    clock = i;
+    bus.emit(obs::EventKind::kSchedTick, -1, i);
+  }
+  auto trace = obs::parse_chrome_trace(obs::export_chrome_trace(bus));
+  ASSERT_TRUE(trace.is_ok()) << trace.status().to_string();
+  EXPECT_EQ(trace->recorded_events, 2u);
+  EXPECT_EQ(trace->dropped_events, 3u);
+}
+
+TEST(Export, ProfilerSamplesRideAlongInTheTrace) {
+  std::uint64_t clock = 50;
+  obs::EventBus bus;
+  bus.set_clock(&clock);
+  bus.enable();
+  bus.emit(obs::EventKind::kSchedDispatch, 1);
+
+  obs::SampleProfiler profiler(1, 16);
+  profiler.add_region(1, "hot", 0x1000, 0x100, {{"main", 0}});
+  profiler.take(60, 0x1004, 1);
+  auto trace = obs::parse_chrome_trace(obs::export_chrome_trace(bus, &profiler));
+  ASSERT_TRUE(trace.is_ok()) << trace.status().to_string();
+  ASSERT_EQ(trace->samples.size(), 1u);
+  EXPECT_EQ(trace->samples[0].cycle, 60u);
+  EXPECT_EQ(trace->samples[0].pc, 0x1004u);
+  EXPECT_EQ(trace->samples[0].task, 1);
+  EXPECT_EQ(trace->samples[0].frame, "hot;main");
+  // Samples are not event instants — the event list stays untouched.
+  EXPECT_EQ(trace->events.size(), 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,178 @@
+// The guest-PC sampling profiler: ring behavior, symbol resolution through
+// the loader's side tables, flamegraph export — and the cost invariant:
+// enabling the profiler never changes a simulated cycle count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/platform.h"
+#include "obs/profiler.h"
+
+namespace tytan::obs {
+namespace {
+
+constexpr std::string_view kHotTask = R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    call hotloop
+    jmp  main
+hotloop:
+    movi r2, 200
+spin:
+    subi r2, 1
+    jnz  spin
+    ret
+)";
+
+// ---------------------------------------------------------------- unit level
+
+TEST(SampleProfiler, SamplesAtTheConfiguredInterval) {
+  SampleProfiler profiler(/*interval_cycles=*/100, /*capacity=*/16);
+  EXPECT_FALSE(profiler.due(0));
+  EXPECT_FALSE(profiler.due(99));
+  EXPECT_TRUE(profiler.due(100));
+  profiler.take(100, 0x1000, 1);
+  EXPECT_FALSE(profiler.due(150));
+  EXPECT_TRUE(profiler.due(200));
+  // Skip-tolerant: a late owner reschedules from the observed cycle, not by
+  // replaying missed ticks.
+  profiler.take(1000, 0x1004, 1);
+  EXPECT_FALSE(profiler.due(1050));
+  EXPECT_TRUE(profiler.due(1100));
+  EXPECT_EQ(profiler.taken(), 2u);
+  EXPECT_EQ(profiler.size(), 2u);
+}
+
+TEST(SampleProfiler, RingKeepsMostRecentAndCountsDrops) {
+  SampleProfiler profiler(1, /*capacity=*/4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    profiler.take(i + 1, 0x100 + i * 4, 0);
+  }
+  EXPECT_EQ(profiler.taken(), 10u);
+  EXPECT_EQ(profiler.size(), 4u);
+  EXPECT_EQ(profiler.dropped(), 6u);
+  const auto samples = profiler.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().pc, 0x100u + 6 * 4);  // oldest kept
+  EXPECT_EQ(samples.back().pc, 0x100u + 9 * 4);   // newest
+}
+
+TEST(SampleProfiler, ResolvesRegionsGlobalsAndFallbacks) {
+  SampleProfiler profiler;
+  profiler.add_global_symbol(0x9000, "fw:ipc-proxy");
+  profiler.add_region(/*task=*/3, "sensor", /*base=*/0x4000, /*size=*/0x100,
+                      {{"main", 0}, {"loop", 0x20}, {"done", 0x80}});
+
+  const auto fw = profiler.resolve({.cycle = 1, .pc = 0x9000, .task = -1});
+  EXPECT_EQ(fw.task, "firmware");
+  EXPECT_EQ(fw.symbol, "fw:ipc-proxy");
+
+  const auto mid = profiler.resolve({.cycle = 2, .pc = 0x4024, .task = 3});
+  EXPECT_EQ(mid.task, "sensor");
+  EXPECT_EQ(mid.symbol, "loop");  // greatest label at or below the PC
+
+  const auto first = profiler.resolve({.cycle = 3, .pc = 0x4000, .task = 3});
+  EXPECT_EQ(first.symbol, "main");
+
+  // Outside every region and not a firmware address: raw-address fallback.
+  const auto unknown = profiler.resolve({.cycle = 4, .pc = 0x7777, .task = 9});
+  EXPECT_EQ(unknown.task, "task 9");
+  EXPECT_EQ(unknown.symbol, "0x7777");
+
+  profiler.remove_region(3);
+  const auto gone = profiler.resolve({.cycle = 5, .pc = 0x4024, .task = 3});
+  EXPECT_EQ(gone.task, "task 3");
+}
+
+TEST(SampleProfiler, FoldedStacksAggregateByFrame) {
+  SampleProfiler profiler(1, 64);
+  profiler.add_region(1, "hot", 0x1000, 0x100, {{"a", 0}, {"b", 0x10}});
+  profiler.take(1, 0x1000, 1);
+  profiler.take(2, 0x1004, 1);
+  profiler.take(3, 0x1010, 1);
+  const std::string folded = profiler.folded();
+  EXPECT_EQ(folded, "hot;a 2\nhot;b 1\n");
+}
+
+// -------------------------------------------------------------- end to end
+
+TEST(Profiler, HotSymbolDominatesTheFlamegraph) {
+  core::Platform platform;
+  platform.machine().enable_profiler(/*interval_cycles=*/997);
+  ASSERT_TRUE(platform.boot().is_ok());
+  auto task = platform.load_task_source(kHotTask, {.name = "hot"});
+  ASSERT_TRUE(task.is_ok()) << task.status().to_string();
+  platform.run_for(2'000'000);
+
+  const SampleProfiler* profiler = platform.machine().profiler();
+  ASSERT_NE(profiler, nullptr);
+  EXPECT_GT(profiler->taken(), 1000u);
+
+  // The busy-wait loop must dominate: find the heaviest folded frame.
+  std::istringstream folded(profiler->folded());
+  EXPECT_FALSE(profiler->folded().empty());
+  std::string heaviest;
+  std::uint64_t heaviest_count = 0;
+  std::uint64_t total = 0;
+  std::string frame;
+  std::uint64_t count = 0;
+  while (folded >> frame >> count) {
+    total += count;
+    if (count > heaviest_count) {
+      heaviest_count = count;
+      heaviest = frame;
+    }
+  }
+  EXPECT_EQ(heaviest, "hot;spin");
+  EXPECT_GT(heaviest_count * 2, total);  // an absolute majority of samples
+}
+
+TEST(Profiler, FirmwareSamplesResolveToFirmwareFrames) {
+  core::Platform platform;
+  platform.machine().enable_profiler(101);  // dense enough to catch the idle task
+  ASSERT_TRUE(platform.boot().is_ok());
+  platform.run_for(500'000);
+  const std::string folded = platform.machine().profiler()->folded();
+  EXPECT_NE(folded.find("firmware;"), std::string::npos) << folded;
+}
+
+// The cost invariant, profiler edition: identical simulated state with the
+// profiler on and off.
+TEST(Profiler, SamplingLeavesCycleCountsBitIdentical) {
+  auto run = [](bool profile) {
+    core::Platform platform;
+    if (profile) {
+      platform.machine().enable_profiler(997);
+    }
+    EXPECT_TRUE(platform.boot().is_ok());
+    auto task = platform.load_task_source(kHotTask, {.name = "hot"});
+    EXPECT_TRUE(task.is_ok());
+    platform.run_for(1'000'000);
+    return std::pair{platform.machine().cycles(),
+                     platform.machine().instructions_executed()};
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  EXPECT_EQ(off.first, on.first);
+  EXPECT_EQ(off.second, on.second);
+}
+
+TEST(Profiler, DisableResetsAndReenableRestarts) {
+  core::Platform platform;
+  platform.machine().enable_profiler(500);
+  ASSERT_TRUE(platform.boot().is_ok());
+  platform.run_for(100'000);
+  ASSERT_NE(platform.machine().profiler(), nullptr);
+  EXPECT_GT(platform.machine().profiler()->taken(), 0u);
+  platform.machine().enable_profiler(0);  // off
+  EXPECT_EQ(platform.machine().profiler(), nullptr);
+  platform.machine().enable_profiler(500);  // back on, fresh
+  EXPECT_EQ(platform.machine().profiler()->taken(), 0u);
+  platform.run_for(100'000);
+  EXPECT_GT(platform.machine().profiler()->taken(), 0u);
+}
+
+}  // namespace
+}  // namespace tytan::obs

@@ -9,6 +9,13 @@
 //     --task FILE     Peak-32 source to deploy (default: built-in heartbeat)
 //     --json FILE     write fleet results + host timing as JSON
 //     --metrics       print the aggregated fleet metrics registry
+//     --telemetry-out FILE   enable fleet telemetry, write JSONL health
+//                            snapshots + anomaly records (tytan-top reads it)
+//     --telemetry-every N    snapshot cadence in round barriers (default 1)
+//     --rogue-device I       swap device I's task for an unblessed binary
+//                            (seeded attestation-failure anomaly)
+//     --fault-device I       load an EA-MPU-tripping task on device I
+//                            (seeded fault-spike anomaly)
 //
 // stdout is deterministic for a given fleet config — the same devices, seeds,
 // and cycles produce byte-identical reports whatever --threads is.  Host-side
@@ -30,7 +37,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: tytan-fleet [--devices N] [--threads T] [--cycles C]\n"
-               "                   [--quantum Q] [--task FILE] [--json FILE] [--metrics]\n");
+               "                   [--quantum Q] [--task FILE] [--json FILE] [--metrics]\n"
+               "                   [--telemetry-out FILE] [--telemetry-every N]\n"
+               "                   [--rogue-device I] [--fault-device I]\n");
   return 2;
 }
 
@@ -53,6 +62,10 @@ void write_json(const std::string& path, const fleet::Fleet& fleet,
   out << "  \"total_seconds\": " << result.total_seconds << ",\n";
   out << "  \"devices_per_sec\": " << result.devices_per_sec() << ",\n";
   out << "  \"attests_per_sec\": " << result.attests_per_sec() << ",\n";
+  out << "  \"telemetry_snapshots\": " << fleet.telemetry().snapshots().size()
+      << ",\n";
+  out << "  \"telemetry_anomalies\": " << fleet.telemetry().anomalies().size()
+      << ",\n";
   out << "  \"reports\": [\n";
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     const fleet::FleetDevice& device = fleet.device(i);
@@ -75,6 +88,7 @@ int main(int argc, char** argv) {
   config.fleet.device_count = 8;
   std::string json_path;
   std::string task_path;
+  std::string telemetry_path;
   bool metrics = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +116,28 @@ int main(int argc, char** argv) {
       json_path = arg.substr(std::strlen("--json="));
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--telemetry-out") {
+      telemetry_path = next("--telemetry-out");
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      telemetry_path = arg.substr(std::strlen("--telemetry-out="));
+    } else if (arg == "--telemetry-every") {
+      config.fleet.telemetry.every_rounds =
+          std::strtoull(next("--telemetry-every"), nullptr, 0);
+    } else if (arg.rfind("--telemetry-every=", 0) == 0) {
+      config.fleet.telemetry.every_rounds = std::strtoull(
+          arg.c_str() + std::strlen("--telemetry-every="), nullptr, 0);
+    } else if (arg == "--rogue-device") {
+      config.rogue_device =
+          static_cast<int>(std::strtol(next("--rogue-device"), nullptr, 0));
+    } else if (arg.rfind("--rogue-device=", 0) == 0) {
+      config.rogue_device = static_cast<int>(
+          std::strtol(arg.c_str() + std::strlen("--rogue-device="), nullptr, 0));
+    } else if (arg == "--fault-device") {
+      config.fault_device =
+          static_cast<int>(std::strtol(next("--fault-device"), nullptr, 0));
+    } else if (arg.rfind("--fault-device=", 0) == 0) {
+      config.fault_device = static_cast<int>(
+          std::strtol(arg.c_str() + std::strlen("--fault-device="), nullptr, 0));
     } else {
       return usage();
     }
@@ -119,6 +155,10 @@ int main(int argc, char** argv) {
     std::ostringstream source;
     source << in.rdbuf();
     config.task_source = source.str();
+  }
+
+  if (!telemetry_path.empty()) {
+    config.fleet.telemetry.enabled = true;
   }
 
   fleet::Fleet fleet(config.fleet);
@@ -142,6 +182,12 @@ int main(int argc, char** argv) {
   }
   std::printf("fleet: %zu devices, %zu attested, %zu verified\n", result.devices,
               result.attested, result.verified);
+  if (config.fleet.telemetry.enabled) {
+    // Simulated-state summary only — deterministic for a given config.
+    std::printf("telemetry: %zu snapshots, %zu anomalies\n",
+                fleet.telemetry().snapshots().size(),
+                fleet.telemetry().anomalies().size());
+  }
   if (metrics) {
     std::printf("\n--- fleet metrics ---\n");
     fleet.metrics().visit_counters(
@@ -161,6 +207,15 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     write_json(json_path, fleet, config, result);
+  }
+  if (!telemetry_path.empty()) {
+    std::ofstream out(telemetry_path);
+    if (!out) {
+      std::fprintf(stderr, "tytan-fleet: cannot write '%s'\n",
+                   telemetry_path.c_str());
+      return 1;
+    }
+    out << fleet.telemetry().to_jsonl();
   }
   return result.all_verified() ? 0 : 1;
 }

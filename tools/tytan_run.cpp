@@ -9,6 +9,10 @@
 //     --trace N       dump the last N executed instructions at exit
 //     --trace-out F   record platform events; write a Chrome/Perfetto trace to F
 //     --metrics       print the metrics summary and per-task cycle accounting
+//     --profile N     sample the guest PC every N cycles (0 = off); samples
+//                     ride along in --trace-out for `tytan-trace flame`
+//     --folded-out F  write collapsed stacks ("task;symbol count") to F for
+//                     flamegraph.pl / speedscope
 //
 // Serial output is echoed to stdout; per-task statistics print at exit.
 #include <cstdio>
@@ -29,6 +33,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: tytan-run [--cycles N] [--priority P] [--pedal V] [--radar V]\n"
                "                 [--attest] [--trace N] [--trace-out FILE] [--metrics]\n"
+               "                 [--profile N] [--folded-out FILE]\n"
                "                 <task.tbf> [more.tbf ...]\n");
   return 2;
 }
@@ -44,6 +49,8 @@ int main(int argc, char** argv) {
   std::size_t trace = 0;
   std::string trace_out;
   bool metrics = false;
+  std::uint64_t profile = 0;
+  std::string folded_out;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +80,14 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(std::strlen("--trace-out="));
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--profile") {
+      profile = std::strtoull(next("--profile"), nullptr, 0);
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile = std::strtoull(arg.c_str() + std::strlen("--profile="), nullptr, 0);
+    } else if (arg == "--folded-out") {
+      folded_out = next("--folded-out");
+    } else if (arg.rfind("--folded-out=", 0) == 0) {
+      folded_out = arg.substr(std::strlen("--folded-out="));
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -86,6 +101,13 @@ int main(int argc, char** argv) {
   core::Platform platform;
   if (trace != 0) {
     platform.machine().enable_trace(trace);
+  }
+  if (!folded_out.empty() && profile == 0) {
+    profile = obs::SampleProfiler::kDefaultInterval;
+  }
+  if (profile != 0) {
+    // Enable before boot so firmware entry points register as symbols.
+    platform.machine().enable_profiler(profile);
   }
   if (!trace_out.empty() || metrics) {
     // Enable before boot so loader / RTM / EA-MPU events are captured too.
@@ -167,14 +189,37 @@ int main(int argc, char** argv) {
   if (metrics) {
     std::printf("\n%s", obs::export_metrics_summary(hub).c_str());
   }
+  const obs::SampleProfiler* profiler = platform.machine().profiler();
+  if (profiler != nullptr) {
+    std::printf("\nprofiler: %llu samples taken (interval %llu cycles, %llu evicted)\n",
+                static_cast<unsigned long long>(profiler->taken()),
+                static_cast<unsigned long long>(profiler->interval()),
+                static_cast<unsigned long long>(profiler->dropped()));
+  }
   if (!trace_out.empty()) {
-    if (Status s = obs::write_chrome_trace(trace_out, hub.bus()); !s.is_ok()) {
+    if (hub.bus().dropped() != 0) {
+      std::fprintf(stderr,
+                   "tytan-run: warning: %llu events evicted from the ring before "
+                   "export — the trace is incomplete (raise the bus capacity)\n",
+                   static_cast<unsigned long long>(hub.bus().dropped()));
+    }
+    if (Status s = obs::write_chrome_trace(trace_out, hub.bus(), profiler); !s.is_ok()) {
       std::fprintf(stderr, "tytan-run: cannot write trace '%s': %s\n", trace_out.c_str(),
                    s.to_string().c_str());
       return 1;
     }
     std::printf("\nwrote %zu events to %s (load in ui.perfetto.dev or chrome://tracing)\n",
                 hub.bus().snapshot().size(), trace_out.c_str());
+  }
+  if (!folded_out.empty() && profiler != nullptr) {
+    std::ofstream out(folded_out);
+    if (!out) {
+      std::fprintf(stderr, "tytan-run: cannot write '%s'\n", folded_out.c_str());
+      return 1;
+    }
+    out << profiler->folded();
+    std::printf("wrote collapsed stacks to %s (flamegraph.pl %s > flame.svg)\n",
+                folded_out.c_str(), folded_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,140 @@
+// tytan-top — fleet health at a glance, from a telemetry JSONL stream
+// written by `tytan-fleet --telemetry-out=FILE`.
+//
+//   tytan-top FILE [--anomalies] [--watch [SECONDS]]
+//     --anomalies     list every anomaly record (default: summary count)
+//     --watch [S]     re-read and re-render the file every S seconds
+//                     (default 2) — live view of a fleet writing telemetry
+//
+// The table shows the latest snapshot per device; rates are computed from
+// the first and last snapshot of each device.  Reads the file only — never
+// attaches to a live platform.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/telemetry.h"
+
+using namespace tytan;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tytan-top <telemetry.jsonl> [--anomalies] [--watch [SECONDS]]\n");
+  return 2;
+}
+
+struct DeviceRow {
+  obs::HealthSnapshot first{};
+  obs::HealthSnapshot last{};
+  std::uint64_t snapshots = 0;
+  std::uint64_t anomalies = 0;
+};
+
+int render(const std::string& path, bool list_anomalies) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "tytan-top: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto log = obs::parse_telemetry_jsonl(buffer.str());
+  if (!log.is_ok()) {
+    std::fprintf(stderr, "tytan-top: %s: %s\n", path.c_str(),
+                 log.status().to_string().c_str());
+    return 1;
+  }
+
+  std::map<std::uint32_t, DeviceRow> rows;
+  for (const obs::HealthSnapshot& s : log->snapshots) {
+    DeviceRow& row = rows[s.device];
+    if (row.snapshots == 0) {
+      row.first = s;
+    }
+    row.last = s;
+    ++row.snapshots;
+  }
+  for (const auto& a : log->anomalies) {
+    ++rows[a.device].anomalies;
+  }
+
+  std::printf("%-7s %5s %12s %8s %7s %6s %9s %7s %9s %6s\n", "device", "snaps",
+              "cycles", "sim ms", "instr/c", "faults", "ipc", "attest", "anomalies",
+              "state");
+  for (const auto& [device, row] : rows) {
+    const obs::HealthSnapshot& s = row.last;
+    const double ipc_rate =
+        s.cycle == 0 ? 0.0
+                     : static_cast<double>(s.instructions) / static_cast<double>(s.cycle);
+    // attest column: verified/total, the fleet's health headline.
+    char attest[32];
+    std::snprintf(attest, sizeof attest, "%llu/%llu",
+                  static_cast<unsigned long long>(s.attest_verified),
+                  static_cast<unsigned long long>(s.attest_total));
+    std::printf("%-7u %5llu %12llu %8.2f %7.3f %6llu %9llu %7s %9llu %6s\n", device,
+                static_cast<unsigned long long>(row.snapshots),
+                static_cast<unsigned long long>(s.cycle),
+                static_cast<double>(s.cycle) * 1000.0 / 48'000'000.0, ipc_rate,
+                static_cast<unsigned long long>(s.faults),
+                static_cast<unsigned long long>(s.ipc_delivered), attest,
+                static_cast<unsigned long long>(row.anomalies),
+                s.halted ? "HALT" : "run");
+  }
+  std::printf("fleet: %zu devices, %zu snapshots, %zu anomalies\n", rows.size(),
+              log->snapshots.size(), log->anomalies.size());
+
+  if (list_anomalies && !log->anomalies.empty()) {
+    std::printf("\n%-7s %10s %-20s %-8s %s\n", "device", "cycle", "rule", "flight",
+                "message");
+    for (const auto& a : log->anomalies) {
+      std::printf("%-7u %10llu %-20s %-8zu %s\n", a.device,
+                  static_cast<unsigned long long>(a.cycle), a.rule.c_str(),
+                  a.flight_count, a.message.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string path = argv[1];
+  bool list_anomalies = false;
+  bool watch = false;
+  double watch_seconds = 2.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--anomalies") {
+      list_anomalies = true;
+    } else if (arg == "--watch") {
+      watch = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        watch_seconds = std::strtod(argv[++i], nullptr);
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  if (!watch) {
+    return render(path, list_anomalies);
+  }
+  for (;;) {
+    std::printf("\x1b[2J\x1b[H");  // clear + home, terminal-top style
+    if (int rc = render(path, list_anomalies); rc != 0) {
+      return rc;
+    }
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(watch_seconds));
+  }
+}

@@ -1,14 +1,19 @@
 // tytan-trace — inspect a Chrome/Perfetto trace written by
 // `tytan-run --trace-out=FILE` (or obs::write_chrome_trace).
 //
-//   tytan-trace stats  FILE              event counts per kind, cycle range,
-//                                        context-switch cost summary (Table 2)
+//   tytan-trace stats  FILE [--json]     event counts per kind, cycle range,
+//                                        context-switch cost summary (Table 2);
+//                                        --json emits a machine-readable object
 //   tytan-trace tasks  FILE              per-task run time from the derived
 //                                        run slices
 //   tytan-trace events FILE [filters]    dump events as a timeline
 //     --kind=NAME     only events of this kind ("ctx-save", "sched-dispatch", ...)
 //     --task=N        only events concerning task handle N
 //     --limit=N       stop after N lines
+//   tytan-trace flame  FILE              fold profiler samples (tytan-run
+//                                        --profile) into collapsed stacks on
+//                                        stdout: `... > out.folded`, then
+//                                        flamegraph.pl out.folded > flame.svg
 //
 // Everything here is computed from the trace file alone — no live platform —
 // so the numbers double as a check that the exporter loses nothing.
@@ -28,10 +33,11 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tytan-trace stats  <trace.json>\n"
+               "usage: tytan-trace stats  <trace.json> [--json]\n"
                "       tytan-trace tasks  <trace.json>\n"
                "       tytan-trace events <trace.json> [--kind=NAME] [--task=N] "
-               "[--limit=N]\n");
+               "[--limit=N]\n"
+               "       tytan-trace flame  <trace.json>\n");
   return 2;
 }
 
@@ -51,6 +57,39 @@ struct CycleStat {
     return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
   }
 };
+
+int cmd_stats_json(const obs::Trace& trace) {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  std::map<std::string, std::uint64_t> by_kind;
+  if (!trace.events.empty()) {
+    first = last = trace.events.front().cycle;
+  }
+  for (const obs::TraceInstant& ev : trace.events) {
+    first = std::min(first, ev.cycle);
+    last = std::max(last, ev.cycle);
+    ++by_kind[ev.name];
+  }
+  std::printf("{\n");
+  std::printf("  \"events\": %zu,\n", trace.events.size());
+  std::printf("  \"slices\": %zu,\n", trace.slices.size());
+  std::printf("  \"samples\": %zu,\n", trace.samples.size());
+  std::printf("  \"recorded_events\": %llu,\n",
+              static_cast<unsigned long long>(trace.recorded_events));
+  std::printf("  \"dropped_events\": %llu,\n",
+              static_cast<unsigned long long>(trace.dropped_events));
+  std::printf("  \"first_cycle\": %llu,\n", static_cast<unsigned long long>(first));
+  std::printf("  \"last_cycle\": %llu,\n", static_cast<unsigned long long>(last));
+  std::printf("  \"kinds\": {");
+  bool comma = false;
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("%s\"%s\": %llu", comma ? ", " : "", kind.c_str(),
+                static_cast<unsigned long long>(count));
+    comma = true;
+  }
+  std::printf("}\n}\n");
+  return 0;
+}
 
 int cmd_stats(const obs::Trace& trace) {
   if (trace.events.empty()) {
@@ -79,10 +118,16 @@ int cmd_stats(const obs::Trace& trace) {
       restore_secure.sum += ev.a;
     }
   }
-  std::printf("%zu events, cycles %llu..%llu (%.1f us at 48 MHz)\n\n",
+  std::printf("%zu events, cycles %llu..%llu (%.1f us at 48 MHz)\n",
               trace.events.size(), static_cast<unsigned long long>(first),
               static_cast<unsigned long long>(last),
               obs::cycles_to_us(last - first));
+  if (trace.dropped_events != 0) {
+    std::printf("WARNING: %llu events were evicted from the ring before export "
+                "— counts below undercount the run\n",
+                static_cast<unsigned long long>(trace.dropped_events));
+  }
+  std::printf("\n");
   std::printf("%-16s %8s\n", "kind", "count");
   for (const auto& [kind, count] : by_kind) {
     std::printf("%-16s %8llu\n", kind.c_str(), static_cast<unsigned long long>(count));
@@ -132,6 +177,23 @@ int cmd_tasks(const obs::Trace& trace) {
   return 0;
 }
 
+int cmd_flame(const obs::Trace& trace) {
+  if (trace.samples.empty()) {
+    std::fprintf(stderr,
+                 "tytan-trace: no profiler samples in this trace (record with "
+                 "tytan-run --profile=N --trace-out=FILE)\n");
+    return 1;
+  }
+  std::map<std::string, std::uint64_t> folded;
+  for (const obs::TraceSample& sample : trace.samples) {
+    ++folded[sample.frame.empty() ? "platform;0x0" : sample.frame];
+  }
+  for (const auto& [frame, count] : folded) {
+    std::printf("%s %llu\n", frame.c_str(), static_cast<unsigned long long>(count));
+  }
+  return 0;
+}
+
 int cmd_events(const obs::Trace& trace, const std::string& kind, std::int32_t task,
                bool have_task, std::uint64_t limit) {
   std::uint64_t printed = 0;
@@ -164,10 +226,13 @@ int main(int argc, char** argv) {
   std::string kind;
   std::int32_t task = -1;
   bool have_task = false;
+  bool json = false;
   std::uint64_t limit = 0;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--kind=", 0) == 0) {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--kind=", 0) == 0) {
       kind = arg.substr(std::strlen("--kind="));
     } else if (arg.rfind("--task=", 0) == 0) {
       task = static_cast<std::int32_t>(
@@ -187,13 +252,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (command == "stats") {
-    return cmd_stats(*trace);
+    return json ? cmd_stats_json(*trace) : cmd_stats(*trace);
   }
   if (command == "tasks") {
     return cmd_tasks(*trace);
   }
   if (command == "events") {
     return cmd_events(*trace, kind, task, have_task, limit);
+  }
+  if (command == "flame") {
+    return cmd_flame(*trace);
   }
   return usage();
 }
