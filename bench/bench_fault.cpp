@@ -1,0 +1,202 @@
+// Fault-injection overhead & recovery-latency bench.
+//
+// The fault engine's contract mirrors the observability one: with no plan
+// active it must not cost a single simulated cycle (the hook sites collapse
+// to one null compare), and with a dormant plan installed the decision
+// checks are host-side only.  This bench *asserts* that invariant — the same
+// workload must execute an identical number of simulated cycles with no
+// engine, with a dormant plan, and without the fault library linked at all —
+// and then measures the recovery paths the plan classes pair with: watchdog
+// restart latency for a stalled task and the secure-storage poison/re-store
+// roundtrip.  The paper has no fault numbers, so every row's paper value is 0.
+#include <chrono>
+
+#include "bench_util.h"
+#include "core/platform.h"
+#include "fault/fault.h"
+#include "fleet/verifier_workload.h"
+
+using namespace tytan;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+fault::FaultPlan parse_plan(const char* text) {
+  auto plan = fault::FaultPlan::parse(text);
+  if (!plan.is_ok()) {
+    std::fprintf(stderr, "bench_fault: bad plan '%s': %s\n", text,
+                 plan.status().to_string().c_str());
+    std::exit(1);
+  }
+  return plan.take();
+}
+
+rtos::TaskIdentity make_id(std::uint8_t seed) {
+  rtos::TaskIdentity id{};
+  id.fill(seed);
+  return id;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport report("fault", options);
+
+  // ---- dormant-engine overhead: the zero-cost invariant ------------------
+  const std::uint64_t cycles = options.smoke ? 500'000 : 4'000'000;
+  bench::Table idle_table("Fault engine overhead (" + bench::num(cycles) +
+                          " cycles, heartbeat task)");
+  idle_table.columns({"engine", "host s", "sim cycles", "instr"});
+
+  std::uint64_t cycles_off = 0;
+  std::uint64_t cycles_dormant = 0;
+  for (const bool dormant : {false, true}) {
+    core::Platform::Config config;
+    if (dormant) {
+      // A valid plan whose clauses can never fire on this workload: the
+      // storage slot is never touched and the cycle trigger is beyond the
+      // run.  Hook sites still consult the engine on every decision.
+      config.fault_plan = parse_plan("storage-corrupt@cycle=999999999999:slot9");
+    }
+    core::Platform platform(config);
+    if (!platform.boot().is_ok()) {
+      std::fprintf(stderr, "bench_fault: boot failed\n");
+      return 1;
+    }
+    auto task = platform.load_task_source(fleet::default_task_source(),
+                                          {.name = "heartbeat"});
+    if (!task.is_ok()) {
+      std::fprintf(stderr, "bench_fault: load failed: %s\n",
+                   task.status().to_string().c_str());
+      return 1;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    platform.run_for(cycles);
+    const double host_seconds = seconds_since(start);
+    const std::uint64_t sim_cycles = platform.machine().cycles();
+    (dormant ? cycles_dormant : cycles_off) = sim_cycles;
+    idle_table.row({dormant ? "dormant plan" : "none",
+                    bench::fixed(host_seconds, 3), bench::num(sim_cycles),
+                    bench::num(platform.machine().instructions_executed())});
+    const std::string prefix = dormant ? "engine_dormant" : "engine_off";
+    report.add(prefix + ".host_ms",
+               static_cast<std::uint64_t>(host_seconds * 1000.0), 0);
+    report.add(prefix + ".sim_cycles", sim_cycles, 0);
+    if (dormant && platform.fault_engine()->injected_total() != 0) {
+      std::fprintf(stderr, "bench_fault: dormant plan fired\n");
+      return 1;
+    }
+  }
+  idle_table.print();
+
+  if (cycles_off != cycles_dormant) {
+    std::fprintf(stderr,
+                 "bench_fault: dormant fault engine changed simulated cycles "
+                 "(%llu off vs %llu dormant) — cost invariant broken\n",
+                 static_cast<unsigned long long>(cycles_off),
+                 static_cast<unsigned long long>(cycles_dormant));
+    return 1;
+  }
+
+  // ---- watchdog restart latency ------------------------------------------
+  bench::Table wd_table("Watchdog recovery (task-stall:heartbeat)");
+  wd_table.columns({"event", "cycle"});
+  {
+    core::Platform::Config config;
+    config.fault_plan = parse_plan("task-stall:heartbeat");
+    core::Platform platform(config);
+    platform.machine().obs().enable();
+    if (!platform.boot().is_ok()) {
+      std::fprintf(stderr, "bench_fault: boot failed\n");
+      return 1;
+    }
+    auto task = platform.load_task_source(fleet::default_task_source(),
+                                          {.name = "heartbeat"});
+    if (!task.is_ok()) {
+      std::fprintf(stderr, "bench_fault: load failed: %s\n",
+                   task.status().to_string().c_str());
+      return 1;
+    }
+    platform.run_for(cycles);
+    std::uint64_t stall_cycle = 0;
+    std::uint64_t restart_cycle = 0;
+    for (const obs::Event& e : platform.machine().obs().bus().snapshot()) {
+      if (e.kind == obs::EventKind::kFaultInject &&
+          e.a == static_cast<std::uint32_t>(fault::FaultClass::kTaskStall)) {
+        stall_cycle = e.cycle;
+      } else if (e.kind == obs::EventKind::kFaultRecover &&
+                 e.a == static_cast<std::uint32_t>(fault::RecoveryKind::kTaskRestart) &&
+                 restart_cycle == 0) {
+        restart_cycle = e.cycle;
+      }
+    }
+    if (restart_cycle <= stall_cycle) {
+      std::fprintf(stderr, "bench_fault: watchdog never restarted the task\n");
+      return 1;
+    }
+    wd_table.row({"stall injected", bench::num(stall_cycle)});
+    wd_table.row({"watchdog restart", bench::num(restart_cycle)});
+    wd_table.row({"latency", bench::num(restart_cycle - stall_cycle)});
+    report.add("watchdog.latency_cycles", restart_cycle - stall_cycle, 0);
+  }
+  wd_table.print();
+
+  // ---- storage poison / re-store roundtrip --------------------------------
+  bench::Table st_table("Secure-storage corruption recovery (slot 3)");
+  st_table.columns({"step", "cycles charged", "outcome"});
+  {
+    core::Platform::Config config;
+    config.fault_plan = parse_plan("storage-corrupt:slot3");
+    core::Platform platform(config);
+    if (!platform.boot().is_ok()) {
+      std::fprintf(stderr, "bench_fault: boot failed\n");
+      return 1;
+    }
+    auto& storage = platform.secure_storage();
+    const rtos::TaskIdentity id = make_id(0x42);
+    const ByteVec data(64, 0x5A);
+
+    std::uint64_t mark = platform.machine().cycles();
+    if (!storage.store(id, 3, data).is_ok()) {
+      std::fprintf(stderr, "bench_fault: initial store failed\n");
+      return 1;
+    }
+    st_table.row({"store", bench::num(platform.machine().cycles() - mark), "ok"});
+
+    mark = platform.machine().cycles();
+    auto corrupt = storage.load(id, 3);
+    const std::uint64_t failed_load = platform.machine().cycles() - mark;
+    if (corrupt.is_ok()) {
+      std::fprintf(stderr, "bench_fault: corrupted load unexpectedly verified\n");
+      return 1;
+    }
+    st_table.row({"load (corrupted)", bench::num(failed_load), "kCorrupt"});
+    report.add("storage.failed_load_cycles", failed_load, 0);
+
+    mark = platform.machine().cycles();
+    if (!storage.store(id, 3, data).is_ok()) {
+      std::fprintf(stderr, "bench_fault: recovery store failed\n");
+      return 1;
+    }
+    auto back = storage.load(id, 3);
+    const std::uint64_t recovery = platform.machine().cycles() - mark;
+    if (!back.is_ok() || *back != data) {
+      std::fprintf(stderr, "bench_fault: recovery roundtrip failed\n");
+      return 1;
+    }
+    st_table.row({"re-store + load", bench::num(recovery), "ok"});
+    report.add("storage.recovery_cycles", recovery, 0);
+    report.add("storage.poisoned_after_recovery", storage.poisoned_count(), 0);
+  }
+  st_table.print();
+
+  std::printf("\nsimulated work identical with and without a dormant fault plan "
+              "(%llu cycles)\n",
+              static_cast<unsigned long long>(cycles_off));
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/ipc_proxy.h"
 
 #include "common/log.h"
+#include "fault/fault.h"
 
 namespace tytan::core {
 
@@ -74,6 +75,24 @@ void IpcProxy::on_ipc() {
   store_le32(receiver_id.data(), reg(1));
   store_le32(receiver_id.data() + 4, reg(2));
   const std::array<std::uint32_t, 4> message{reg(3), reg(4), reg(5), reg(6)};
+
+  if (op != kIpcShmGrant) {
+    if (fault::FaultEngine* engine = machine_.faults();
+        engine != nullptr && engine->on_ipc_message()) {
+      // Lossy transport: the message vanishes, the sender gets the same
+      // typed kSysErr it would see on any rejection and may retry.
+      ++rejected_;
+      ++dropped_;
+      machine_.obs().emit(obs::EventKind::kFaultInject, sender->handle,
+                          static_cast<std::uint32_t>(fault::FaultClass::kIpcDrop));
+      machine_.obs().emit(obs::EventKind::kIpcReject, sender->handle);
+      TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "ipc")
+          << "fault injection: dropped message from task " << sender->handle;
+      int_mux_.poke_saved_reg(*sender, 0, kSysErr);
+      kernel_.resume_specific(sender->handle);
+      return;
+    }
+  }
 
   // Receiver lookup.
   const RegistryEntry* receiver_entry = nullptr;
@@ -236,6 +255,15 @@ void IpcProxy::handle_shm(Tcb& sender, const RegistryEntry* sender_entry,
 
 Status IpcProxy::deliver(const TaskIdentity& sender_id, const TaskIdentity& receiver_id,
                          const std::array<std::uint32_t, 4>& message, bool sync) {
+  if (fault::FaultEngine* engine = machine_.faults();
+      engine != nullptr && engine->on_ipc_message()) {
+    ++rejected_;
+    ++dropped_;
+    machine_.obs().emit(obs::EventKind::kFaultInject, -1,
+                        static_cast<std::uint32_t>(fault::FaultClass::kIpcDrop));
+    machine_.obs().emit(obs::EventKind::kIpcReject, -1);
+    return make_error(Err::kUnavailable, "fault injection: ipc message dropped");
+  }
   const RegistryEntry* receiver_entry = rtm_.find_by_identity(receiver_id);
   if (receiver_entry == nullptr) {
     return make_error(Err::kNotFound, "deliver: unknown receiver identity");

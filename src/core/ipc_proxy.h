@@ -72,6 +72,8 @@ class IpcProxy {
   [[nodiscard]] const std::vector<ShmGrant>& grants() const { return grants_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t messages_rejected() const { return rejected_; }
+  /// Subset of rejections caused by fault injection (ipc-drop clauses).
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
 
   /// Release a shared-memory grant (frees the region and both rules).
   Status release_grant(std::uint32_t base);
@@ -94,6 +96,7 @@ class IpcProxy {
   std::vector<ShmGrant> grants_;
   std::uint64_t delivered_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace tytan::core

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "core/secure_storage.h"
+#include "fault/fault.h"
 
 namespace tytan::core {
 
@@ -122,6 +123,22 @@ void Kernel::reschedule() {
       ++tcb->throttle_events;
       scheduler_.delay_until(next, scheduler_.tick_count() + 1);
       continue;
+    }
+    // Fault injection: wedge the task on the edge of its dispatch.  It stays
+    // blocked as kStalled — nothing but the watchdog (on_tick) wakes it.
+    if (tcb->kind == TaskKind::kGuest && !tcb->stalled) {
+      if (fault::FaultEngine* engine = machine_.faults();
+          engine != nullptr &&
+          engine->on_task_dispatch(tcb->name, machine_.cycles())) {
+        tcb->stalled = true;
+        tcb->stall_since_tick = scheduler_.tick_count();
+        machine_.obs().emit(obs::EventKind::kFaultInject, next,
+                            static_cast<std::uint32_t>(fault::FaultClass::kTaskStall));
+        TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "kernel")
+            << "fault injection: task '" << tcb->name << "' stalled";
+        scheduler_.block(next, rtos::BlockReason::kStalled);
+        continue;
+      }
     }
     const Status s = scheduler_.dispatch(next);
     TYTAN_CHECK(s.is_ok(), "kernel: dispatch failed: " + s.to_string());
@@ -249,6 +266,31 @@ void Kernel::on_tick() {
                                : 0;
       }
     }
+  }
+  // Watchdog: restart tasks wedged longer than the stall timeout.  This is
+  // the recovery path for task-stall injection — the restart count feeds
+  // telemetry so the fleet can tell flaky tasks from healthy ones.
+  for (const TaskHandle handle : scheduler_.handles()) {
+    Tcb* tcb = scheduler_.get(handle);
+    if (tcb == nullptr || !tcb->stalled) {
+      continue;
+    }
+    if (scheduler_.tick_count() - tcb->stall_since_tick < watchdog_ticks_) {
+      continue;
+    }
+    tcb->stalled = false;
+    ++tcb->watchdog_restarts;
+    ++watchdog_restarts_;
+    if (fault::FaultEngine* engine = machine_.faults(); engine != nullptr) {
+      engine->note_recovery(fault::FaultClass::kTaskStall);
+    }
+    machine_.obs().emit(obs::EventKind::kFaultRecover, handle,
+                        static_cast<std::uint32_t>(fault::RecoveryKind::kTaskRestart),
+                        static_cast<std::uint32_t>(tcb->watchdog_restarts));
+    TYTAN_CLOG(machine_.log(), LogLevel::kInfo, "kernel")
+        << "watchdog restarted task '" << tcb->name << "' (restart "
+        << tcb->watchdog_restarts << ")";
+    scheduler_.make_ready(handle);
   }
   if (scheduler_.current() != nullptr) {
     scheduler_.preempt_current();

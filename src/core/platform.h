@@ -25,6 +25,7 @@
 #include "core/secure_storage.h"
 #include "core/task_loader.h"
 #include "core/task_update.h"
+#include "fault/fault.h"
 #include "hw/key_register.h"
 #include "isa/assembler.h"
 #include "rtos/scheduler.h"
@@ -74,6 +75,9 @@ class Platform {
     /// Log context every component of this platform emits through; nullptr
     /// means the process-default context (single-platform CLIs and tests).
     const LogContext* log = nullptr;
+    /// Fault-injection plan (src/fault).  Empty — the default — installs no
+    /// engine, so every hook site stays a single null-pointer compare.
+    fault::FaultPlan fault_plan{};
   };
 
   Platform() : Platform(Config{}) {}
@@ -145,6 +149,11 @@ class Platform {
   [[nodiscard]] RemoteAttest& remote_attest() { return *attest_; }
   [[nodiscard]] SecureStorage& secure_storage() { return *storage_; }
   [[nodiscard]] UpdateManager& updater() { return *updater_; }
+  /// Null unless Config::fault_plan was non-empty.
+  [[nodiscard]] fault::FaultEngine* fault_engine() { return fault_engine_.get(); }
+  [[nodiscard]] const fault::FaultEngine* fault_engine() const {
+    return fault_engine_.get();
+  }
 
   [[nodiscard]] sim::TimerDevice& timer() { return *devices_.timer; }
   [[nodiscard]] sim::SerialConsole& serial() { return *devices_.serial; }
@@ -177,6 +186,7 @@ class Platform {
   std::unique_ptr<SecureStorage> storage_;
   std::unique_ptr<UpdateManager> updater_;
   std::unique_ptr<SecureBootRom> boot_rom_;
+  std::unique_ptr<fault::FaultEngine> fault_engine_;
 
   DeviceSet devices_;
 

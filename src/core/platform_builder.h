@@ -48,6 +48,11 @@ class PlatformBuilder {
     config_.log = log;
     return *this;
   }
+  /// Install a fault-injection engine driven by `plan` (empty = none).
+  PlatformBuilder& fault_plan(fault::FaultPlan plan) {
+    config_.fault_plan = std::move(plan);
+    return *this;
+  }
   /// Replace the standard device complement entirely.  Overrides any
   /// kp/rng_seed already set as far as device construction is concerned
   /// (the caller's set is attached verbatim).

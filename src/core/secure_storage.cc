@@ -1,6 +1,7 @@
 #include "core/secure_storage.h"
 
 #include "common/bytes.h"
+#include "fault/fault.h"
 
 namespace tytan::core {
 
@@ -42,15 +43,19 @@ std::size_t SecureStorage::blob_count() const {
 
 Status SecureStorage::store(const rtos::TaskIdentity& caller, std::uint32_t slot,
                             std::span<const std::uint8_t> data) {
+  // Reserve space before consuming anything: a store that cannot persist
+  // must not burn a seal nonce or bill crypt cycles for work never done.
+  // Wire size: nonce (8) | ciphertext (n) | tag (20).
+  const std::size_t raw_size = 8 + data.size() + crypto::kSha1DigestSize;
+  if (next_offset_ + raw_size + 8 > kStorageSize) {
+    return make_error(Err::kOutOfMemory, "secure storage area full");
+  }
   const crypto::Key128 kt = task_key(caller);
   const crypto::SealedBlob sealed = crypto::seal(kt, nonce_counter_++, data);
   const ByteVec raw = sealed.serialize();
   machine_.charge(machine_.costs().storage_crypt_block *
                   ((data.size() + crypto::kXteaBlockSize - 1) / crypto::kXteaBlockSize + 3));
 
-  if (next_offset_ + raw.size() + 8 > kStorageSize) {
-    return make_error(Err::kOutOfMemory, "secure storage area full");
-  }
   const std::uint32_t addr = kStorageBase + next_offset_;
   // Wire format: u32 length, blob bytes.
   if (Status s = machine_.fw_write32(kIdent, addr, static_cast<std::uint32_t>(raw.size()));
@@ -64,8 +69,19 @@ Status SecureStorage::store(const rtos::TaskIdentity& caller, std::uint32_t slot
 
   if (BlobIndex* existing = find(caller, slot); existing != nullptr) {
     existing->valid = false;  // superseded; area is append-only (flash-like)
+    if (existing->poisoned) {
+      // Re-storing over a poisoned blob is the storage recovery path.
+      machine_.obs().emit(obs::EventKind::kFaultRecover, -1,
+                          static_cast<std::uint32_t>(fault::RecoveryKind::kPoisonMarked));
+      if (fault::FaultEngine* engine = machine_.faults(); engine != nullptr) {
+        engine->note_recovery(fault::FaultClass::kStorageCorrupt);
+      }
+      TYTAN_CLOG(machine_.log(), LogLevel::kInfo, "storage")
+          << "slot " << slot << ": poisoned blob superseded by fresh store";
+    }
   }
-  blobs_.push_back({caller, slot, addr, static_cast<std::uint32_t>(raw.size()), true});
+  blobs_.push_back(
+      {caller, slot, addr, static_cast<std::uint32_t>(raw.size()), true, false});
   machine_.obs().emit(obs::EventKind::kSealStore, -1,
                       static_cast<std::uint32_t>(data.size()));
   return Status::ok();
@@ -75,6 +91,29 @@ Result<ByteVec> SecureStorage::load(const rtos::TaskIdentity& caller, std::uint3
   BlobIndex* blob = find(caller, slot);
   if (blob == nullptr) {
     return make_error(Err::kNotFound, "no sealed blob for this identity/slot");
+  }
+  if (blob->poisoned) {
+    // Fail fast without re-running the unseal: the blob stays readable as an
+    // error until a fresh store supersedes it.
+    return make_error(Err::kCorrupt, "sealed blob is poisoned (previous unseal failed)");
+  }
+  if (fault::FaultEngine* engine = machine_.faults(); engine != nullptr) {
+    const std::int64_t bit =
+        engine->on_storage_access(slot, machine_.cycles(), blob->len);
+    if (bit >= 0) {
+      // Flip one persisted bit — the damage is durable, like real flash rot.
+      const std::uint32_t addr =
+          blob->addr + 4 + static_cast<std::uint32_t>(bit / 8);
+      if (auto byte = machine_.fw_read8(kIdent, addr); byte.is_ok()) {
+        machine_.fw_write8(kIdent, addr,
+                           *byte ^ static_cast<std::uint8_t>(1U << (bit % 8)));
+      }
+      machine_.obs().emit(obs::EventKind::kFaultInject, -1,
+                          static_cast<std::uint32_t>(fault::FaultClass::kStorageCorrupt),
+                          static_cast<std::uint32_t>(bit));
+      TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "storage")
+          << "fault injection: flipped bit " << bit << " of slot " << slot;
+    }
   }
   ByteVec raw(blob->len);
   for (std::uint32_t i = 0; i < blob->len; ++i) {
@@ -86,6 +125,7 @@ Result<ByteVec> SecureStorage::load(const rtos::TaskIdentity& caller, std::uint3
   }
   auto sealed = crypto::SealedBlob::deserialize(raw);
   if (!sealed.is_ok()) {
+    blob->poisoned = true;
     return sealed.status();
   }
   machine_.charge(machine_.costs().storage_crypt_block *
@@ -93,7 +133,21 @@ Result<ByteVec> SecureStorage::load(const rtos::TaskIdentity& caller, std::uint3
   machine_.obs().emit(obs::EventKind::kSealUnseal, -1,
                       static_cast<std::uint32_t>(raw.size()));
   const crypto::Key128 kt = task_key(caller);
-  return crypto::unseal(kt, *sealed);
+  auto plain = crypto::unseal(kt, *sealed);
+  if (!plain.is_ok() && plain.status().code() == Err::kCorrupt) {
+    blob->poisoned = true;
+    TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "storage")
+        << "slot " << slot << ": unseal failed, blob marked poisoned";
+  }
+  return plain;
+}
+
+std::size_t SecureStorage::poisoned_count() const {
+  std::size_t n = 0;
+  for (const BlobIndex& blob : blobs_) {
+    n += (blob.valid && blob.poisoned) ? 1 : 0;
+  }
+  return n;
 }
 
 Result<std::size_t> SecureStorage::migrate(const rtos::TaskIdentity& from,

@@ -56,6 +56,13 @@ class SecureStorage {
 
   [[nodiscard]] std::uint32_t bytes_used() const { return next_offset_; }
   [[nodiscard]] std::size_t blob_count() const;
+  /// Seal nonces consumed so far.  A failed store must not advance this —
+  /// nonces are a consumable bound to persisted data (pinned by test_fault).
+  [[nodiscard]] std::uint64_t nonces_used() const { return nonce_counter_ - 1; }
+  /// Blobs marked poisoned after a failed unseal (graceful degradation: the
+  /// typed kCorrupt error is returned once, later loads fail fast until a
+  /// re-store supersedes the blob).
+  [[nodiscard]] std::size_t poisoned_count() const;
 
  private:
   struct BlobIndex {
@@ -64,6 +71,7 @@ class SecureStorage {
     std::uint32_t addr = 0;  ///< serialized blob location in trusted memory
     std::uint32_t len = 0;
     bool valid = false;
+    bool poisoned = false;  ///< unseal failed; cleared by a superseding store
   };
 
   crypto::Key128 read_kp();

@@ -2,6 +2,7 @@
 
 #include "common/bytes.h"
 #include "common/log.h"
+#include "fault/fault.h"
 #include "tbf/tbf.h"
 
 namespace tytan::core {
@@ -110,6 +111,21 @@ Result<TaskHandle> TaskLoader::begin_load(isa::ObjectFile object, LoadParams par
   }
   if (object.entry >= object.image.size()) {
     return make_error(Err::kInvalidArgument, "entry outside image");
+  }
+  if (fault::FaultEngine* engine = machine_.faults(); engine != nullptr) {
+    const std::int64_t bit = engine->on_load(params.name, object.image.size());
+    if (bit >= 0) {
+      // Corrupt the image in transit, before any measurement: the RTM must
+      // catch this downstream (expected_identity) or the lint gate may.
+      object.image[static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<std::uint8_t>(1U << (bit % 8));
+      machine_.obs().emit(obs::EventKind::kFaultInject, -1,
+                          static_cast<std::uint32_t>(fault::FaultClass::kTbfBitflip),
+                          static_cast<std::uint32_t>(bit));
+      TYTAN_CLOG(machine_.log(), LogLevel::kWarn, "loader")
+          << "fault injection: flipped bit " << bit << " of image '" << params.name
+          << "'";
+    }
   }
   rtos::TaskParams task_params{.name = params.name,
                                .priority = params.priority,
@@ -407,11 +423,28 @@ bool TaskLoader::quantum_register() {
       fail_job(digest.status());
       return true;
     }
+    const rtos::TaskIdentity measured = Rtm::identity_from_digest(*digest);
+    if (job.params.expected_identity.has_value() &&
+        measured != *job.params.expected_identity) {
+      // Graceful degradation: quarantine the binary (keep the evidence)
+      // instead of registering a task the verifier would reject anyway.
+      quarantine_.push_back({job.params.name, measured, machine_.cycles()});
+      machine_.obs().emit(obs::EventKind::kFaultRecover, job.handle,
+                          static_cast<std::uint32_t>(fault::RecoveryKind::kQuarantine),
+                          static_cast<std::uint32_t>(quarantine_.size()));
+      if (fault::FaultEngine* engine = machine_.faults(); engine != nullptr) {
+        engine->note_recovery(fault::FaultClass::kTbfBitflip);
+      }
+      fail_job(make_error(Err::kCorrupt,
+                          "measured identity of '" + job.params.name +
+                              "' differs from golden expectation — quarantined"));
+      return true;
+    }
     if (Status s = rtm_.register_task(*tcb, *digest); !s.is_ok()) {
       fail_job(s);
       return true;
     }
-    tcb->identity = Rtm::identity_from_digest(*digest);
+    tcb->identity = measured;
     tcb->measured = true;
   }
   if (job.params.auto_start) {

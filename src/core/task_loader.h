@@ -46,6 +46,11 @@ struct LoadParams {
   /// runtime-update manager to swap versions the moment the replacement is
   /// measured and ready.
   std::function<void(rtos::TaskHandle)> on_loaded;
+  /// Golden identity the measured image must match (secure tasks only).  A
+  /// mismatch — e.g. a bit flipped in transit — rejects the load with
+  /// kCorrupt and records a QuarantineRecord instead of registering the
+  /// task; the platform keeps running.
+  std::optional<rtos::TaskIdentity> expected_identity;
 };
 
 /// Simple first-fit allocator over the task RAM arena.
@@ -118,6 +123,18 @@ class TaskLoader {
   /// Verifier report from the most recent begin_load (empty when kOff).
   [[nodiscard]] const analysis::Report& last_lint() const { return lint_report_; }
 
+  /// Binaries rejected because their measured identity missed the golden
+  /// expectation.  Quarantine keeps the evidence (name + measured identity)
+  /// without ever scheduling the task.
+  struct QuarantineRecord {
+    std::string name;
+    rtos::TaskIdentity measured{};
+    std::uint64_t cycle = 0;
+  };
+  [[nodiscard]] const std::vector<QuarantineRecord>& quarantine() const {
+    return quarantine_;
+  }
+
  private:
   enum class Phase { kVerify, kAlloc, kCopy, kReloc, kStackPrep, kMpu, kMeasure, kRegister, kDone };
 
@@ -157,6 +174,7 @@ class TaskLoader {
   LintMode lint_mode_ = LintMode::kWarn;
   analysis::Config lint_config_;
   analysis::Report lint_report_;
+  std::vector<QuarantineRecord> quarantine_;
 };
 
 }  // namespace tytan::core

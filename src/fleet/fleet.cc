@@ -41,6 +41,9 @@ Status Fleet::bring_up() {
                                          ? 0
                                          : config_.rng_seed_base + i)
                            .log_context(&device.log_)
+                           .fault_plan(i == config_.fault_plan_device
+                                           ? config_.fault_plan
+                                           : fault::FaultPlan{})
                            .build();
     if (config_.enable_obs) {
       device.platform_->machine().obs().enable();
@@ -63,7 +66,8 @@ Status Fleet::deploy(std::string_view source, std::string_view release_name,
   if (!object.is_ok()) {
     return object.status();
   }
-  golden_.add_release(std::string(release_name), version, *object);
+  const verifier::Release& release =
+      golden_.add_release(std::string(release_name), version, *object);
   // Each device loads its own copy; the shared ObjectFile is read-only from
   // here on.
   const isa::ObjectFile& image = *object;
@@ -72,8 +76,17 @@ Status Fleet::deploy(std::string_view source, std::string_view release_name,
     if (!device.status_.is_ok()) {
       return;
     }
-    auto handle = device.platform_->load_task(
-        isa::ObjectFile(image), {.name = std::string(release_name)});
+    core::LoadParams params{.name = std::string(release_name)};
+    // The golden identity gates the load: a corrupt image (bit rot, fault
+    // injection) is quarantined by the loader instead of entering service.
+    params.expected_identity = release.identity;
+    auto handle = device.platform_->load_task(isa::ObjectFile(image), params);
+    if (!handle.is_ok() && handle.status().code() == Err::kCorrupt) {
+      // Quarantined: retry once from the pristine image (transient transport
+      // corruption — e.g. a tbf-bitflip clause — does not recur).
+      device.quarantines_ += 1;
+      handle = device.platform_->load_task(isa::ObjectFile(image), params);
+    }
     if (!handle.is_ok()) {
       device.status_ = handle.status();
       return;
@@ -127,22 +140,56 @@ std::size_t Fleet::attest_all(std::string_view release_name) {
       device.challenger_ = std::make_unique<verifier::Challenger>(
           *ka, golden_, /*nonce_seed=*/0x6e6f'6e63'6500ull + device.id_);
     }
-    device.nonce_ = device.challenger_->issue_challenge();
-    device.attest_total_ += 1;
-    auto report = device.platform_->remote_attest().attest_task(device.task_,
-                                                                device.nonce_);
-    if (!report.is_ok()) {
-      device.status_ = report.status();
+    fault::FaultEngine* engine = device.platform_->fault_engine();
+    unsigned attempt = 0;
+    while (true) {
+      const std::uint64_t previous_nonce = device.nonce_;
+      std::uint64_t nonce = device.challenger_->issue_challenge();
+      if (engine != nullptr && engine->on_attest(device.attest_total_ + 1) &&
+          previous_nonce != 0) {
+        // Replay the already-consumed challenge; the verifier's single-use
+        // nonce ledger must reject the report (kUnknownChallenge).
+        nonce = previous_nonce;
+        device.platform_->machine().obs().emit(
+            obs::EventKind::kFaultInject, -1,
+            static_cast<std::uint32_t>(fault::FaultClass::kNonceReplay),
+            static_cast<std::uint32_t>(device.attest_total_ + 1));
+      }
+      device.nonce_ = nonce;
+      device.attest_total_ += 1;
+      auto report = device.platform_->remote_attest().attest_task(device.task_,
+                                                                  nonce);
+      if (!report.is_ok()) {
+        device.status_ = report.status();
+        device.attest_failed_ += 1;
+        return;
+      }
+      device.report_ = *report;
+      device.attested_ = true;
+      device.outcome_ = device.challenger_->verify(device.report_, release_name);
+      if (device.outcome_.ok()) {
+        device.attest_verified_ += 1;
+        if (attempt > 0) {
+          // Recovered via retry: note it against the engine (if the failure
+          // was injected) and mark the event for telemetry either way.
+          device.attest_recoveries_ += 1;
+          if (engine != nullptr) {
+            engine->note_recovery(fault::FaultClass::kNonceReplay);
+          }
+          device.platform_->machine().obs().emit(
+              obs::EventKind::kFaultRecover, -1,
+              static_cast<std::uint32_t>(fault::RecoveryKind::kAttestRetry),
+              attempt);
+        }
+        return;
+      }
       device.attest_failed_ += 1;
-      return;
-    }
-    device.report_ = *report;
-    device.attested_ = true;
-    device.outcome_ = device.challenger_->verify(device.report_, release_name);
-    if (device.outcome_.ok()) {
-      device.attest_verified_ += 1;
-    } else {
-      device.attest_failed_ += 1;
+      if (attempt >= config_.attest_retries) {
+        return;  // out of retries — the failed verdict stands (rogue device)
+      }
+      // Bounded exponential backoff in simulated time before re-attesting.
+      device.platform_->run_for(config_.attest_backoff_cycles << attempt);
+      ++attempt;
     }
   });
   std::size_t verified = 0;
@@ -212,6 +259,12 @@ obs::HealthSnapshot Fleet::snapshot_device(FleetDevice& dev) {
   s.attest_total = dev.attest_total_;
   s.attest_verified = dev.attest_verified_;
   s.attest_failed = dev.attest_failed_;
+  s.watchdog_restarts = platform.kernel().watchdog_restarts();
+  if (const fault::FaultEngine* engine = platform.fault_engine();
+      engine != nullptr) {
+    s.faults_injected = engine->injected_total();
+    s.fault_recoveries = engine->recovered_total();
+  }
   s.halted = machine.halted();
   const obs::Hub& hub = machine.obs();
   if (hub.enabled()) {

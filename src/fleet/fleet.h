@@ -60,6 +60,16 @@ struct FleetConfig {
   core::Platform::Config base{};
   /// Health snapshots + anomaly detection (off by default).
   TelemetryConfig telemetry{};
+  /// Fault-injection plan installed on device `fault_plan_device` only (the
+  /// rest of the fleet is the healthy control group).  Empty = no engine.
+  fault::FaultPlan fault_plan{};
+  std::size_t fault_plan_device = 0;
+  /// Graceful degradation for failed attestations: re-attest up to this many
+  /// times, backing off exponentially (backoff << attempt simulated cycles on
+  /// the device), before the sweep's verdict stands.  0 keeps the historical
+  /// one-shot behaviour.
+  unsigned attest_retries = 0;
+  std::uint64_t attest_backoff_cycles = 25'000;
 };
 
 /// One simulated device plus the fleet-side state needed to drive and
@@ -81,6 +91,10 @@ class FleetDevice {
   [[nodiscard]] std::uint64_t attest_total() const { return attest_total_; }
   [[nodiscard]] std::uint64_t attest_verified() const { return attest_verified_; }
   [[nodiscard]] std::uint64_t attest_failed() const { return attest_failed_; }
+  /// Sweeps that recovered (verified) only after at least one retry.
+  [[nodiscard]] std::uint64_t attest_recoveries() const { return attest_recoveries_; }
+  /// Deploy-time loads rejected by the golden-identity gate, then retried.
+  [[nodiscard]] std::uint64_t quarantines() const { return quarantines_; }
 
  private:
   friend class Fleet;
@@ -99,6 +113,8 @@ class FleetDevice {
   std::uint64_t attest_total_ = 0;
   std::uint64_t attest_verified_ = 0;
   std::uint64_t attest_failed_ = 0;
+  std::uint64_t attest_recoveries_ = 0;
+  std::uint64_t quarantines_ = 0;
   std::uint64_t telemetry_seq_ = 0;  ///< per-device HealthSnapshot sequence
 };
 

@@ -13,7 +13,7 @@ constexpr std::array<std::string_view, kNumEventKinds> kNames = {
     "ipc-shm-grant",  "mpu-config",    "mpu-reject",   "mpu-clear",
     "rtm-begin",      "rtm-hash-block", "rtm-done",    "load-begin",
     "load-phase",     "load-done",     "seal-store",   "seal-unseal",
-    "syscall",        "attest",
+    "syscall",        "attest",       "fault-inject",  "fault-recover",
 };
 }  // namespace
 

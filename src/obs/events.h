@@ -65,6 +65,10 @@ enum class EventKind : std::uint8_t {
   // Remote attestation (src/core/remote_attest).
   kAttest,             ///< task = attested handle, a = round-trip cycles
 
+  // Fault injection (src/fault) and the recovery paths it exercises.
+  kFaultInject,        ///< a = fault::FaultClass, b = detail (bit/slot/round)
+  kFaultRecover,       ///< a = fault::RecoveryKind, b = detail (attempt/count)
+
   kNumKinds,           // sentinel — keep last
 };
 

@@ -196,7 +196,9 @@ void append_snapshot_json(std::ostringstream& os, const HealthSnapshot& s) {
      << s.ipc_delivered << R"(,"ipc_rejects":)" << s.ipc_rejects
      << R"(,"attest_total":)" << s.attest_total << R"(,"attest_verified":)"
      << s.attest_verified << R"(,"attest_failed":)" << s.attest_failed
-     << R"(,"events_dropped":)" << s.events_dropped << R"(,"halted":)"
+     << R"(,"events_dropped":)" << s.events_dropped << R"(,"faults_injected":)"
+     << s.faults_injected << R"(,"recoveries":)" << s.fault_recoveries
+     << R"(,"watchdog_restarts":)" << s.watchdog_restarts << R"(,"halted":)"
      << (s.halted ? 1 : 0) << "}\n";
 }
 
@@ -316,6 +318,9 @@ Result<TelemetryLog> parse_telemetry_jsonl(std::string_view text) {
       s.attest_verified = u64(line, "attest_verified");
       s.attest_failed = u64(line, "attest_failed");
       s.events_dropped = u64(line, "events_dropped");
+      s.faults_injected = u64(line, "faults_injected");
+      s.fault_recoveries = u64(line, "recoveries");
+      s.watchdog_restarts = u64(line, "watchdog_restarts");
       s.halted = u64(line, "halted") != 0;
       log.snapshots.push_back(s);
     } else if (type == "anomaly") {

@@ -43,7 +43,10 @@ struct HealthSnapshot {
   std::uint64_t attest_total = 0;
   std::uint64_t attest_verified = 0;
   std::uint64_t attest_failed = 0;
-  std::uint64_t events_dropped = 0;  ///< EventBus::dropped()
+  std::uint64_t events_dropped = 0;    ///< EventBus::dropped()
+  std::uint64_t faults_injected = 0;   ///< FaultEngine injections (src/fault)
+  std::uint64_t fault_recoveries = 0;  ///< recoveries paired with injections
+  std::uint64_t watchdog_restarts = 0; ///< kernel watchdog task revivals
   bool halted = false;
 };
 

@@ -45,6 +45,7 @@ enum class BlockReason : std::uint8_t {
   kQueueRecv,    ///< waiting for queue data
   kMessage,      ///< waiting for secure IPC delivery
   kIrq,          ///< waiting for a bound device interrupt
+  kStalled,      ///< wedged (fault injection); only the watchdog wakes it
 };
 
 /// 64-bit task identity: the first 64 bits of the SHA-1 over the
@@ -105,6 +106,11 @@ struct Tcb {
   std::uint64_t budget_per_tick = 0;  ///< max CPU cycles per tick (0 = unlimited)
   std::uint64_t budget_used = 0;      ///< consumed within the current tick window
   std::uint64_t throttle_events = 0;  ///< times the kernel deferred this task
+
+  // -- watchdog ----------------------------------------------------------------
+  bool stalled = false;                 ///< wedged; see BlockReason::kStalled
+  std::uint64_t stall_since_tick = 0;   ///< tick the stall began
+  std::uint64_t watchdog_restarts = 0;  ///< times the watchdog revived this task
 };
 
 }  // namespace tytan::rtos

@@ -27,6 +27,10 @@
 #include "sim/memory.h"
 #include "sim/tracer.h"
 
+namespace tytan::fault {
+class FaultEngine;
+}  // namespace tytan::fault
+
 namespace tytan::sim {
 
 class Machine;
@@ -160,6 +164,12 @@ class Machine {
     task_context_ = std::move(provider);
   }
 
+  /// Optional fault-injection engine (non-owning, same lifetime discipline
+  /// as the tracer/profiler hooks: Platform owns it, hook sites only consult
+  /// it).  Null — the default — means every hook is one pointer compare.
+  void set_fault_engine(fault::FaultEngine* engine) { faults_ = engine; }
+  [[nodiscard]] fault::FaultEngine* faults() const { return faults_; }
+
   /// IDT entry for `vector` (raw read, as the exception engine sees it).
   [[nodiscard]] std::uint32_t idt_entry(std::uint8_t vector) const;
   /// Install an IDT entry (raw write; used by secure boot before the EA-MPU
@@ -222,6 +232,7 @@ class Machine {
   std::uint64_t fw_invocations_ = 0;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<obs::SampleProfiler> profiler_;
+  fault::FaultEngine* faults_ = nullptr;  ///< non-owning; see set_fault_engine
   obs::Hub obs_;
   const LogContext* log_;  ///< never null; defaults to process_log_context()
   std::function<std::int32_t()> task_context_;

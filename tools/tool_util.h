@@ -1,0 +1,60 @@
+// Shared helpers for the tytan-* CLI tools.
+//
+// Checked numeric parsing: bare strtoull() silently maps garbage ("banana")
+// to 0 and saturates out-of-range input, which turns a typo'd flag into a
+// quietly wrong fleet configuration.  These helpers validate the whole token
+// (endptr + errno + emptiness) and exit with a usage error instead.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
+#include <limits>
+
+namespace tytan::tools {
+
+/// Parse `text` as an unsigned 64-bit decimal/hex number; on any garbage,
+/// overflow, or negative sign, print "<tool>: <flag> ..." and exit 2.
+inline std::uint64_t parse_u64(const char* tool, const char* flag, const char* text) {
+  if (text == nullptr || *text == '\0' || *text == '-') {
+    std::fprintf(stderr, "%s: %s needs a non-negative number, got '%s'\n", tool,
+                 flag, text == nullptr ? "" : text);
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 0);
+  if (errno == ERANGE || end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: %s needs a number, got '%s'\n", tool, flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+inline std::uint32_t parse_u32(const char* tool, const char* flag, const char* text) {
+  const std::uint64_t value = parse_u64(tool, flag, text);
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    std::fprintf(stderr, "%s: %s value '%s' out of 32-bit range\n", tool, flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Signed variant for flags where -1 means "disabled" (device indices).
+inline std::int64_t parse_i64(const char* tool, const char* flag, const char* text) {
+  if (text == nullptr || *text == '\0') {
+    std::fprintf(stderr, "%s: %s needs a number\n", tool, flag);
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 0);
+  if (errno == ERANGE || end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: %s needs a number, got '%s'\n", tool, flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace tytan::tools

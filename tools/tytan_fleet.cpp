@@ -16,6 +16,14 @@
 //                            (seeded attestation-failure anomaly)
 //     --fault-device I       load an EA-MPU-tripping task on device I
 //                            (seeded fault-spike anomaly)
+//     --fault-plan SPEC      fault-injection plan (docs/FAULTS.md grammar),
+//                            installed on --fault-plan-device (default 0)
+//     --fault-plan-device I  device carrying the fault plan
+//     --fault-seed N         RNG seed for seeded bit/drop choices
+//     --attest-retries N     re-attest failed devices with exponential
+//                            backoff (default 2 when --fault-plan is set,
+//                            else 0)
+//     --attest-backoff C     base backoff in simulated cycles (default 25000)
 //
 // stdout is deterministic for a given fleet config — the same devices, seeds,
 // and cycles produce byte-identical reports whatever --threads is.  Host-side
@@ -24,11 +32,15 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
+#include "fault/fault.h"
+
 #include "fleet/verifier_workload.h"
 #include "obs/export.h"
+#include "tool_util.h"
 
 using namespace tytan;
 
@@ -39,7 +51,10 @@ int usage() {
                "usage: tytan-fleet [--devices N] [--threads T] [--cycles C]\n"
                "                   [--quantum Q] [--task FILE] [--json FILE] [--metrics]\n"
                "                   [--telemetry-out FILE] [--telemetry-every N]\n"
-               "                   [--rogue-device I] [--fault-device I]\n");
+               "                   [--rogue-device I] [--fault-device I]\n"
+               "                   [--fault-plan SPEC] [--fault-plan-device I]\n"
+               "                   [--fault-seed N] [--attest-retries N]\n"
+               "                   [--attest-backoff C]\n");
   return 2;
 }
 
@@ -89,6 +104,9 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string task_path;
   std::string telemetry_path;
+  std::string fault_plan_spec;
+  std::optional<std::uint64_t> fault_seed;
+  bool attest_retries_set = false;
   bool metrics = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,13 +119,16 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--devices") {
-      config.fleet.device_count = std::strtoull(next("--devices"), nullptr, 0);
+      config.fleet.device_count =
+          tools::parse_u64("tytan-fleet", "--devices", next("--devices"));
     } else if (arg == "--threads") {
-      config.fleet.threads = std::strtoull(next("--threads"), nullptr, 0);
+      config.fleet.threads =
+          tools::parse_u64("tytan-fleet", "--threads", next("--threads"));
     } else if (arg == "--cycles") {
-      config.cycles = std::strtoull(next("--cycles"), nullptr, 0);
+      config.cycles = tools::parse_u64("tytan-fleet", "--cycles", next("--cycles"));
     } else if (arg == "--quantum") {
-      config.fleet.quantum = std::strtoull(next("--quantum"), nullptr, 0);
+      config.fleet.quantum =
+          tools::parse_u64("tytan-fleet", "--quantum", next("--quantum"));
     } else if (arg == "--task") {
       task_path = next("--task");
     } else if (arg == "--json") {
@@ -121,23 +142,42 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--telemetry-out=", 0) == 0) {
       telemetry_path = arg.substr(std::strlen("--telemetry-out="));
     } else if (arg == "--telemetry-every") {
-      config.fleet.telemetry.every_rounds =
-          std::strtoull(next("--telemetry-every"), nullptr, 0);
+      config.fleet.telemetry.every_rounds = tools::parse_u64(
+          "tytan-fleet", "--telemetry-every", next("--telemetry-every"));
     } else if (arg.rfind("--telemetry-every=", 0) == 0) {
-      config.fleet.telemetry.every_rounds = std::strtoull(
-          arg.c_str() + std::strlen("--telemetry-every="), nullptr, 0);
+      config.fleet.telemetry.every_rounds =
+          tools::parse_u64("tytan-fleet", "--telemetry-every",
+                           arg.c_str() + std::strlen("--telemetry-every="));
     } else if (arg == "--rogue-device") {
-      config.rogue_device =
-          static_cast<int>(std::strtol(next("--rogue-device"), nullptr, 0));
+      config.rogue_device = static_cast<int>(tools::parse_i64(
+          "tytan-fleet", "--rogue-device", next("--rogue-device")));
     } else if (arg.rfind("--rogue-device=", 0) == 0) {
       config.rogue_device = static_cast<int>(
-          std::strtol(arg.c_str() + std::strlen("--rogue-device="), nullptr, 0));
+          tools::parse_i64("tytan-fleet", "--rogue-device",
+                           arg.c_str() + std::strlen("--rogue-device=")));
     } else if (arg == "--fault-device") {
-      config.fault_device =
-          static_cast<int>(std::strtol(next("--fault-device"), nullptr, 0));
+      config.fault_device = static_cast<int>(tools::parse_i64(
+          "tytan-fleet", "--fault-device", next("--fault-device")));
     } else if (arg.rfind("--fault-device=", 0) == 0) {
       config.fault_device = static_cast<int>(
-          std::strtol(arg.c_str() + std::strlen("--fault-device="), nullptr, 0));
+          tools::parse_i64("tytan-fleet", "--fault-device",
+                           arg.c_str() + std::strlen("--fault-device=")));
+    } else if (arg == "--fault-plan") {
+      fault_plan_spec = next("--fault-plan");
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      fault_plan_spec = arg.substr(std::strlen("--fault-plan="));
+    } else if (arg == "--fault-plan-device") {
+      config.fleet.fault_plan_device = tools::parse_u64(
+          "tytan-fleet", "--fault-plan-device", next("--fault-plan-device"));
+    } else if (arg == "--fault-seed") {
+      fault_seed = tools::parse_u64("tytan-fleet", "--fault-seed", next("--fault-seed"));
+    } else if (arg == "--attest-retries") {
+      config.fleet.attest_retries = static_cast<unsigned>(tools::parse_u64(
+          "tytan-fleet", "--attest-retries", next("--attest-retries")));
+      attest_retries_set = true;
+    } else if (arg == "--attest-backoff") {
+      config.fleet.attest_backoff_cycles = tools::parse_u64(
+          "tytan-fleet", "--attest-backoff", next("--attest-backoff"));
     } else {
       return usage();
     }
@@ -159,6 +199,24 @@ int main(int argc, char** argv) {
 
   if (!telemetry_path.empty()) {
     config.fleet.telemetry.enabled = true;
+  }
+  if (!fault_plan_spec.empty()) {
+    auto plan = fault::FaultPlan::parse(fault_plan_spec);
+    if (!plan.is_ok()) {
+      std::fprintf(stderr, "tytan-fleet: %s\n", plan.status().to_string().c_str());
+      return 2;
+    }
+    if (fault_seed.has_value()) {
+      plan->seed = *fault_seed;
+    }
+    config.fleet.fault_plan = std::move(*plan);
+    if (config.fleet.fault_plan_device >= config.fleet.device_count) {
+      std::fprintf(stderr, "tytan-fleet: --fault-plan-device out of range\n");
+      return 2;
+    }
+    if (!attest_retries_set) {
+      config.fleet.attest_retries = 2;  // recovery on by default under faults
+    }
   }
 
   fleet::Fleet fleet(config.fleet);
@@ -182,6 +240,22 @@ int main(int argc, char** argv) {
   }
   std::printf("fleet: %zu devices, %zu attested, %zu verified\n", result.devices,
               result.attested, result.verified);
+  if (!config.fleet.fault_plan.empty()) {
+    // Simulated-state fault summary — deterministic for a given config.
+    fleet::FleetDevice& faulted = fleet.device(config.fleet.fault_plan_device);
+    const fault::FaultEngine* engine = faulted.platform().fault_engine();
+    std::printf("faults: device %u injected=%llu recovered=%llu quarantines=%llu "
+                "attest-retries=%llu watchdog-restarts=%llu\n",
+                faulted.id(),
+                static_cast<unsigned long long>(
+                    engine != nullptr ? engine->injected_total() : 0),
+                static_cast<unsigned long long>(
+                    engine != nullptr ? engine->recovered_total() : 0),
+                static_cast<unsigned long long>(faulted.quarantines()),
+                static_cast<unsigned long long>(faulted.attest_recoveries()),
+                static_cast<unsigned long long>(
+                    faulted.platform().kernel().watchdog_restarts()));
+  }
   if (config.fleet.telemetry.enabled) {
     // Simulated-state summary only — deterministic for a given config.
     std::printf("telemetry: %zu snapshots, %zu anomalies\n",

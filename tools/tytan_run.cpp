@@ -13,17 +13,23 @@
 //                     ride along in --trace-out for `tytan-trace flame`
 //     --folded-out F  write collapsed stacks ("task;symbol count") to F for
 //                     flamegraph.pl / speedscope
+//     --fault SPEC    fault-injection plan (docs/FAULTS.md grammar); a fault
+//                     summary prints at exit
+//     --fault-seed N  RNG seed for seeded bit/drop choices
 //
 // Serial output is echoed to stdout; per-task statistics print at exit.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/platform.h"
+#include "fault/fault.h"
 #include "obs/export.h"
 #include "tbf/tbf.h"
+#include "tool_util.h"
 
 using namespace tytan;
 
@@ -34,6 +40,7 @@ int usage() {
                "usage: tytan-run [--cycles N] [--priority P] [--pedal V] [--radar V]\n"
                "                 [--attest] [--trace N] [--trace-out FILE] [--metrics]\n"
                "                 [--profile N] [--folded-out FILE]\n"
+               "                 [--fault SPEC] [--fault-seed N]\n"
                "                 <task.tbf> [more.tbf ...]\n");
   return 2;
 }
@@ -51,6 +58,8 @@ int main(int argc, char** argv) {
   bool metrics = false;
   std::uint64_t profile = 0;
   std::string folded_out;
+  std::string fault_spec;
+  std::optional<std::uint64_t> fault_seed;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,17 +72,18 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--cycles") {
-      cycles = std::strtoull(next("--cycles"), nullptr, 0);
+      cycles = tools::parse_u64("tytan-run", "--cycles", next("--cycles"));
     } else if (arg == "--priority") {
-      priority = static_cast<unsigned>(std::strtoul(next("--priority"), nullptr, 0));
+      priority = static_cast<unsigned>(
+          tools::parse_u32("tytan-run", "--priority", next("--priority")));
     } else if (arg == "--pedal") {
-      pedal = static_cast<std::uint32_t>(std::strtoul(next("--pedal"), nullptr, 0));
+      pedal = tools::parse_u32("tytan-run", "--pedal", next("--pedal"));
     } else if (arg == "--radar") {
-      radar = static_cast<std::uint32_t>(std::strtoul(next("--radar"), nullptr, 0));
+      radar = tools::parse_u32("tytan-run", "--radar", next("--radar"));
     } else if (arg == "--attest") {
       attest = true;
     } else if (arg == "--trace") {
-      trace = std::strtoul(next("--trace"), nullptr, 0);
+      trace = tools::parse_u64("tytan-run", "--trace", next("--trace"));
     } else if (arg == "--trace-out") {
       trace_out = next("--trace-out");
     } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -81,9 +91,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg == "--profile") {
-      profile = std::strtoull(next("--profile"), nullptr, 0);
+      profile = tools::parse_u64("tytan-run", "--profile", next("--profile"));
     } else if (arg.rfind("--profile=", 0) == 0) {
-      profile = std::strtoull(arg.c_str() + std::strlen("--profile="), nullptr, 0);
+      profile = tools::parse_u64("tytan-run", "--profile",
+                                 arg.c_str() + std::strlen("--profile="));
+    } else if (arg == "--fault") {
+      fault_spec = next("--fault");
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      fault_spec = arg.substr(std::strlen("--fault="));
+    } else if (arg == "--fault-seed") {
+      fault_seed = tools::parse_u64("tytan-run", "--fault-seed", next("--fault-seed"));
     } else if (arg == "--folded-out") {
       folded_out = next("--folded-out");
     } else if (arg.rfind("--folded-out=", 0) == 0) {
@@ -98,7 +115,20 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  core::Platform platform;
+  core::Platform::Config config;
+  if (!fault_spec.empty()) {
+    auto plan = fault::FaultPlan::parse(fault_spec);
+    if (!plan.is_ok()) {
+      std::fprintf(stderr, "tytan-run: --fault: %s\n",
+                   plan.status().to_string().c_str());
+      return 2;
+    }
+    config.fault_plan = plan.take();
+    if (fault_seed.has_value()) {
+      config.fault_plan.seed = *fault_seed;
+    }
+  }
+  core::Platform platform(config);
   if (trace != 0) {
     platform.machine().enable_trace(trace);
   }
@@ -179,6 +209,23 @@ int main(int argc, char** argv) {
                 rtos::task_state_name(tcb->state),
                 static_cast<unsigned long long>(tcb->activations),
                 static_cast<unsigned long long>(tcb->cpu_cycles));
+  }
+  if (const fault::FaultEngine* engine = platform.fault_engine(); engine != nullptr) {
+    std::printf("\nfaults: injected=%llu recovered=%llu watchdog-restarts=%llu\n",
+                static_cast<unsigned long long>(engine->injected_total()),
+                static_cast<unsigned long long>(engine->recovered_total()),
+                static_cast<unsigned long long>(platform.kernel().watchdog_restarts()));
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(fault::FaultClass::kNumClasses); ++c) {
+      const auto cls = static_cast<fault::FaultClass>(c);
+      if (engine->injected(cls) == 0 && engine->recovered(cls) == 0) {
+        continue;
+      }
+      const std::string name(fault::fault_class_name(cls));
+      std::printf("  %-16s injected=%llu recovered=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(engine->injected(cls)),
+                  static_cast<unsigned long long>(engine->recovered(cls)));
+    }
   }
   if (trace != 0 && platform.machine().tracer() != nullptr) {
     std::printf("\n--- last %zu instructions ---\n%s", trace,

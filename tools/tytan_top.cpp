@@ -65,9 +65,9 @@ int render(const std::string& path, bool list_anomalies) {
     ++rows[a.device].anomalies;
   }
 
-  std::printf("%-7s %5s %12s %8s %7s %6s %9s %7s %9s %6s\n", "device", "snaps",
-              "cycles", "sim ms", "instr/c", "faults", "ipc", "attest", "anomalies",
-              "state");
+  std::printf("%-7s %5s %12s %8s %7s %6s %9s %7s %7s %4s %9s %6s\n", "device",
+              "snaps", "cycles", "sim ms", "instr/c", "faults", "ipc", "attest",
+              "inj/rec", "wdog", "anomalies", "state");
   for (const auto& [device, row] : rows) {
     const obs::HealthSnapshot& s = row.last;
     const double ipc_rate =
@@ -78,12 +78,18 @@ int render(const std::string& path, bool list_anomalies) {
     std::snprintf(attest, sizeof attest, "%llu/%llu",
                   static_cast<unsigned long long>(s.attest_verified),
                   static_cast<unsigned long long>(s.attest_total));
-    std::printf("%-7u %5llu %12llu %8.2f %7.3f %6llu %9llu %7s %9llu %6s\n", device,
-                static_cast<unsigned long long>(row.snapshots),
+    // injection column: faults injected / recoveries paired with them.
+    char injected[32];
+    std::snprintf(injected, sizeof injected, "%llu/%llu",
+                  static_cast<unsigned long long>(s.faults_injected),
+                  static_cast<unsigned long long>(s.fault_recoveries));
+    std::printf("%-7u %5llu %12llu %8.2f %7.3f %6llu %9llu %7s %7s %4llu %9llu %6s\n",
+                device, static_cast<unsigned long long>(row.snapshots),
                 static_cast<unsigned long long>(s.cycle),
                 static_cast<double>(s.cycle) * 1000.0 / 48'000'000.0, ipc_rate,
                 static_cast<unsigned long long>(s.faults),
-                static_cast<unsigned long long>(s.ipc_delivered), attest,
+                static_cast<unsigned long long>(s.ipc_delivered), attest, injected,
+                static_cast<unsigned long long>(s.watchdog_restarts),
                 static_cast<unsigned long long>(row.anomalies),
                 s.halted ? "HALT" : "run");
   }

@@ -26,6 +26,7 @@
 
 #include "obs/export.h"
 #include "obs/trace_reader.h"
+#include "tool_util.h"
 
 using namespace tytan;
 
@@ -235,11 +236,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--kind=", 0) == 0) {
       kind = arg.substr(std::strlen("--kind="));
     } else if (arg.rfind("--task=", 0) == 0) {
-      task = static_cast<std::int32_t>(
-          std::strtol(arg.c_str() + std::strlen("--task="), nullptr, 0));
+      task = static_cast<std::int32_t>(tools::parse_i64(
+          "tytan-trace", "--task", arg.c_str() + std::strlen("--task=")));
       have_task = true;
     } else if (arg.rfind("--limit=", 0) == 0) {
-      limit = std::strtoull(arg.c_str() + std::strlen("--limit="), nullptr, 0);
+      limit = tools::parse_u64("tytan-trace", "--limit",
+                               arg.c_str() + std::strlen("--limit="));
     } else {
       return usage();
     }
