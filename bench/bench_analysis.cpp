@@ -3,10 +3,15 @@
 // Unlike the table benches, the analyzer runs on the *host* at load time — it
 // charges zero simulated cycles (see LoaderGate.VerifierChargesNoMachineCycles)
 // — so this bench reports host wall-clock throughput instead of cycle counts:
-// how much binary the lint gate can verify per second, and what each pass
-// (CFG, relocation, stack, MMIO) contributes to the total.
+// how much binary the lint gate can verify per second, what each pass (CFG,
+// relocation, dataflow, stack, MMIO) contributes to the total, and how the
+// value-set dataflow cost scales with jump-table fan-out and site count.
+//
+// CI runs `--smoke --json=BENCH_analysis.json` and publishes the report
+// (`paper` is 0 throughout: the source paper has no host-side numbers).
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 
 #include "analysis/analyzer.h"
 #include "bench_util.h"
@@ -17,10 +22,10 @@ using namespace tytan;
 namespace {
 
 /// Median-of-reps wall-clock time for one analyze() call, in microseconds.
-double time_us(const isa::ObjectFile& object, const analysis::Config& config) {
-  constexpr int kReps = 7;
+double time_us(const isa::ObjectFile& object, const analysis::Config& config,
+               int reps) {
   std::vector<double> samples;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     const analysis::Report report = analysis::analyze(object, config);
     const auto t1 = std::chrono::steady_clock::now();
@@ -35,19 +40,62 @@ std::string mb_per_s(std::uint32_t bytes, double us) {
   return bench::fixed(bytes / us, 1);  // bytes/us == MB/s
 }
 
+/// A task with `sites` independent jump-table dispatches of `cases` targets
+/// each (`cases` must be a power of two: the index is an `andi` mask over an
+/// unknown value, so the dataflow pass must enumerate the whole table).
+isa::ObjectFile make_dispatch_task(unsigned sites, unsigned cases) {
+  std::ostringstream os;
+  os << "    .stack 256\n    .entry main\nmain:\n";
+  for (unsigned s = 0; s < sites; ++s) {
+    os << "    rdcyc r1\n";
+    os << "    andi r1, " << (cases - 1) << "\n";
+    os << "    shli r1, 2\n";
+    os << "    li   r2, table" << s << "\n";
+    os << "    add  r2, r1\n";
+    os << "    ldw  r2, [r2]\n";
+    os << "    jmpr r2\n";
+    for (unsigned c = 0; c < cases; ++c) {
+      os << "s" << s << "c" << c << ":\n    movi r4, " << c << "\n"
+         << "    jmp  join" << s << "\n";
+    }
+    os << "join" << s << ":\n";
+  }
+  os << "park:\n    movi r0, 1\n    int 0x21\n    jmp park\n";
+  for (unsigned s = 0; s < sites; ++s) {
+    os << "table" << s << ":\n";
+    for (unsigned c = 0; c < cases; ++c) {
+      os << "    .word s" << s << "c" << c << "\n";
+    }
+  }
+  auto object = isa::assemble(os.str());
+  TYTAN_CHECK(object.is_ok(), object.status().to_string());
+  return object.take();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport json("analysis", options);
+  const int reps = options.smoke ? 3 : 7;
+  const auto record = [&](std::string row, double us) {
+    json.add(std::move(row), static_cast<std::uint64_t>(us + 0.5), /*paper=*/0);
+  };
+
   bench::Table scaling("Static verifier throughput vs. image size");
   scaling.columns({"image", "relocs", "analyze (us)", "MB/s"});
   for (const std::uint32_t kib : {1u, 4u, 16u, 64u}) {
+    if (options.smoke && kib > 16) {
+      continue;
+    }
     const std::uint32_t bytes = kib * 1'024;
     // Keep reloc density constant: one ABS32 record per 64 image bytes.
     const unsigned relocs = bytes / 64;
     const isa::ObjectFile object = bench::make_task(bytes, relocs, /*secure=*/false);
-    const double us = time_us(object, {});
+    const double us = time_us(object, {}, reps);
     scaling.row({std::to_string(kib) + " KiB", bench::num(relocs),
                  bench::fixed(us, 1), mb_per_s(bytes, us)});
+    record("image." + std::to_string(kib) + "KiB.us", us);
   }
   scaling.print();
 
@@ -55,29 +103,69 @@ int main() {
   relocs.columns({"relocs", "analyze (us)"});
   for (const unsigned n : {0u, 16u, 64u, 256u}) {
     const isa::ObjectFile object = bench::make_task(16'384, n, /*secure=*/false);
-    relocs.row({bench::num(n), bench::fixed(time_us(object, {}), 1)});
+    const double us = time_us(object, {}, reps);
+    relocs.row({bench::num(n), bench::fixed(us, 1)});
+    record("relocs." + std::to_string(n) + ".us", us);
   }
   relocs.print();
 
   // Per-pass cost: run with a single pass enabled at a time.  CFG recovery is
-  // a fixed prerequisite of the stack and MMIO passes, so their rows include
-  // it; the "structural only" row is that shared baseline.
+  // a fixed prerequisite of the stack, MMIO, and dataflow passes, so their
+  // rows include it; the "structural only" row is that shared baseline.
   const isa::ObjectFile object = bench::make_task(16'384, 256, /*secure=*/false);
   bench::Table passes("Per-pass cost (16 KiB image, 256 relocs)");
   passes.columns({"configuration", "analyze (us)"});
-  const auto with = [](bool structural, bool reloc, bool stack, bool mmio) {
+  const auto with = [](bool structural, bool reloc, bool dataflow, bool stack,
+                       bool mmio) {
     analysis::Config config;
     config.structural = structural;
     config.relocations = reloc;
+    config.dataflow = dataflow;
     config.stack = stack;
     config.mmio = mmio;
     return config;
   };
-  passes.row({"structural only", bench::fixed(time_us(object, with(true, false, false, false)), 1)});
-  passes.row({"+ relocations", bench::fixed(time_us(object, with(true, true, false, false)), 1)});
-  passes.row({"+ stack depth", bench::fixed(time_us(object, with(true, false, true, false)), 1)});
-  passes.row({"+ MMIO constprop", bench::fixed(time_us(object, with(true, false, false, true)), 1)});
-  passes.row({"all passes", bench::fixed(time_us(object, with(true, true, true, true)), 1)});
+  const auto pass_row = [&](const char* name, const analysis::Config& config) {
+    const double us = time_us(object, config, reps);
+    passes.row({name, bench::fixed(us, 1)});
+    record(std::string("pass.") + name + ".us", us);
+  };
+  pass_row("structural only", with(true, false, false, false, false));
+  pass_row("+ relocations", with(true, true, false, false, false));
+  pass_row("+ dataflow", with(true, false, true, false, false));
+  pass_row("+ stack depth", with(true, false, false, true, false));
+  pass_row("+ MMIO constprop", with(true, false, false, false, true));
+  pass_row("all passes", with(true, true, true, true, true));
   passes.print();
+
+  // Dataflow cost vs. indirect fan-out: every site must enumerate its whole
+  // table (masked unknown index), so this scales both the value-set widths
+  // and the resolve/re-recover iteration count.
+  bench::Table dataflow("Dataflow pass vs. jump-table shape");
+  dataflow.columns(
+      {"sites x cases", "analyze (us)", "dataflow (us)", "rounds", "resolved"});
+  for (const auto& [sites, cases] :
+       std::vector<std::pair<unsigned, unsigned>>{
+           {1, 4}, {1, 16}, {1, 64}, {4, 8}, {16, 8}}) {
+    if (options.smoke && sites * cases > 64) {
+      continue;
+    }
+    const isa::ObjectFile task = make_dispatch_task(sites, cases);
+    const analysis::Analysis full = analysis::analyze_full(task);
+    TYTAN_CHECK(full.report.errors() == 0, "dispatch task must verify clean");
+    TYTAN_CHECK(full.dataflow.resolved.size() == sites,
+                "every dispatch site must resolve");
+    const double us = time_us(task, {}, reps);
+    const std::string shape =
+        std::to_string(sites) + " x " + std::to_string(cases);
+    dataflow.row({shape, bench::fixed(us, 1),
+                  bench::num(full.timings.dataflow_us),
+                  bench::num(static_cast<unsigned>(full.dataflow_iterations)),
+                  bench::num(full.dataflow.resolved.size())});
+    record("dataflow." + std::to_string(sites) + "x" + std::to_string(cases) +
+               ".us",
+           us);
+  }
+  dataflow.print();
   return 0;
 }

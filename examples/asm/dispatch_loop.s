@@ -1,0 +1,36 @@
+; State-machine loop: every iteration dispatches the current selector through
+; the jump table.  Exercises join-with-refinement at the loop head — the back
+; edge carries `r3 < 4` (from `cmpi`/`jc`), so the index stays bounded and
+; the `jmpr` resolves across all iterations.
+    .entry main
+
+main:
+    movi r0, 0           ; accumulator
+    movi r3, 0           ; selector, walks 0..3
+loop:
+    mov  r1, r3
+    shli r1, 2
+    li   r2, table
+    add  r2, r1
+    ldw  r2, [r2]
+    jmpr r2
+
+add_one:
+    addi r0, 1
+    jmp  next
+add_two:
+    addi r0, 2
+    jmp  next
+add_four:
+    addi r0, 4
+    jmp  next
+add_eight:
+    addi r0, 8
+next:
+    addi r3, 1
+    cmpi r3, 4
+    jc   loop            ; r3 < 4: dispatch the next state
+    hlt
+
+table:
+    .word add_one, add_two, add_four, add_eight

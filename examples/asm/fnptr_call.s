@@ -1,0 +1,32 @@
+; Computed goto through a function-pointer table: `callr` through a `.word`
+; handler table.  The dataflow pass resolves the callee set, splices the
+; edges into the call graph, and the stack pass bounds the worst-case depth
+; through the indirect call.
+    .entry main
+
+main:
+    movi r0, 40
+    andi r1, 1           ; handler selector: 0 or 1
+    shli r1, 2
+    li   r2, handlers
+    add  r2, r1
+    ldw  r2, [r2]
+    callr r2             ; resolved: inc_handler or dec_handler
+    hlt
+
+inc_handler:
+    push r3
+    movi r3, 2
+    add  r0, r3
+    pop  r3
+    ret
+
+dec_handler:
+    push r3
+    movi r3, 2
+    sub  r0, r3
+    pop  r3
+    ret
+
+handlers:
+    .word inc_handler, dec_handler

@@ -1,0 +1,30 @@
+; Bounded dispatch through a `.word` jump table — the canonical computed-jump
+; idiom.  The selector arrives in r1; `andi` clamps it to the table bounds, so
+; the dataflow pass resolves the `jmpr` to exactly the four case labels
+; (DF001) and `tytan-lint --strict` passes.
+    .entry main
+
+main:
+    andi r1, 3           ; clamp the external selector to [0, 3]
+    shli r1, 2           ; scale to a word index
+    li   r2, table
+    add  r2, r1
+    ldw  r2, [r2]        ; fetch the case address
+    jmpr r2
+
+case0:
+    movi r0, 10
+    jmp  done
+case1:
+    movi r0, 11
+    jmp  done
+case2:
+    movi r0, 12
+    jmp  done
+case3:
+    movi r0, 13
+done:
+    hlt
+
+table:
+    .word case0, case1, case2, case3

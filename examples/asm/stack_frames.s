@@ -1,0 +1,27 @@
+; Direct calls with explicit stack frames and image-data stores.  No
+; indirect control flow: this is the corpus baseline the differential
+; harness runs with zero resolved sites, and every stack/image access here
+; is certifiable against the EA-MPU region.
+    .entry main
+
+main:
+    subi sp, 8           ; two-slot frame
+    movi r0, 21
+    stw  r0, [sp]
+    call double_it
+    ldw  r0, [sp+4]      ; the result double_it stored
+    li   r2, result
+    stw  r0, [r2]        ; persist into image data
+    addi sp, 8
+    hlt
+
+double_it:
+    push r1
+    ldw  r1, [sp+8]      ; caller slot: +4 return address, +8 argument
+    add  r1, r1
+    stw  r1, [sp+12]     ; caller's result slot
+    pop  r1
+    ret
+
+result:
+    .word 0

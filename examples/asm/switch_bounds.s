@@ -1,0 +1,32 @@
+; Jump table guarded by an explicit bounds check instead of a mask: the
+; compare/branch refinement (`cmpi` + `jnc`) is what bounds the index on the
+; dispatch path.  Out-of-range selectors take the reject path, so the `jmpr`
+; resolves to the three handlers exactly.
+    .entry main
+
+main:
+    cmpi r1, 3
+    jnc  reject          ; selector >= 3: out of range
+    shli r1, 2           ; in range: r1 is [0, 2] here
+    li   r2, table
+    add  r2, r1
+    ldw  r2, [r2]
+    jmpr r2
+
+on_read:
+    movi r0, 1
+    jmp  done
+on_write:
+    movi r0, 2
+    jmp  done
+on_close:
+    movi r0, 3
+    jmp  done
+
+reject:
+    movi r0, -1
+done:
+    hlt
+
+table:
+    .word on_read, on_write, on_close

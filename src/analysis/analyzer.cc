@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <deque>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "common/bytes.h"
@@ -278,9 +280,24 @@ class StackAnalysis {
       }
 
       const Flow flow = cfg_.flow_at(offset);
+      const auto resolved = flow.indirect ? cfg_.indirect_targets.find(offset)
+                                          : cfg_.indirect_targets.end();
       if (flow.is_call) {
         if (flow.indirect) {
-          result.known = false;  // unknown callee, unknown depth
+          if (resolved == cfg_.indirect_targets.end()) {
+            result.known = false;  // unknown callee, unknown depth
+          } else {
+            // Dataflow bounded the callee set: the worst case is the
+            // deepest resolved callee, exactly as for a direct call.
+            for (const std::uint32_t target : resolved->second) {
+              if (!cfg_.is_code(target)) {
+                continue;
+              }
+              const FnResult callee = function_depth(target);
+              peak = std::max(peak, depth + 4 + callee.worst);
+              result.known = result.known && callee.known;
+            }
+          }
         } else if (flow.target.has_value() && *flow.target >= 0 &&
                    cfg_.is_code(static_cast<std::uint32_t>(*flow.target))) {
           const FnResult callee =
@@ -294,6 +311,15 @@ class StackAnalysis {
 
       if (flow.target.has_value() && !flow.is_call && *flow.target >= 0) {
         work.emplace_back(static_cast<std::uint32_t>(*flow.target), after);
+      }
+      if (flow.indirect && !flow.is_call) {
+        if (resolved == cfg_.indirect_targets.end()) {
+          result.known = false;  // jmpr to an unbounded target
+        } else {
+          for (const std::uint32_t target : resolved->second) {
+            work.emplace_back(target, after);
+          }
+        }
       }
       if (flow.falls_through) {
         work.emplace_back(offset + isa::kInstrSize, after);
@@ -505,34 +531,107 @@ class MmioAnalysis {
 
 }  // namespace
 
-Report analyze(const isa::ObjectFile& object, const Config& config) {
-  Report report;
-  std::optional<Cfg> cfg;
+Analysis analyze_full(const isa::ObjectFile& object, const Config& config) {
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_us = [](Clock::time_point since) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - since)
+            .count());
+  };
+
+  Analysis out;
+  Report& report = out.report;
   if (!object.data_only()) {
     if (config.structural) {
       check_image_shape(object, report);
     }
     // The CFG is recovered even when structural findings are disabled — the
-    // stack and MMIO passes need it.  Structural findings go to a scratch
-    // report in that case.
+    // downstream passes need it.  Structural findings go to a scratch report
+    // in that case.
     Report scratch;
-    cfg = recover_cfg(object, config.structural ? report : scratch);
+    Report& structural_sink = config.structural ? report : scratch;
+    if (config.dataflow) {
+      // Resolved indirect targets create CFG edges, and new edges expose new
+      // code to the value-set analysis: iterate recovery and dataflow until
+      // the resolved set is stable, then run both once more against the real
+      // report so every finding reflects the final CFG.
+      constexpr int kMaxResolveRounds = 8;
+      const auto dataflow_begin = Clock::now();
+      ResolvedTargets resolved;
+      // A resolution that does not survive its own spliced edges is banned
+      // for good (self-referential tables oscillate otherwise); banning is
+      // monotone, so the loop terminates with a resolved set that is a true
+      // fixpoint of recover+dataflow — the final claims are exactly the ones
+      // the final CFG was built from.
+      std::set<std::uint32_t> banned;
+      bool stable = false;
+      for (int round = 0; round < kMaxResolveRounds && !stable; ++round) {
+        ++out.dataflow_iterations;
+        Report iteration_scratch;
+        const Cfg cfg = recover_cfg(object, iteration_scratch, &resolved);
+        DataflowResult result = run_dataflow(object, cfg, config, nullptr, &banned);
+        stable = result.resolved == resolved;
+        if (!stable) {
+          // A site whose resolution vanishes once its own edges are spliced
+          // in can never be claimed: keep it banned so the iteration is
+          // monotone.  A *changed* target set is ordinary convergence (new
+          // edges expose more of the loop) and keeps iterating.
+          for (const auto& [site, targets] : resolved) {
+            if (result.resolved.find(site) == result.resolved.end()) {
+              banned.insert(site);
+            }
+          }
+          resolved = std::move(result.resolved);
+        }
+      }
+      if (!stable) {
+        // Still churning after the round budget: withdraw every claim and
+        // fall back to the seed CFG, where the (all-banned) final pass is
+        // trivially consistent.
+        for (const auto& [site, targets] : resolved) {
+          banned.insert(site);
+        }
+        resolved.clear();
+      }
+      out.timings.dataflow_us = elapsed_us(dataflow_begin);
+      const auto structural_begin = Clock::now();
+      out.cfg = recover_cfg(object, structural_sink, &resolved);
+      out.timings.structural_us = elapsed_us(structural_begin);
+      const auto final_begin = Clock::now();
+      out.dataflow = run_dataflow(object, out.cfg, config, &report, &banned);
+      out.timings.dataflow_us += elapsed_us(final_begin);
+    } else {
+      const auto structural_begin = Clock::now();
+      out.cfg = recover_cfg(object, structural_sink);
+      out.timings.structural_us = elapsed_us(structural_begin);
+    }
+    out.has_cfg = true;
   }
   if (config.relocations) {
-    check_relocations(object, cfg.has_value() ? &*cfg : nullptr, report);
+    const auto begin = Clock::now();
+    check_relocations(object, out.has_cfg ? &out.cfg : nullptr, report);
+    out.timings.relocation_us = elapsed_us(begin);
   }
-  if (cfg.has_value() && config.stack) {
-    StackAnalysis(*cfg, report).run(object, config.interrupt_reserve);
+  if (out.has_cfg && config.stack) {
+    const auto begin = Clock::now();
+    StackAnalysis(out.cfg, report).run(object, config.interrupt_reserve);
+    out.timings.stack_us = elapsed_us(begin);
   }
-  if (cfg.has_value() && config.mmio) {
-    MmioAnalysis(*cfg, object, report).run();
+  if (out.has_cfg && config.mmio) {
+    const auto begin = Clock::now();
+    MmioAnalysis(out.cfg, object, report).run();
+    out.timings.mmio_us = elapsed_us(begin);
   }
   if (!config.suppress.empty()) {
     std::erase_if(report.findings,
                   [&](const Finding& f) { return config.suppressed(f.rule); });
   }
   report.sort();
-  return report;
+  return out;
+}
+
+Report analyze(const isa::ObjectFile& object, const Config& config) {
+  return analyze_full(object, config).report;
 }
 
 }  // namespace tytan::analysis

@@ -90,8 +90,12 @@ Flow Cfg::flow_at(std::uint32_t offset) const {
   return instruction_flow(*decoded[index], offset, terminal_int[index]);
 }
 
-Cfg recover_cfg(const isa::ObjectFile& object, Report& report) {
+Cfg recover_cfg(const isa::ObjectFile& object, Report& report,
+                const ResolvedTargets* resolved) {
   Cfg cfg;
+  if (resolved != nullptr) {
+    cfg.indirect_targets = *resolved;
+  }
   const auto image_size = static_cast<std::uint32_t>(object.image.size());
   const std::size_t n_words = image_size / isa::kInstrSize;
   cfg.decoded.resize(n_words);
@@ -147,6 +151,10 @@ Cfg recover_cfg(const isa::ObjectFile& object, Report& report) {
   // Reachability traversal.  `leaders` collects basic-block starts.
   std::set<std::uint32_t> leaders(cfg.roots.begin(), cfg.roots.end());
   std::map<std::uint32_t, std::uint32_t> call_sites;  // site offset -> target
+  // Dataflow-resolved edges out of indirect sites, re-validated against this
+  // image (the resolution may predate a re-recovery).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> indirect_jumps;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> indirect_calls;
   std::deque<std::uint32_t> worklist(cfg.roots.begin(), cfg.roots.end());
   while (!worklist.empty()) {
     const std::uint32_t offset = worklist.front();
@@ -175,10 +183,22 @@ Cfg recover_cfg(const isa::ObjectFile& object, Report& report) {
     cfg.word_class[index] = WordClass::kCode;
     const Flow flow = instruction_flow(*cfg.decoded[index], offset, cfg.terminal_int[index]);
     if (flow.indirect) {
-      report.add(Rule::kCfIndirect, Severity::kWarning, offset,
-                 std::string(isa::mnemonic(cfg.decoded[index]->opcode)) +
-                     " at " + hex(offset) + ": indirect control transfer is not "
-                     "statically verifiable");
+      if (resolved == nullptr) {
+        report.add(Rule::kCfIndirect, Severity::kWarning, offset,
+                   std::string(isa::mnemonic(cfg.decoded[index]->opcode)) +
+                       " at " + hex(offset) + ": indirect control transfer is not "
+                       "statically verifiable");
+      } else if (const auto it = resolved->find(offset); it != resolved->end()) {
+        auto& spliced = flow.is_call ? indirect_calls[offset] : indirect_jumps[offset];
+        for (const std::uint32_t target : it->second) {
+          if (target % isa::kInstrSize != 0 || target + isa::kInstrSize > image_size) {
+            continue;  // stale resolution from a previous recovery round
+          }
+          spliced.push_back(target);
+          leaders.insert(target);
+          worklist.push_back(target);
+        }
+      }
     }
     if (flow.target.has_value()) {
       const std::int64_t target = *flow.target;
@@ -227,6 +247,16 @@ Cfg recover_cfg(const isa::ObjectFile& object, Report& report) {
     if (const auto it = call_sites.find(last); it != call_sites.end()) {
       block.call_target = it->second;
     }
+    if (const auto it = indirect_calls.find(last); it != indirect_calls.end()) {
+      block.indirect_call_targets = it->second;
+    }
+    if (const auto it = indirect_jumps.find(last); it != indirect_jumps.end()) {
+      for (const std::uint32_t target : it->second) {
+        if (cfg.is_code(target)) {
+          block.successors.push_back(target);
+        }
+      }
+    }
     if (flow.target.has_value() && !flow.is_call) {
       const std::int64_t target = *flow.target;
       if (target >= 0 && target + isa::kInstrSize <= image_size &&
@@ -272,6 +302,13 @@ Cfg recover_cfg(const isa::ObjectFile& object, Report& report) {
   for (const auto& [site, target] : call_sites) {
     cfg.functions.insert(target);
   }
+  for (const auto& [site, targets] : indirect_calls) {
+    for (const std::uint32_t target : targets) {
+      if (cfg.is_code(target)) {
+        cfg.functions.insert(target);
+      }
+    }
+  }
   for (const std::uint32_t fn : cfg.functions) {
     std::set<std::uint32_t>& callees = cfg.call_graph[fn];
     std::set<std::uint32_t> seen;
@@ -288,6 +325,11 @@ Cfg recover_cfg(const isa::ObjectFile& object, Report& report) {
       }
       if (it->second.call_target != kNoOffset) {
         callees.insert(it->second.call_target);
+      }
+      for (const std::uint32_t callee : it->second.indirect_call_targets) {
+        if (cfg.is_code(callee)) {
+          callees.insert(callee);
+        }
       }
       for (const std::uint32_t succ : it->second.successors) {
         blocks.push_back(succ);

@@ -6,7 +6,10 @@
 // stays unknown (unreachable bytes are never flagged — string tables and
 // padding are normal).  Reachability follows static branch displacements and
 // call targets; `jmpr`/`callr` have no static successor and are reported as
-// not statically verifiable (CF006).
+// not statically verifiable (CF006) — unless the caller passes a set of
+// dataflow-resolved targets, in which case the resolved edges are spliced
+// into the traversal, the successor lists, and the call graph, and CF006 is
+// left to the dataflow pass's more precise DF rules.
 //
 // The recovered CFG (basic blocks, successors, call graph) is shared by the
 // stack-depth and MMIO passes and is exposed for future consumers
@@ -42,7 +45,13 @@ struct BasicBlock {
   std::vector<std::uint32_t> successors;    ///< start offsets of successor blocks
   std::uint32_t call_target = kNoOffset;    ///< static call out of the terminator
   bool indirect_exit = false;               ///< ends in jmpr/callr
+  /// Dataflow-resolved callees of a terminating `callr` (empty otherwise);
+  /// resolved `jmpr` targets land in `successors` directly.
+  std::vector<std::uint32_t> indirect_call_targets;
 };
+
+/// Indirect-site image offset -> the statically resolved target set (sorted).
+using ResolvedTargets = std::map<std::uint32_t, std::vector<std::uint32_t>>;
 
 struct Cfg {
   std::vector<std::optional<isa::Instruction>> decoded;  ///< per aligned word
@@ -55,6 +64,8 @@ struct Cfg {
   std::map<std::uint32_t, BasicBlock> blocks;  ///< keyed by start offset
   std::set<std::uint32_t> functions;           ///< roots + static call targets
   std::map<std::uint32_t, std::set<std::uint32_t>> call_graph;
+  /// The resolved edges this CFG was recovered with (per jmpr/callr site).
+  ResolvedTargets indirect_targets;
 
   [[nodiscard]] std::size_t words() const { return decoded.size(); }
   [[nodiscard]] bool is_code(std::uint32_t offset) const {
@@ -68,6 +79,12 @@ struct Cfg {
 
 /// Decode `object.image`, validate the entry points, and recover the CFG.
 /// Structural violations (CF001–CF006) are appended to `report`.
-Cfg recover_cfg(const isa::ObjectFile& object, Report& report);
+///
+/// When `resolved` is non-null the recovery runs in dataflow mode: resolved
+/// jmpr/callr edges are followed (their targets become reachable leaders,
+/// successors, and call-graph edges) and CF006 is never emitted — the
+/// dataflow pass reports each indirect site precisely (DF001–DF003).
+Cfg recover_cfg(const isa::ObjectFile& object, Report& report,
+                const ResolvedTargets* resolved = nullptr);
 
 }  // namespace tytan::analysis

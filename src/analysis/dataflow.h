@@ -1,0 +1,64 @@
+// Value-set dataflow engine over the recovered CFG.
+//
+// A worklist fixpoint propagates one ValueSet per register through every
+// basic block, modelling the address-materialization idioms the tool chain
+// emits: `li` pairs (LO16/HI16 relocations), `.word label` jump tables
+// (ABS32 relocations), index masking/scaling, and cmp/branch interval
+// refinement.  The engine answers two questions the structural passes
+// cannot:
+//
+//   1. Where can a `jmpr`/`callr` go?  When the target value set is a
+//      bounded set of base-relative offsets, the site is *resolved*
+//      (DF001) and the edges are spliced back into the CFG; a torn or
+//      unbounded set is DF002, a set containing a non-code offset DF003.
+//   2. Is a register-relative load/store contained in the task's EA-MPU
+//      region?  Base-relative accesses are certified against the task
+//      memory [0, image+bss+stack); provable escapes are DF004, possible
+//      escapes DF005.  Absolute (constant) addresses stay the MMIO pass's
+//      claim; Top is nobody's claim.
+//
+// Soundness over precision: table loads resolve only through unclobbered
+// ABS32 relocation sites, stores that may alias a table demote its loads to
+// Top, and the per-block join widens to Top rather than guess.  Stack-region
+// stores (SP-relative, within the task's stack reservation) are assumed not
+// to alias the image — stack-discipline violations are the stack pass's
+// domain (ST001/ST003).
+#pragma once
+
+#include <cstddef>
+#include <set>
+
+#include "analysis/cfg.h"
+#include "analysis/findings.h"
+#include "isa/object.h"
+
+namespace tytan::analysis {
+
+struct Config;  // analyzer.h
+
+struct DataflowResult {
+  /// Site offset -> sorted, validated target offsets (DF001 sites only).
+  ResolvedTargets resolved;
+  /// False when the fixpoint budget ran out; no resolution is claimed then.
+  bool converged = true;
+  /// Reachable jmpr/callr instructions seen.
+  std::size_t indirect_sites = 0;
+  /// Register-relative accesses proven inside the task's EA-MPU region.
+  std::size_t certified_accesses = 0;
+};
+
+/// Run the value-set fixpoint over `cfg` (recovered from `object`).  When
+/// `report` is non-null, DF001–DF005 findings are emitted for every
+/// reachable indirect site and every certifiable register-relative access.
+/// Pass a null report during the resolve/re-recover iteration and a real one
+/// on the final, authoritative run.
+///
+/// `banned` lists indirect sites that must never be claimed resolved (DF002
+/// instead): the analyzer bans a site when its resolution does not survive
+/// splicing its own edges into the CFG — a self-referential table idiom
+/// where the claim would invalidate the analysis that produced it.
+DataflowResult run_dataflow(const isa::ObjectFile& object, const Cfg& cfg,
+                            const Config& config, Report* report,
+                            const std::set<std::uint32_t>* banned = nullptr);
+
+}  // namespace tytan::analysis

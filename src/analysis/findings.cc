@@ -27,6 +27,11 @@ std::string_view rule_id(Rule rule) {
     case Rule::kMmOutOfMem: return "MM004";
     case Rule::kImSize: return "IM001";
     case Rule::kImMailbox: return "IM002";
+    case Rule::kDfResolved: return "DF001";
+    case Rule::kDfUnresolved: return "DF002";
+    case Rule::kDfBadTarget: return "DF003";
+    case Rule::kDfOutOfRegion: return "DF004";
+    case Rule::kDfMayEscape: return "DF005";
   }
   return "??";
 }
@@ -35,7 +40,7 @@ std::optional<Rule> rule_from_id(std::string_view id) {
   std::string upper(id);
   std::transform(upper.begin(), upper.end(), upper.begin(),
                  [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
-  for (int i = 0; i <= static_cast<int>(Rule::kImMailbox); ++i) {
+  for (int i = 0; i <= static_cast<int>(kLastRule); ++i) {
     const auto rule = static_cast<Rule>(i);
     if (rule_id(rule) == upper) {
       return rule;

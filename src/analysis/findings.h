@@ -23,7 +23,7 @@ enum class Severity : std::uint8_t {
 /// Stable rule catalogue.  Ids are grouped by pass:
 ///   CF*  control-flow recovery    RL*  relocation lints
 ///   ST*  stack-depth analysis     MM*  MMIO / privilege lints
-///   IM*  image structure
+///   IM*  image structure          DF*  value-set dataflow
 enum class Rule : std::uint8_t {
   kCfEntry,        ///< CF001: entry/msg-handler does not reach valid code
   kCfTarget,       ///< CF002: branch/call target outside image or misaligned
@@ -44,7 +44,15 @@ enum class Rule : std::uint8_t {
   kMmOutOfMem,     ///< MM004: access beyond physical memory
   kImSize,         ///< IM001: image size not a multiple of the word size
   kImMailbox,      ///< IM002: mailbox offset outside the image
+  kDfResolved,     ///< DF001: indirect transfer resolved to a bounded target set
+  kDfUnresolved,   ///< DF002: indirect target set not statically bounded
+  kDfBadTarget,    ///< DF003: resolved indirect target is not valid code
+  kDfOutOfRegion,  ///< DF004: register-relative access provably outside the task region
+  kDfMayEscape,    ///< DF005: register-relative access may fall outside the task region
 };
+
+/// Last catalogue entry, for exhaustive iteration (tests, rule_from_id).
+inline constexpr auto kLastRule = Rule::kDfMayEscape;
 
 /// "CF002", "ST001", ... (stable across releases).
 std::string_view rule_id(Rule rule);

@@ -1,0 +1,425 @@
+#include "analysis/vsa.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace tytan::analysis {
+
+namespace {
+
+constexpr std::int64_t kWordRange = std::int64_t{1} << 32;
+
+std::int64_t wrap32(std::int64_t value) {
+  return value & 0xFFFF'FFFF;
+}
+
+}  // namespace
+
+ValueSet ValueSet::constant(std::uint32_t value) {
+  ValueSet v;
+  v.kind_ = Kind::kConst;
+  v.lo_ = v.hi_ = static_cast<std::int64_t>(value);
+  v.canonicalize();
+  return v;
+}
+
+ValueSet ValueSet::base_rel(std::int64_t offset) {
+  ValueSet v;
+  v.kind_ = Kind::kBaseRel;
+  v.lo_ = v.hi_ = offset;
+  v.canonicalize();
+  return v;
+}
+
+ValueSet ValueSet::base_lo(std::uint32_t addend) {
+  ValueSet v;
+  v.kind_ = Kind::kBaseLo;
+  v.lo_ = v.hi_ = static_cast<std::int64_t>(addend);
+  v.canonicalize();
+  return v;
+}
+
+ValueSet ValueSet::stack_rel(std::int64_t offset) {
+  ValueSet v;
+  v.kind_ = Kind::kStackRel;
+  v.lo_ = v.hi_ = offset;
+  v.canonicalize();
+  return v;
+}
+
+ValueSet ValueSet::interval(Kind kind, std::int64_t lo, std::int64_t hi,
+                            std::int64_t stride) {
+  if (kind == Kind::kTop || lo > hi) {
+    return top();
+  }
+  if (lo < -kOffsetLimit || hi > kOffsetLimit) {
+    return top();
+  }
+  ValueSet v;
+  v.kind_ = kind;
+  v.lo_ = lo;
+  v.hi_ = hi;
+  v.stride_ = lo == hi ? 0 : std::max<std::int64_t>(stride, 1);
+  if (v.stride_ != 0) {
+    // Snap hi onto the lattice lo + k*stride so count() is exact.
+    v.hi_ = lo + ((hi - lo) / v.stride_) * v.stride_;
+  }
+  v.canonicalize();
+  return v;
+}
+
+std::uint64_t ValueSet::count() const {
+  if (is_top()) {
+    return ~std::uint64_t{0};
+  }
+  if (!values_.empty()) {
+    return values_.size();
+  }
+  if (stride_ == 0) {
+    return 1;
+  }
+  return static_cast<std::uint64_t>((hi_ - lo_) / stride_) + 1;
+}
+
+std::vector<std::int64_t> ValueSet::enumerate(std::size_t limit) const {
+  if (!enumerable(limit)) {
+    return {};
+  }
+  if (!values_.empty()) {
+    return values_;
+  }
+  std::vector<std::int64_t> out;
+  const std::int64_t step = std::max<std::int64_t>(stride_, 1);
+  for (std::int64_t v = lo_; v <= hi_; v += step) {
+    out.push_back(v);
+    if (lo_ == hi_) {
+      break;
+    }
+  }
+  return out;
+}
+
+void ValueSet::canonicalize() {
+  if (is_top()) {
+    lo_ = hi_ = stride_ = 0;
+    values_.clear();
+    return;
+  }
+  if (!values_.empty()) {
+    std::sort(values_.begin(), values_.end());
+    values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+    lo_ = values_.front();
+    hi_ = values_.back();
+    stride_ = 0;
+    for (std::size_t i = 1; i < values_.size(); ++i) {
+      stride_ = std::gcd(stride_, values_[i] - values_[i - 1]);
+    }
+    if (values_.size() == 1) {
+      values_.clear();  // singleton: interval form is canonical
+      stride_ = 0;
+    }
+    return;
+  }
+  if (lo_ == hi_) {
+    stride_ = 0;
+    return;
+  }
+  if (count() <= kExplicitMax) {
+    const std::int64_t step = std::max<std::int64_t>(stride_, 1);
+    for (std::int64_t v = lo_; v <= hi_; v += step) {
+      values_.push_back(v);
+    }
+    stride_ = std::gcd(std::int64_t{0}, step);
+  }
+}
+
+ValueSet ValueSet::join(const ValueSet& a, const ValueSet& b) {
+  if (a == b) {
+    return a;
+  }
+  if (a.is_top() || b.is_top() || a.kind_ != b.kind_) {
+    return top();
+  }
+  if (!a.values_.empty() || !b.values_.empty() || a.singleton() || b.singleton()) {
+    // Try the exact union first.
+    const auto ea = a.enumerate(kExplicitMax);
+    const auto eb = b.enumerate(kExplicitMax);
+    if (!ea.empty() && !eb.empty() && ea.size() + eb.size() <= 2 * kExplicitMax) {
+      std::vector<std::int64_t> merged = ea;
+      merged.insert(merged.end(), eb.begin(), eb.end());
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      if (merged.size() <= kExplicitMax) {
+        ValueSet v;
+        v.kind_ = a.kind_;
+        v.values_ = std::move(merged);
+        v.canonicalize();
+        return v;
+      }
+    }
+  }
+  // Interval hull with the coarsest consistent stride.
+  const std::int64_t sa = a.values_.empty() ? a.stride_ : a.stride_;
+  const std::int64_t sb = b.values_.empty() ? b.stride_ : b.stride_;
+  std::int64_t stride = std::gcd(sa, sb);
+  stride = std::gcd(stride, std::llabs(a.lo_ - b.lo_));
+  return interval(a.kind_, std::min(a.lo_, b.lo_), std::max(a.hi_, b.hi_), stride);
+}
+
+ValueSet ValueSet::add(std::int64_t delta) const {
+  if (is_top()) {
+    return top();
+  }
+  if (kind_ == Kind::kBaseLo) {
+    return top();  // arithmetic on a torn li pair forfeits the pairing
+  }
+  if (kind_ == Kind::kConst) {
+    if (!values_.empty() || singleton()) {
+      return map_const([&](std::int64_t v) { return wrap32(v + delta); });
+    }
+    const std::int64_t lo = lo_ + delta;
+    const std::int64_t hi = hi_ + delta;
+    if (lo < 0 || hi >= kWordRange) {
+      return top();  // a non-singleton interval that wraps loses its shape
+    }
+    return interval(kind_, lo, hi, stride_);
+  }
+  return interval(kind_, lo_ + delta, hi_ + delta, stride_);
+}
+
+ValueSet ValueSet::add(const ValueSet& a, const ValueSet& b) {
+  if (a.is_top() || b.is_top()) {
+    return top();
+  }
+  // One side must be a plain number; pointer + pointer is meaningless.
+  const ValueSet* base = &a;
+  const ValueSet* off = &b;
+  if (base->kind_ == Kind::kConst && off->kind_ != Kind::kConst) {
+    std::swap(base, off);
+  }
+  if (off->kind_ != Kind::kConst || base->kind_ == Kind::kBaseLo) {
+    return top();
+  }
+  if (off->singleton()) {
+    return base->add(off->lo_);
+  }
+  const auto eb = base->enumerate(kExplicitMax);
+  const auto eo = off->enumerate(kExplicitMax);
+  if (!eb.empty() && !eo.empty() && eb.size() * eo.size() <= kExplicitMax &&
+      base->kind_ != Kind::kConst) {
+    ValueSet v;
+    v.kind_ = base->kind_;
+    for (const std::int64_t x : eb) {
+      for (const std::int64_t y : eo) {
+        v.values_.push_back(x + y);
+      }
+    }
+    v.canonicalize();
+    return v;
+  }
+  if (base->kind_ == Kind::kConst &&
+      (base->lo_ + off->lo_ < 0 || base->hi_ + off->hi_ >= kWordRange)) {
+    return top();
+  }
+  return interval(base->kind_, base->lo_ + off->lo_, base->hi_ + off->hi_,
+                  std::gcd(base->stride_ == 0 && !base->singleton() ? 1 : base->stride_,
+                           off->stride_ == 0 && !off->singleton() ? 1 : off->stride_));
+}
+
+ValueSet ValueSet::sub(const ValueSet& a, const ValueSet& b) {
+  if (a.is_top() || b.is_top() || b.kind_ != Kind::kConst ||
+      a.kind_ == Kind::kBaseLo) {
+    return top();
+  }
+  if (b.singleton()) {
+    return a.add(-b.lo_);
+  }
+  if (a.kind_ == Kind::kConst && (a.lo_ - b.hi_ < 0 || a.hi_ - b.lo_ >= kWordRange)) {
+    return top();
+  }
+  return interval(a.kind_, a.lo_ - b.hi_, a.hi_ - b.lo_,
+                  std::gcd(a.stride_, b.stride_));
+}
+
+ValueSet ValueSet::shl(unsigned amount) const {
+  if (kind_ != Kind::kConst) {
+    return top();
+  }
+  const std::int64_t factor = std::int64_t{1} << (amount & 31);
+  if (hi_ * factor >= kWordRange || lo_ < 0) {
+    return map_const([&](std::int64_t v) { return wrap32(v << (amount & 31)); });
+  }
+  return interval(kind_, lo_ * factor, hi_ * factor, stride_ * factor);
+}
+
+ValueSet ValueSet::shr(unsigned amount) const {
+  if (kind_ != Kind::kConst) {
+    return top();
+  }
+  return map_const(
+      [&](std::int64_t v) { return wrap32(v) >> (amount & 31); });
+}
+
+ValueSet ValueSet::and_mask(std::uint32_t mask) const {
+  if (kind_ == Kind::kConst) {
+    ValueSet exact =
+        map_const([&](std::int64_t v) { return wrap32(v) & mask; });
+    if (!exact.is_top()) {
+      return exact;
+    }
+  }
+  // Whatever the region, the masked *value* lands in [0, mask].
+  return interval(Kind::kConst, 0, static_cast<std::int64_t>(mask), 1);
+}
+
+ValueSet ValueSet::or_mask(std::uint32_t mask) const {
+  if (kind_ != Kind::kConst) {
+    return top();
+  }
+  return map_const([&](std::int64_t v) { return wrap32(v) | mask; });
+}
+
+ValueSet ValueSet::xor_mask(std::uint32_t mask) const {
+  if (kind_ != Kind::kConst) {
+    return top();
+  }
+  return map_const([&](std::int64_t v) { return wrap32(v) ^ mask; });
+}
+
+ValueSet ValueSet::movhi_const(std::uint32_t high) const {
+  if (kind_ != Kind::kConst) {
+    return top();
+  }
+  return map_const([&](std::int64_t v) {
+    return (wrap32(v) & 0xFFFF) | (static_cast<std::int64_t>(high) << 16);
+  });
+}
+
+ValueSet ValueSet::movhi_reloc(std::uint32_t addend) const {
+  if (kind_ == Kind::kBaseLo && singleton() &&
+      lo_ == static_cast<std::int64_t>(addend)) {
+    return base_rel(lo_);
+  }
+  return top();
+}
+
+ValueSet ValueSet::refine_below(std::uint32_t bound) const {
+  if (bound == 0) {
+    return *this;  // nothing is unsigned-below zero: dead edge, keep as-is
+  }
+  const auto limit = static_cast<std::int64_t>(bound) - 1;
+  if (is_top()) {
+    return interval(Kind::kConst, 0, limit, 1);
+  }
+  if (kind_ != Kind::kConst) {
+    return *this;  // base/stack-relative runtime values dwarf small bounds
+  }
+  if (!values_.empty()) {
+    ValueSet v;
+    v.kind_ = kind_;
+    for (const std::int64_t x : values_) {
+      if (x <= limit) {
+        v.values_.push_back(x);
+      }
+    }
+    if (v.values_.empty()) {
+      return *this;
+    }
+    v.canonicalize();
+    return v;
+  }
+  if (lo_ > limit) {
+    return *this;
+  }
+  return interval(kind_, lo_, std::min(hi_, limit), stride_);
+}
+
+ValueSet ValueSet::refine_at_least(std::uint32_t bound) const {
+  const auto limit = static_cast<std::int64_t>(bound);
+  if (is_top()) {
+    return interval(Kind::kConst, limit, kWordRange - 1, 1);
+  }
+  if (kind_ != Kind::kConst) {
+    return *this;
+  }
+  if (!values_.empty()) {
+    ValueSet v;
+    v.kind_ = kind_;
+    for (const std::int64_t x : values_) {
+      if (x >= limit) {
+        v.values_.push_back(x);
+      }
+    }
+    if (v.values_.empty()) {
+      return *this;
+    }
+    v.canonicalize();
+    return v;
+  }
+  if (hi_ < limit) {
+    return *this;
+  }
+  // Step lo up onto the stride lattice.
+  std::int64_t lo = lo_;
+  if (lo < limit && stride_ > 0) {
+    lo += ((limit - lo + stride_ - 1) / stride_) * stride_;
+  } else {
+    lo = std::max(lo, limit);
+  }
+  return interval(kind_, lo, hi_, stride_);
+}
+
+ValueSet ValueSet::refine_eq(std::uint32_t value) const {
+  return constant(value);  // the equality pins the numeric value exactly
+}
+
+template <typename Fn>
+ValueSet ValueSet::map_const(Fn&& f) const {
+  const auto vals = enumerate(kExplicitMax);
+  if (vals.empty()) {
+    return top();
+  }
+  ValueSet v;
+  v.kind_ = Kind::kConst;
+  for (const std::int64_t x : vals) {
+    v.values_.push_back(f(x));
+  }
+  v.canonicalize();
+  return v;
+}
+
+std::string ValueSet::to_string() const {
+  std::ostringstream os;
+  const auto name = [&]() -> const char* {
+    switch (kind_) {
+      case Kind::kTop: return "top";
+      case Kind::kConst: return "const";
+      case Kind::kBaseRel: return "base";
+      case Kind::kBaseLo: return "base-lo";
+      case Kind::kStackRel: return "stack";
+    }
+    return "?";
+  }();
+  if (is_top()) {
+    return name;
+  }
+  os << name << "[" << std::hex;
+  const auto put = [&](std::int64_t v) {
+    if (v < 0) {
+      os << "-0x" << -v;
+    } else {
+      os << "0x" << v;
+    }
+  };
+  put(lo_);
+  if (lo_ != hi_) {
+    os << "..";
+    put(hi_);
+    os << std::dec << "/" << std::max<std::int64_t>(stride_, 1);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tytan::analysis

@@ -1,0 +1,111 @@
+// Value-set abstract domain for the dataflow pass (Reps-style VSA, scaled
+// down to the Peak-32 idioms the tool chain actually emits).
+//
+// A ValueSet over-approximates the runtime values one register may hold at a
+// program point.  Values live in one *region*:
+//
+//   kConst     absolute numbers (the value itself is bounded)
+//   kBaseRel   image-load-base + offset — what `li rX, label` and `.word
+//              label` table entries materialize; the base is unknown until
+//              load time, the offset is bounded
+//   kBaseLo    the low half of an li pair: moviu@LO16 executed, movhi@HI16
+//              still pending (any other use forfeits the pairing and is Top)
+//   kStackRel  entry-SP + offset (negative offsets grow into the stack)
+//   kTop       any 32-bit value
+//
+// Within a region the set is canonicalized as either an explicit sorted
+// vector (when it has at most kExplicitMax elements — exact jump-table
+// index sets survive this way) or a strided interval [lo, hi] / stride.
+// Every transformer is a sound over-approximation: anything unmodeled
+// returns Top, never a smaller set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tytan::analysis {
+
+class ValueSet {
+ public:
+  enum class Kind : std::uint8_t {
+    kTop = 0,
+    kConst,
+    kBaseRel,
+    kBaseLo,
+    kStackRel,
+  };
+
+  /// Sets up to this many elements are kept explicitly (exact).
+  static constexpr std::size_t kExplicitMax = 32;
+  /// Offsets beyond this magnitude collapse to Top (no wrap modelling).
+  static constexpr std::int64_t kOffsetLimit = std::int64_t{1} << 40;
+
+  ValueSet() = default;  ///< Top
+
+  static ValueSet top() { return {}; }
+  static ValueSet constant(std::uint32_t value);
+  static ValueSet base_rel(std::int64_t offset);
+  static ValueSet base_lo(std::uint32_t addend);
+  static ValueSet stack_rel(std::int64_t offset);
+  /// Strided interval [lo, hi] stepping by `stride` (0 = singleton).
+  static ValueSet interval(Kind kind, std::int64_t lo, std::int64_t hi,
+                           std::int64_t stride);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_top() const { return kind_ == Kind::kTop; }
+  [[nodiscard]] std::int64_t lo() const { return lo_; }
+  [[nodiscard]] std::int64_t hi() const { return hi_; }
+  [[nodiscard]] bool singleton() const { return !is_top() && lo_ == hi_; }
+  /// Number of values in the set; meaningless for Top.
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] bool enumerable(std::size_t limit) const {
+    return !is_top() && count() <= limit;
+  }
+  /// The concrete offsets/values, ascending.  Empty when not enumerable.
+  [[nodiscard]] std::vector<std::int64_t> enumerate(std::size_t limit) const;
+
+  /// Least upper bound.  Different regions join to Top.
+  [[nodiscard]] static ValueSet join(const ValueSet& a, const ValueSet& b);
+
+  // -- transformers -----------------------------------------------------------
+  [[nodiscard]] ValueSet add(std::int64_t delta) const;
+  [[nodiscard]] static ValueSet add(const ValueSet& a, const ValueSet& b);
+  [[nodiscard]] static ValueSet sub(const ValueSet& a, const ValueSet& b);
+  [[nodiscard]] ValueSet shl(unsigned amount) const;
+  [[nodiscard]] ValueSet shr(unsigned amount) const;
+  /// `value & mask` — exact on explicit constants, else the sound [0, mask].
+  [[nodiscard]] ValueSet and_mask(std::uint32_t mask) const;
+  [[nodiscard]] ValueSet or_mask(std::uint32_t mask) const;
+  [[nodiscard]] ValueSet xor_mask(std::uint32_t mask) const;
+  /// movhi with a plain immediate: (v & 0xFFFF) | high << 16.
+  [[nodiscard]] ValueSet movhi_const(std::uint32_t high) const;
+  /// movhi at a HI16 site completing an li pair with this addend.
+  [[nodiscard]] ValueSet movhi_reloc(std::uint32_t addend) const;
+
+  // -- branch refinements (unsigned compare against a constant) ---------------
+  // Refinement is optional precision: when the condition cannot narrow the
+  // set (wrong region, or it would empty it) the set is returned unchanged.
+  [[nodiscard]] ValueSet refine_below(std::uint32_t bound) const;     ///< v < bound
+  [[nodiscard]] ValueSet refine_at_least(std::uint32_t bound) const;  ///< v >= bound
+  [[nodiscard]] ValueSet refine_eq(std::uint32_t value) const;        ///< v == value
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const ValueSet&, const ValueSet&) = default;
+
+ private:
+  /// Materialize small intervals as explicit sets; keep summary fields exact.
+  void canonicalize();
+  /// Apply `f` to every explicit value; Top when the set is not explicit.
+  template <typename Fn>
+  [[nodiscard]] ValueSet map_const(Fn&& f) const;
+
+  Kind kind_ = Kind::kTop;
+  std::int64_t lo_ = 0;
+  std::int64_t hi_ = 0;
+  std::int64_t stride_ = 0;             ///< 0 = singleton (interval mode)
+  std::vector<std::int64_t> values_;    ///< sorted unique; empty = interval mode
+};
+
+}  // namespace tytan::analysis

@@ -602,6 +602,9 @@ void Machine::execute_one() {
       break;
     case Opcode::kJmpr: {
       const std::uint32_t target = regs[instr.ra];
+      if (indirect_branch_hook_) {
+        indirect_branch_hook_(pc, target, /*is_call=*/false);
+      }
       cpu_.eip = pc;
       guest_transfer(target);
       break;
@@ -621,6 +624,9 @@ void Machine::execute_one() {
         break;
       }
       const std::uint32_t target = regs[instr.ra];
+      if (indirect_branch_hook_) {
+        indirect_branch_hook_(pc, target, /*is_call=*/true);
+      }
       cpu_.eip = pc;
       guest_transfer(target);
       break;

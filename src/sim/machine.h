@@ -41,6 +41,10 @@ class Machine;
 /// this is how the RTM stays interruptible).
 using FirmwareHandler = std::function<void(Machine&)>;
 
+/// Observer of guest indirect transfers: (site pc, register target, is_call).
+using IndirectBranchHook =
+    std::function<void(std::uint32_t, std::uint32_t, bool)>;
+
 enum class StepOutcome : std::uint8_t {
   kOk = 0,        ///< executed one instruction / firmware quantum / dispatch
   kHalted,        ///< machine is halted
@@ -164,6 +168,16 @@ class Machine {
     task_context_ = std::move(provider);
   }
 
+  /// Instrumentation hook fired on every guest `jmpr`/`callr`, before the
+  /// transfer is attempted, with the site address, the register target, and
+  /// whether the transfer is a call.  Used by the differential-soundness
+  /// harness to compare dynamically taken indirect edges against the static
+  /// analyzer's resolved set.  Charges no simulated cycles; null (the
+  /// default) costs one branch per indirect transfer.
+  void set_indirect_branch_hook(IndirectBranchHook hook) {
+    indirect_branch_hook_ = std::move(hook);
+  }
+
   /// Optional fault-injection engine (non-owning, same lifetime discipline
   /// as the tracer/profiler hooks: Platform owns it, hook sites only consult
   /// it).  Null — the default — means every hook is one pointer compare.
@@ -236,6 +250,7 @@ class Machine {
   obs::Hub obs_;
   const LogContext* log_;  ///< never null; defaults to process_log_context()
   std::function<std::int32_t()> task_context_;
+  IndirectBranchHook indirect_branch_hook_;
 };
 
 }  // namespace tytan::sim

@@ -2,11 +2,18 @@
 // passes over realistic task idioms, and the loader's lint gate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "analysis/analyzer.h"
 #include "core/platform.h"
 #include "isa/assembler.h"
 #include "isa/stdlib.h"
+#include "sim/machine.h"
 #include "sim/memory_map.h"
+#include "tbf/tbf.h"
 
 namespace tytan {
 namespace {
@@ -43,7 +50,7 @@ isa::ObjectFile object_with_words(std::initializer_list<std::uint32_t> words) {
 // ---------------------------------------------------------------------------
 
 TEST(Findings, RuleIdsRoundTrip) {
-  for (int i = 0; i <= static_cast<int>(Rule::kImMailbox); ++i) {
+  for (int i = 0; i <= static_cast<int>(analysis::kLastRule); ++i) {
     const auto rule = static_cast<Rule>(i);
     const auto parsed = analysis::rule_from_id(analysis::rule_id(rule));
     ASSERT_TRUE(parsed.has_value()) << analysis::rule_id(rule);
@@ -124,10 +131,23 @@ TEST(Analyzer, IndirectControlFlowIsAWarningNotAnError) {
       movi r1, 0
       jmpr r1
   )");
+  // With the dataflow pass (the default), the blanket CF006 is replaced by
+  // the precise DF002 verdict: an absolute-constant target in a relocatable
+  // image cannot be certified.  Still a warning, never an error.
   const Report report = analysis::analyze(object);
-  ASSERT_TRUE(report.has(Rule::kCfIndirect)) << report.to_string();
-  EXPECT_EQ(report.find(Rule::kCfIndirect)->severity, Severity::kWarning);
+  EXPECT_FALSE(report.has(Rule::kCfIndirect)) << report.to_string();
+  ASSERT_TRUE(report.has(Rule::kDfUnresolved)) << report.to_string();
+  EXPECT_EQ(report.find(Rule::kDfUnresolved)->severity, Severity::kWarning);
   EXPECT_EQ(report.errors(), 0u);
+
+  // With dataflow disabled, the structural pass keeps its original claim.
+  Config no_dataflow;
+  no_dataflow.dataflow = false;
+  const Report seed = analysis::analyze(object, no_dataflow);
+  ASSERT_TRUE(seed.has(Rule::kCfIndirect)) << seed.to_string();
+  EXPECT_EQ(seed.find(Rule::kCfIndirect)->severity, Severity::kWarning);
+  EXPECT_FALSE(seed.has(Rule::kDfUnresolved));
+  EXPECT_EQ(seed.errors(), 0u);
 }
 
 TEST(Analyzer, UnreachableGarbageIsNotFlagged) {
@@ -473,9 +493,19 @@ TEST(Analyzer, SuppressionDropsRule) {
       jmpr r1
   )");
   Config config;
-  config.suppress.insert(Rule::kCfIndirect);
+  config.suppress.insert(Rule::kDfUnresolved);
   const Report report = analysis::analyze(object, config);
-  EXPECT_FALSE(report.has(Rule::kCfIndirect)) << report.to_string();
+  EXPECT_FALSE(report.has(Rule::kDfUnresolved)) << report.to_string();
+  EXPECT_EQ(report.warnings(), 0u) << report.to_string();
+
+  // The same program through the seed (no-dataflow) pipeline: suppressing
+  // CF006 there drops its only warning too.
+  config = Config{};
+  config.dataflow = false;
+  config.suppress.insert(Rule::kCfIndirect);
+  const Report seed = analysis::analyze(object, config);
+  EXPECT_FALSE(seed.has(Rule::kCfIndirect)) << seed.to_string();
+  EXPECT_EQ(seed.warnings(), 0u) << seed.to_string();
 }
 
 TEST(Analyzer, DisabledPassesEmitNothing) {
@@ -626,6 +656,293 @@ TEST(LoaderGate, VerifierChargesNoMachineCycles) {
     return platform.loader().last_create().total;
   };
   EXPECT_EQ(run(core::LintMode::kOff), run(core::LintMode::kWarn));
+}
+
+// ---------------------------------------------------------------------------
+// Value-set dataflow (DF*)
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kJumpTableTask = R"(
+    .entry main
+main:
+    andi r1, 3
+    shli r1, 2
+    li   r2, table
+    add  r2, r1
+    ldw  r2, [r2]
+    jmpr r2
+case0:
+    movi r0, 10
+    jmp  done
+case1:
+    movi r0, 11
+    jmp  done
+case2:
+    movi r0, 12
+    jmp  done
+case3:
+    movi r0, 13
+done:
+    hlt
+table:
+    .word case0, case1, case2, case3
+)";
+
+TEST(Dataflow, JumpTableResolvesExactTargets) {
+  const auto object = assemble(kJumpTableTask);
+  const analysis::Analysis full = analysis::analyze_full(object);
+  // The masked index bounds the table: the jmpr resolves to exactly the four
+  // case labels and the report is clean (DF001 is informational).
+  EXPECT_EQ(full.report.errors(), 0u) << full.report.to_string();
+  EXPECT_EQ(full.report.warnings(), 0u) << full.report.to_string();
+  ASSERT_TRUE(full.report.has(Rule::kDfResolved)) << full.report.to_string();
+  ASSERT_EQ(full.dataflow.resolved.size(), 1u);
+  const auto& [site, targets] = *full.dataflow.resolved.begin();
+  EXPECT_EQ(targets.size(), 4u);
+  for (const std::uint32_t target : targets) {
+    EXPECT_TRUE(full.cfg.is_code(target)) << target;
+  }
+  // The resolved edges are spliced into the CFG: the dispatch block's
+  // successors are the case blocks.
+  const auto block = full.cfg.blocks.find(0);
+  ASSERT_NE(block, full.cfg.blocks.end());
+  EXPECT_EQ(block->second.successors,
+            std::vector<std::uint32_t>(targets.begin(), targets.end()));
+
+  // The identical program through the seed pipeline is a CF006 warning —
+  // i.e. it used to fail --strict, and now lints clean.
+  Config seed;
+  seed.dataflow = false;
+  const Report before = analysis::analyze(object, seed);
+  EXPECT_TRUE(before.has(Rule::kCfIndirect)) << before.to_string();
+  EXPECT_GT(before.warnings(), 0u);
+}
+
+TEST(Dataflow, ResolvedCallTightensStackDepth) {
+  // The handler pushes 12 bytes on top of the 4-byte return address: 16
+  // bytes worst case + 36 reserve > 48.  The seed pass could not see through
+  // `callr` and stayed silent; the resolved call graph makes this a hard
+  // ST001 verdict.
+  const auto object = assemble(R"(
+      .stack 48
+      .entry main
+  main:
+      andi r1, 0
+      shli r1, 2
+      li   r2, table
+      add  r2, r1
+      ldw  r2, [r2]
+      callr r2
+      hlt
+  deep:
+      push r1
+      push r2
+      push r3
+      pop  r3
+      pop  r2
+      pop  r1
+      ret
+  table:
+      .word deep
+  )");
+  const Report report = analysis::analyze(object);
+  ASSERT_TRUE(report.has(Rule::kStDepth)) << report.to_string();
+
+  Config seed;
+  seed.dataflow = false;
+  const Report before = analysis::analyze(object, seed);
+  EXPECT_FALSE(before.has(Rule::kStDepth)) << before.to_string();
+}
+
+TEST(Dataflow, RecursionThroughResolvedCallGraphIsDetected) {
+  const auto object = assemble(R"(
+      .entry main
+  main:
+      li   r2, table
+      ldw  r2, [r2]
+      callr r2
+      hlt
+  ping:
+      li   r2, table
+      ldw  r2, [r2]
+      callr r2
+      ret
+  table:
+      .word ping
+  )");
+  const Report report = analysis::analyze(object);
+  EXPECT_TRUE(report.has(Rule::kStRecursion)) << report.to_string();
+}
+
+TEST(Dataflow, UnboundedTargetIsDf002) {
+  const auto object = assemble(R"(
+      .entry main
+  main:
+      jmpr r1
+  )");
+  const Report report = analysis::analyze(object);
+  EXPECT_FALSE(report.has(Rule::kCfIndirect)) << report.to_string();
+  ASSERT_TRUE(report.has(Rule::kDfUnresolved)) << report.to_string();
+  EXPECT_EQ(report.errors(), 0u);
+}
+
+TEST(Dataflow, DataTargetIsDf003) {
+  // The table points at itself: the resolved target is a relocated data
+  // word, never executable code.
+  const auto object = assemble(R"(
+      .entry main
+  main:
+      li   r2, table
+      ldw  r2, [r2]
+      jmpr r2
+  table:
+      .word table
+  )");
+  const Report report = analysis::analyze(object);
+  ASSERT_TRUE(report.has(Rule::kDfBadTarget)) << report.to_string();
+  EXPECT_EQ(report.find(Rule::kDfBadTarget)->severity, Severity::kError);
+}
+
+TEST(Dataflow, StoreIntoTableDemotesResolution) {
+  // A store that may alias the jump table invalidates the `.word` contents:
+  // the load degrades to Top and the site stays unresolved (DF002), never
+  // falsely resolved from stale table entries.
+  const auto object = assemble(R"(
+      .entry main
+  main:
+      li   r2, table
+      movi r1, 16
+      stw  r1, [r2]
+      ldw  r2, [r2]
+      jmpr r2
+  case0:
+      hlt
+  table:
+      .word case0
+  )");
+  const Report report = analysis::analyze(object);
+  EXPECT_FALSE(report.has(Rule::kDfResolved)) << report.to_string();
+  EXPECT_TRUE(report.has(Rule::kDfUnresolved)) << report.to_string();
+}
+
+TEST(Dataflow, OutOfRegionAccessIsDf004) {
+  const auto object = assemble(R"(
+      .entry main
+  main:
+      li   r2, data
+      addi r2, 0x2000
+      ldw  r1, [r2]
+      hlt
+  data:
+      .word 7
+  )");
+  const Report report = analysis::analyze(object);
+  ASSERT_TRUE(report.has(Rule::kDfOutOfRegion)) << report.to_string();
+  EXPECT_EQ(report.find(Rule::kDfOutOfRegion)->severity, Severity::kError);
+}
+
+TEST(Dataflow, StraddlingAccessIsDf005) {
+  // data + [0, 0x3FF] straddles the region boundary (small image + default
+  // 256-byte stack): provable neither inside nor outside.
+  const auto object = assemble(R"(
+      .entry main
+  main:
+      andi r1, 0x3FF
+      li   r2, data
+      add  r2, r1
+      ldw  r0, [r2]
+      hlt
+  data:
+      .word 7
+  )");
+  const Report report = analysis::analyze(object);
+  ASSERT_TRUE(report.has(Rule::kDfMayEscape)) << report.to_string();
+  EXPECT_EQ(report.find(Rule::kDfMayEscape)->severity, Severity::kWarning);
+  EXPECT_EQ(report.errors(), 0u) << report.to_string();
+}
+
+TEST(Dataflow, CertifiedAccessesAreCounted) {
+  const auto object = assemble(kJumpTableTask);
+  const analysis::Analysis full = analysis::analyze_full(object);
+  // At least the table load is provably inside the EA-MPU region.
+  EXPECT_GT(full.dataflow.certified_accesses, 0u);
+  EXPECT_EQ(full.dataflow.indirect_sites, 1u);
+  EXPECT_TRUE(full.dataflow.converged);
+  EXPECT_GE(full.dataflow_iterations, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Differential soundness: every dynamically taken indirect edge must be in
+// the statically resolved set (when the analyzer claimed one).
+// ---------------------------------------------------------------------------
+
+/// Execute `object` on a bare machine with the given r1 input; every
+/// jmpr/callr edge the run takes is checked against `resolved`.
+void check_dynamic_edges(const isa::ObjectFile& object,
+                         const analysis::ResolvedTargets& resolved,
+                         std::uint32_t r1, std::string_view label) {
+  constexpr std::uint32_t kBase = 0x40000;
+  ByteVec image = object.image;
+  for (const isa::Relocation& reloc : object.relocs) {
+    tbf::apply_relocation(reloc, image, kBase);
+  }
+  sim::Machine machine;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    machine.memory().write8(kBase + static_cast<std::uint32_t>(i), image[i]);
+  }
+  machine.cpu().eip = kBase + object.entry;
+  machine.cpu().set_sp(0x60000);
+  machine.cpu().regs[1] = r1;
+  machine.set_indirect_branch_hook(
+      [&](std::uint32_t pc, std::uint32_t target, bool) {
+        ASSERT_GE(pc, kBase);
+        const std::uint32_t site = pc - kBase;
+        const auto it = resolved.find(site);
+        if (it == resolved.end()) {
+          return;  // the analyzer made no claim about this site
+        }
+        EXPECT_TRUE(std::find(it->second.begin(), it->second.end(),
+                              target - kBase) != it->second.end())
+            << label << ": dynamic edge " << std::hex << site << " -> "
+            << target - kBase << " (r1=" << r1
+            << ") is outside the statically resolved set";
+      });
+  const sim::HaltReason reason = machine.run(50'000);
+  EXPECT_TRUE(reason == sim::HaltReason::kHltInstruction ||
+              reason == sim::HaltReason::kCycleLimit)
+      << label << ": r1=" << r1 << " halted with "
+      << static_cast<int>(reason);
+}
+
+TEST(Dataflow, DifferentialSoundnessOverExamplesCorpus) {
+  const std::filesystem::path dir(TYTAN_ASM_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t programs = 0;
+  std::size_t resolved_sites = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".s") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::stringstream text;
+    text << in.rdbuf();
+    const auto object = assemble(text.str());
+    const analysis::Analysis full = analysis::analyze_full(object);
+    // The corpus is the --strict baseline: no errors, no warnings.
+    EXPECT_EQ(full.report.errors(), 0u)
+        << entry.path() << "\n" << full.report.to_string();
+    EXPECT_EQ(full.report.warnings(), 0u)
+        << entry.path() << "\n" << full.report.to_string();
+    resolved_sites += full.dataflow.resolved.size();
+    for (std::uint32_t r1 = 0; r1 < 8; ++r1) {
+      check_dynamic_edges(object, full.dataflow.resolved, r1,
+                          entry.path().filename().string());
+    }
+    ++programs;
+  }
+  EXPECT_GE(programs, 5u);       // the corpus actually ran
+  EXPECT_GE(resolved_sites, 4u);  // and it exercises resolution
 }
 
 }  // namespace

@@ -349,6 +349,92 @@ TEST(Fuzz, AnalyzerNeverCrashesOnRandomImages) {
   }
 }
 
+/// Randomized jump-table program: power-of-two case count, mask or
+/// compare/branch bound idiom, junk arithmetic interleaved, table entries
+/// shuffled (duplicates allowed).
+std::string random_jump_table(std::mt19937& rng) {
+  const int cases = 2 << (rng() % 2);  // 2 or 4
+  std::string s = ".entry main\nmain:\n";
+  const bool masked = rng() % 2 == 0;
+  if (masked) {
+    s += "    andi r1, " + std::to_string(cases - 1) + "\n";
+  } else {
+    s += "    cmpi r1, " + std::to_string(cases) + "\n    jnc reject\n";
+  }
+  if (rng() % 2 == 0) {  // junk that must not disturb the index
+    s += "    movi r3, " + std::to_string(rng() % 100) + "\n    add r0, r3\n";
+  }
+  s += "    shli r1, 2\n    li r2, table\n    add r2, r1\n    ldw r2, [r2]\n"
+       "    jmpr r2\n";
+  for (int c = 0; c < cases; ++c) {
+    s += "case" + std::to_string(c) + ":\n    movi r0, " + std::to_string(c) +
+         "\n    jmp done\n";
+  }
+  s += "reject:\ndone:\n    hlt\ntable:\n    .word";
+  for (int c = 0; c < cases; ++c) {
+    s += (c == 0 ? " case" : ", case") + std::to_string(rng() % cases);
+  }
+  return s + "\n";
+}
+
+TEST(Fuzz, DataflowDifferentialOnRandomJumpTables) {
+  std::mt19937 rng(13);
+  int resolved_programs = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string source = random_jump_table(rng);
+    auto assembled = isa::assemble(source);
+    ASSERT_TRUE(assembled.is_ok()) << assembled.status().to_string();
+    isa::ObjectFile object = assembled.take();
+    if (rng() % 4 == 0 && !object.relocs.empty()) {
+      // Corrupt one relocation addend: the analyzer must catch bad targets
+      // (DF003/RL004) or stay sound about whatever it still resolves.
+      isa::Relocation& reloc = object.relocs[rng() % object.relocs.size()];
+      reloc.addend = rng() % (object.memory_size() + 64);
+      source += "; corrupted reloc off=" + std::to_string(reloc.offset) +
+                " kind=" + std::to_string(static_cast<int>(reloc.kind)) +
+                " addend=" + std::to_string(reloc.addend) + "\n";
+    }
+    const analysis::Analysis full = analysis::analyze_full(object);
+    if (full.report.errors() > 0 || full.dataflow.resolved.empty()) {
+      continue;
+    }
+    ++resolved_programs;
+    // Differential check: no dynamic indirect edge may leave the resolved
+    // set, for in-range and wildly out-of-range selectors alike.
+    constexpr std::uint32_t kBase = 0x40000;
+    ByteVec image = object.image;
+    for (const isa::Relocation& reloc : object.relocs) {
+      tbf::apply_relocation(reloc, image, kBase);
+    }
+    for (const std::uint32_t r1 :
+         {0u, 1u, 3u, 7u, static_cast<std::uint32_t>(rng())}) {
+      sim::Machine machine;
+      for (std::size_t i = 0; i < image.size(); ++i) {
+        machine.memory().write8(kBase + static_cast<std::uint32_t>(i), image[i]);
+      }
+      machine.cpu().eip = kBase + object.entry;
+      machine.cpu().set_sp(0x60000);
+      machine.cpu().regs[1] = r1;
+      machine.set_indirect_branch_hook(
+          [&](std::uint32_t pc, std::uint32_t target, bool) {
+            const auto it = full.dataflow.resolved.find(pc - kBase);
+            if (it == full.dataflow.resolved.end()) {
+              return;
+            }
+            EXPECT_TRUE(std::find(it->second.begin(), it->second.end(),
+                                  target - kBase) != it->second.end())
+                << "trial " << trial << " r1=" << r1 << ": edge 0x" << std::hex
+                << pc - kBase << " -> 0x" << target - kBase
+                << " escapes the resolved set\n"
+                << source;
+          });
+      (void)machine.run(50'000);
+    }
+  }
+  // The generator must actually exercise resolution, or this proves nothing.
+  EXPECT_GT(resolved_programs, 100);
+}
+
 TEST(Fuzz, SealedBlobParserRobust) {
   std::mt19937 rng(8);
   crypto::Key128 key{};

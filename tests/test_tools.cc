@@ -275,12 +275,89 @@ TEST(Lint, SuppressAndStrictFlags) {
   EXPECT_EQ(run_command(tool("tytan-lint") + " " + path, &output), 0) << output;
   // ...unless --strict is given...
   EXPECT_NE(run_command(tool("tytan-lint") + " --strict " + path, &output), 0);
-  // ...and --suppress CF006 silences the rule entirely.
+  // ...and --suppress DF002 silences the dataflow verdict entirely.
   EXPECT_EQ(run_command(
-                tool("tytan-lint") + " --strict --suppress CF006 " + path, &output),
+                tool("tytan-lint") + " --strict --suppress DF002 " + path, &output),
+            0)
+      << output;
+  // With the dataflow pass off, the warning is the structural CF006 again.
+  EXPECT_EQ(run_command(tool("tytan-lint") +
+                            " --strict --no-dataflow --suppress CF006 " + path,
+                        &output),
             0)
       << output;
   EXPECT_NE(run_command(tool("tytan-lint") + " --suppress NOPE " + path, &output), 0);
+}
+
+TEST(Lint, ResolvedJumpTableLintsCleanUnderStrict) {
+  // The canonical jump-table idiom: CF006 under the seed pipeline, resolved
+  // clean (info only) by the dataflow pass.
+  const std::string asm_path = tmp_path("jump_table.s");
+  {
+    std::ofstream out(asm_path);
+    out << ".entry main\n"
+           "main:\n    andi r1, 1\n    shli r1, 2\n    li r2, table\n"
+           "    add r2, r1\n    ldw r2, [r2]\n    jmpr r2\n"
+           "a:\n    hlt\n"
+           "b:\n    hlt\n"
+           "table:\n    .word a, b\n";
+  }
+  std::string output;
+  EXPECT_EQ(run_command(tool("tytan-lint") + " --strict " + asm_path, &output), 0)
+      << output;
+  EXPECT_NE(output.find("DF001"), std::string::npos) << output;
+  EXPECT_NE(run_command(
+                tool("tytan-lint") + " --strict --no-dataflow " + asm_path, &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("CF006"), std::string::npos) << output;
+}
+
+TEST(Lint, JsonReportShape) {
+  const std::string asm_path = tmp_path("json_input.s");
+  {
+    std::ofstream out(asm_path);
+    out << ".entry main\nmain:\n    jmpr r1\n";
+  }
+  std::string output;
+  EXPECT_EQ(run_command(tool("tytan-lint") + " --json " + asm_path, &output), 0)
+      << output;
+  // Flat object, same style as `tytan-trace stats --json`.
+  EXPECT_EQ(output.front(), '{') << output;
+  EXPECT_NE(output.find("\"errors\": 0"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"warnings\": 1"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"indirect_sites\": 1"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"resolved_sites\": 0"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"pass_us\""), std::string::npos) << output;
+  EXPECT_NE(output.find("\"rules\": {\"DF002\": 1}"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"findings\": [{\"rule\": \"DF002\""), std::string::npos)
+      << output;
+  // --json and --porcelain are mutually exclusive: usage error.
+  EXPECT_NE(run_command(
+                tool("tytan-lint") + " --json --porcelain " + asm_path, &output),
+            0);
+}
+
+TEST(Lint, CheckedFlagParsing) {
+  const std::string asm_path = tmp_path("flags_input.s");
+  {
+    std::ofstream out(asm_path);
+    out << ".entry main\nmain:\n    hlt\n";
+  }
+  std::string output;
+  EXPECT_EQ(run_command(
+                tool("tytan-lint") + " --max-targets 8 " + asm_path, &output),
+            0)
+      << output;
+  // Garbage or missing values exit 2 (usage), not silently-zero configs.
+  EXPECT_NE(run_command(
+                tool("tytan-lint") + " --max-targets banana " + asm_path, &output),
+            0);
+  EXPECT_NE(output.find("--max-targets"), std::string::npos) << output;
+  EXPECT_NE(run_command(tool("tytan-lint") + " " + asm_path + " --suppress", &output),
+            0);
+  EXPECT_NE(run_command(tool("tytan-lint") + " --bogus-flag " + asm_path, &output),
+            0);
 }
 
 TEST(Lint, LintsAssemblySourceDirectly) {

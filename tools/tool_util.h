@@ -41,6 +41,23 @@ inline std::uint32_t parse_u32(const char* tool, const char* flag, const char* t
   return static_cast<std::uint32_t>(value);
 }
 
+/// Fetch the value of a `--flag VALUE` option from argv, advancing `*i`;
+/// prints a usage error and exits 2 when the value is missing.
+inline const char* required_value(const char* tool, const char* flag, int argc,
+                                  char** argv, int* i) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s: %s needs a value\n", tool, flag);
+    std::exit(2);
+  }
+  return argv[++*i];
+}
+
+/// Reject an option no branch recognized.  Exits 2 (usage error).
+[[noreturn]] inline void unknown_flag(const char* tool, const char* arg) {
+  std::fprintf(stderr, "%s: unknown option '%s'\n", tool, arg);
+  std::exit(2);
+}
+
 /// Signed variant for flags where -1 means "disabled" (device indices).
 inline std::int64_t parse_i64(const char* tool, const char* flag, const char* text) {
   if (text == nullptr || *text == '\0') {

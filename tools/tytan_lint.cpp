@@ -4,20 +4,26 @@
 //   tytan-lint task.s   [options]     (assembles first, then lints)
 //
 // Runs the same analysis the loader's lint gate runs (CFG recovery,
-// relocation lints, stack-depth analysis, MMIO/privilege lints) and prints
-// the findings with disassembly context.  Exit status: 0 when no error
-// findings (warnings allowed unless --strict), 1 on error findings or
-// unreadable input, 2 on usage errors.
+// relocation lints, value-set dataflow, stack-depth analysis, MMIO/privilege
+// lints) and prints the findings with disassembly context.  Exit status: 0
+// when no error findings (warnings allowed unless --strict), 1 on error
+// findings or unreadable input, 2 on usage errors.
 //
 // Options:
 //   --porcelain        one tab-separated line per finding:
 //                      RULE<TAB>severity<TAB>0xOFFSET<TAB>message
+//   --json             machine-readable report on stdout (findings, rule
+//                      counts, pass timings; same flat-object style as
+//                      `tytan-trace stats --json`)
 //   --strict           treat warnings as errors for the exit status
-//   --suppress RULE    drop a rule (repeatable, e.g. --suppress CF006)
-//   --no-cfg --no-reloc --no-stack --no-mmio
+//   --suppress RULE    drop a rule (repeatable, e.g. --suppress DF002)
+//   --max-targets N    indirect sites above N candidates stay unresolved
+//                      (default 64)
+//   --no-cfg --no-reloc --no-stack --no-mmio --no-dataflow
 //                      disable individual passes
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,16 +32,20 @@
 #include "isa/assembler.h"
 #include "isa/disasm.h"
 #include "tbf/tbf.h"
+#include "tool_util.h"
 
 namespace {
 
 using namespace tytan;
 
+constexpr const char* kTool = "tytan-lint";
+
 int usage() {
   std::fprintf(stderr,
-               "usage: tytan-lint <task.tbf|task.s> [--porcelain] [--strict]\n"
-               "                  [--suppress RULE]... [--no-cfg] [--no-reloc]\n"
-               "                  [--no-stack] [--no-mmio]\n");
+               "usage: tytan-lint <task.tbf|task.s> [--porcelain] [--json]\n"
+               "                  [--strict] [--suppress RULE]... [--max-targets N]\n"
+               "                  [--no-cfg] [--no-reloc] [--no-stack] [--no-mmio]\n"
+               "                  [--no-dataflow]\n");
   return 2;
 }
 
@@ -70,17 +80,89 @@ void print_context(const isa::ObjectFile& object, std::uint32_t offset) {
   }
 }
 
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Machine-readable report, same flat-object style as `tytan-trace stats
+/// --json`: scalar summary, per-pass timings, rule counts, then findings.
+void print_json(const std::string& input, const isa::ObjectFile& object,
+                const analysis::Analysis& full) {
+  const analysis::Report& report = full.report;
+  std::printf("{\"input\": \"%s\", \"image_bytes\": %zu",
+              json_escape(input).c_str(), object.image.size());
+  std::printf(", \"errors\": %zu, \"warnings\": %zu, \"infos\": %zu",
+              report.errors(), report.warnings(),
+              report.count(analysis::Severity::kInfo));
+  std::printf(", \"indirect_sites\": %zu, \"resolved_sites\": %zu",
+              full.dataflow.indirect_sites, full.dataflow.resolved.size());
+  std::printf(", \"certified_accesses\": %zu, \"dataflow_iterations\": %d"
+              ", \"converged\": %s",
+              full.dataflow.certified_accesses, full.dataflow_iterations,
+              full.dataflow.converged ? "true" : "false");
+  std::printf(", \"pass_us\": {\"structural\": %llu, \"relocation\": %llu, "
+              "\"dataflow\": %llu, \"stack\": %llu, \"mmio\": %llu}",
+              static_cast<unsigned long long>(full.timings.structural_us),
+              static_cast<unsigned long long>(full.timings.relocation_us),
+              static_cast<unsigned long long>(full.timings.dataflow_us),
+              static_cast<unsigned long long>(full.timings.stack_us),
+              static_cast<unsigned long long>(full.timings.mmio_us));
+  std::map<std::string, std::size_t> rules;
+  for (const analysis::Finding& finding : report.findings) {
+    ++rules[std::string(analysis::rule_id(finding.rule))];
+  }
+  std::printf(", \"rules\": {");
+  bool first = true;
+  for (const auto& [rule, count] : rules) {
+    std::printf("%s\"%s\": %zu", first ? "" : ", ", rule.c_str(), count);
+    first = false;
+  }
+  std::printf("}, \"findings\": [");
+  first = true;
+  for (const analysis::Finding& finding : report.findings) {
+    std::printf("%s{\"rule\": \"%s\", \"severity\": \"%s\", \"offset\": %u, "
+                "\"message\": \"%s\"}",
+                first ? "" : ", ",
+                std::string(analysis::rule_id(finding.rule)).c_str(),
+                std::string(analysis::severity_name(finding.severity)).c_str(),
+                finding.offset, json_escape(finding.message).c_str());
+    first = false;
+  }
+  std::printf("]}\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string input;
   bool porcelain = false;
+  bool json = false;
   bool strict = false;
   analysis::Config config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--porcelain") {
       porcelain = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--no-cfg") {
@@ -91,10 +173,17 @@ int main(int argc, char** argv) {
       config.stack = false;
     } else if (arg == "--no-mmio") {
       config.mmio = false;
-    } else if (arg == "--suppress" && i + 1 < argc) {
-      const auto rule = analysis::rule_from_id(argv[++i]);
+    } else if (arg == "--no-dataflow") {
+      config.dataflow = false;
+    } else if (arg == "--max-targets") {
+      config.max_indirect_targets = tools::parse_u32(
+          kTool, "--max-targets", tools::required_value(kTool, "--max-targets",
+                                                        argc, argv, &i));
+    } else if (arg == "--suppress") {
+      const char* id = tools::required_value(kTool, "--suppress", argc, argv, &i);
+      const auto rule = analysis::rule_from_id(id);
       if (!rule.has_value()) {
-        std::fprintf(stderr, "tytan-lint: unknown rule id '%s'\n", argv[i]);
+        std::fprintf(stderr, "%s: unknown rule id '%s'\n", kTool, id);
         return 2;
       }
       config.suppress.insert(*rule);
@@ -106,13 +195,13 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (input.empty()) {
+  if (input.empty() || (porcelain && json)) {
     return usage();
   }
 
   std::ifstream in(input, std::ios::binary);
   if (!in) {
-    std::fprintf(stderr, "tytan-lint: cannot open '%s'\n", input.c_str());
+    std::fprintf(stderr, "%s: cannot open '%s'\n", kTool, input.c_str());
     return 1;
   }
   std::ostringstream buffer;
@@ -123,7 +212,7 @@ int main(int argc, char** argv) {
   if (ends_with(input, ".s") || ends_with(input, ".asm")) {
     auto assembled = isa::assemble(raw);
     if (!assembled.is_ok()) {
-      std::fprintf(stderr, "tytan-lint: %s: %s\n", input.c_str(),
+      std::fprintf(stderr, "%s: %s: %s\n", kTool, input.c_str(),
                    assembled.status().to_string().c_str());
       return 1;
     }
@@ -132,16 +221,19 @@ int main(int argc, char** argv) {
     auto parsed = tbf::read(
         {reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()});
     if (!parsed.is_ok()) {
-      std::fprintf(stderr, "tytan-lint: %s: %s\n", input.c_str(),
+      std::fprintf(stderr, "%s: %s: %s\n", kTool, input.c_str(),
                    parsed.status().to_string().c_str());
       return 1;
     }
     object = parsed.take();
   }
 
-  const analysis::Report report = analysis::analyze(object, config);
+  const analysis::Analysis full = analysis::analyze_full(object, config);
+  const analysis::Report& report = full.report;
 
-  if (porcelain) {
+  if (json) {
+    print_json(input, object, full);
+  } else if (porcelain) {
     for (const analysis::Finding& finding : report.findings) {
       std::printf("%s\t%s\t0x%04x\t%s\n",
                   std::string(analysis::rule_id(finding.rule)).c_str(),

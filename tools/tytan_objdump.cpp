@@ -1,12 +1,15 @@
 // tytan-objdump — inspect a TBF binary: header, symbols, relocations, and
-// disassembly (with relocation sites annotated).
+// disassembly (with relocation sites and dataflow-resolved indirect targets
+// annotated).
 //
 //   tytan-objdump task.tbf
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "isa/disasm.h"
 #include "tbf/tbf.h"
 
@@ -55,6 +58,11 @@ int main(int argc, char** argv) {
     reloc_at[reloc.offset] = &reloc;
   }
 
+  // Dataflow-resolved indirect transfers, so jmpr/callr lines show where
+  // they can actually go.  Findings are the lint tool's job, not ours.
+  const tytan::analysis::ResolvedTargets resolved =
+      tytan::analysis::analyze_full(*object).dataflow.resolved;
+
   std::printf("\ndisassembly:\n");
   // Data begins at the first symbol at/after which no instruction decodes —
   // heuristic: decode everything, print raw words for undecodable ones.
@@ -69,6 +77,12 @@ int main(int argc, char** argv) {
                 tytan::isa::disassemble_word(word, offset).c_str());
     if (const auto it = reloc_at.find(offset); it != reloc_at.end()) {
       std::printf("   ; reloc");
+    }
+    if (const auto it = resolved.find(offset); it != resolved.end()) {
+      std::printf("   ; targets:");
+      for (const std::uint32_t target : it->second) {
+        std::printf(" 0x%x", target);
+      }
     }
     std::printf("\n");
   }
