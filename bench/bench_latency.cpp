@@ -19,7 +19,7 @@ namespace {
 
 constexpr std::uint32_t kTick = 32'000;
 
-std::vector<std::uint64_t> measure(bool secure) {
+std::vector<std::uint64_t> measure(bool secure, unsigned periods) {
   Platform::Config config;
   config.tick_period = kTick;
   Platform platform(config);
@@ -42,7 +42,7 @@ loop:
   }
   auto task = platform.load_task_source(source, {.name = "periodic", .priority = 5});
   TYTAN_CHECK(task.is_ok(), task.status().to_string());
-  platform.run_for(400 * kTick);
+  platform.run_for(static_cast<std::uint64_t>(periods) * kTick);
 
   // Latency of each engine write relative to the preceding tick boundary.
   std::vector<std::uint64_t> latencies;
@@ -62,11 +62,19 @@ std::uint64_t pct(const std::vector<std::uint64_t>& v, double p) {
 
 }  // namespace
 
-int main() {
-  const auto secure = measure(true);
-  const auto normal = measure(false);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport report("latency", options);
+  const unsigned periods = options.smoke ? 60 : 400;
+  const auto secure = measure(true, periods);
+  const auto normal = measure(false, periods);
+  report.add("secure_p50", pct(secure, 0.5), 0);
+  report.add("secure_p99", pct(secure, 0.99), 0);
+  report.add("normal_p50", pct(normal, 0.5), 0);
+  report.add("normal_p99", pct(normal, 0.99), 0);
 
-  bench::Table table("Tick-to-task latency over ~400 periods (cycles after the tick)");
+  bench::Table table("Tick-to-task latency over ~" + std::to_string(periods) +
+                     " periods (cycles after the tick)");
   table.columns({"Task type", "samples", "min", "p50", "p99", "max"});
   table.row({"secure task", bench::num(secure.size()), bench::num(pct(secure, 0.0)),
              bench::num(pct(secure, 0.5)), bench::num(pct(secure, 0.99)),

@@ -75,6 +75,64 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // ---- attestation spans: off vs on -------------------------------------
+  // Same contract as telemetry: spans may cost host time, never a simulated
+  // cycle.  The workload attests twice so retry/round logic is exercised.
+  bench::Table span_table("Attestation span overhead (" + bench::num(devices) +
+                          " devices, " + bench::num(cycles) + " cycles each)");
+  span_table.columns({"spans", "total s", "spans recorded", "sim cycles"});
+
+  std::uint64_t span_cycles_off = 0;
+  std::uint64_t span_cycles_on = 0;
+  double span_seconds_off = 0.0;
+  double span_seconds_on = 0.0;
+  for (const bool enabled : {false, true}) {
+    fleet::WorkloadConfig config;
+    config.fleet.device_count = devices;
+    config.fleet.threads = 2;
+    config.fleet.spans = enabled;
+    config.cycles = cycles;
+    config.attest_sweeps = 2;
+    fleet::Fleet fleet(config.fleet);
+    const fleet::WorkloadResult result = fleet::run_verifier_workload(fleet, config);
+    if (!result.status.is_ok()) {
+      std::fprintf(stderr, "bench_telemetry: span workload failed: %s\n",
+                   result.status.to_string().c_str());
+      return 1;
+    }
+    (enabled ? span_cycles_on : span_cycles_off) = result.totals.cycles;
+    (enabled ? span_seconds_on : span_seconds_off) = result.total_seconds;
+    std::size_t spans = 0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      spans += fleet.device(i).platform().machine().obs().spans().size();
+    }
+    span_table.row({enabled ? "on" : "off", bench::fixed(result.total_seconds, 3),
+                    bench::num(spans), bench::num(result.totals.cycles)});
+    const std::string prefix = enabled ? "spans_on" : "spans_off";
+    report.add(prefix + ".total_ms",
+               static_cast<std::uint64_t>(result.total_seconds * 1000.0), 0);
+    report.add(prefix + ".spans", spans, 0);
+    report.add(prefix + ".sim_cycles", result.totals.cycles, 0);
+    if (enabled && spans == 0) {
+      std::fprintf(stderr, "bench_telemetry: spans enabled but none recorded\n");
+      return 1;
+    }
+  }
+  span_table.print();
+
+  if (span_cycles_off != span_cycles_on) {
+    std::fprintf(stderr,
+                 "bench_telemetry: spans changed simulated cycles "
+                 "(%llu off vs %llu on) — cost invariant broken\n",
+                 static_cast<unsigned long long>(span_cycles_off),
+                 static_cast<unsigned long long>(span_cycles_on));
+    return 1;
+  }
+  if (span_seconds_off > 0.0) {
+    std::printf("span host-time overhead: %+.1f%%\n",
+                100.0 * (span_seconds_on - span_seconds_off) / span_seconds_off);
+  }
+
   // ---- sampling profiler: off vs on -------------------------------------
   const std::uint64_t profile_cycles = options.smoke ? 500'000 : 4'000'000;
   bench::Table prof_table("Sampling profiler overhead (" +

@@ -61,7 +61,13 @@ Result<AttestationReport> RemoteAttest::attest_task(rtos::TaskHandle handle,
     return make_error(Err::kNotFound, "attest: task not in RTM registry");
   }
   const std::uint64_t start = machine_.cycles();
+  // Prover-side MAC phase; nests under the challenger's attest-round span
+  // when one is open (Fleet::attest_all), roots its own trace otherwise.
+  const obs::SpanRecorder::SpanId span =
+      machine_.obs().spans().begin(obs::SpanPhase::kHmacCompute, handle);
   auto report = attest_identity(entry->identity, nonce);
+  machine_.obs().spans().end(
+      span, report.is_ok() ? obs::SpanOutcome::kOk : obs::SpanOutcome::kFailed);
   if (report.is_ok()) {
     machine_.obs().emit(obs::EventKind::kAttest, handle,
                         static_cast<std::uint32_t>(machine_.cycles() - start));

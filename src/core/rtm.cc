@@ -47,6 +47,8 @@ Status Rtm::begin_measurement(const rtos::Tcb& tcb, std::vector<isa::Relocation>
   stats_.reloc = machine_.costs().rtm_reloc_walk;
   job_ = std::move(job);
   result_.reset();
+  // The measurement spans many scheduler quanta; it closes at Phase::kDone.
+  job_->span = machine_.obs().spans().begin(obs::SpanPhase::kRtmMeasure, tcb.handle);
   machine_.obs().emit(obs::EventKind::kRtmBegin, tcb.handle, tcb.image_size);
   return Status::ok();
 }
@@ -119,6 +121,7 @@ bool Rtm::measure_quantum() {
       job.phase = Job::Phase::kDone;
       result_ = job.digest;
       stats_.total = machine_.cycles() - job.start_cycles;
+      machine_.obs().spans().end(job.span, obs::SpanOutcome::kOk);
       machine_.obs().emit(obs::EventKind::kRtmDone, job.handle,
                           static_cast<std::uint32_t>(stats_.total));
       job_.reset();

@@ -104,6 +104,7 @@ class Rtm {
     std::size_t reloc_index = 0;
     std::uint32_t hash_offset = 0;
     std::uint64_t start_cycles = 0;
+    obs::SpanRecorder::SpanId span = 0;  ///< rtm-measure span (0 = spans off)
     std::optional<crypto::Sha1Digest> digest;
   };
 

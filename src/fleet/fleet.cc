@@ -48,6 +48,11 @@ Status Fleet::bring_up() {
     if (config_.enable_obs) {
       device.platform_->machine().obs().enable();
     }
+    obs::SpanRecorder& spans = device.platform_->machine().obs().spans();
+    spans.set_device(device.id_);
+    if (config_.spans) {
+      spans.enable();
+    }
     if (auto boot = device.platform_->boot(); !boot.is_ok()) {
       device.status_ = boot.status();
     }
@@ -141,32 +146,52 @@ std::size_t Fleet::attest_all(std::string_view release_name) {
           *ka, golden_, /*nonce_seed=*/0x6e6f'6e63'6500ull + device.id_);
     }
     fault::FaultEngine* engine = device.platform_->fault_engine();
+    // One trace per round (the whole retry loop), shared challenger<->prover:
+    // the round root opens here and every phase below nests under it.
+    obs::SpanRecorder& spans = device.platform_->machine().obs().spans();
+    device.attest_rounds_ += 1;
+    const obs::SpanRecorder::SpanId round = spans.begin_trace(
+        trace_id(device.id_, device.attest_rounds_), obs::SpanPhase::kAttestRound,
+        device.task_);
     unsigned attempt = 0;
     while (true) {
+      obs::SpanRecorder::SpanId phase =
+          spans.begin(obs::SpanPhase::kNonceGen, device.task_);
       const std::uint64_t previous_nonce = device.nonce_;
       std::uint64_t nonce = device.challenger_->issue_challenge();
+      spans.end(phase, obs::SpanOutcome::kOk);
       if (engine != nullptr && engine->on_attest(device.attest_total_ + 1) &&
           previous_nonce != 0) {
         // Replay the already-consumed challenge; the verifier's single-use
-        // nonce ledger must reject the report (kUnknownChallenge).
+        // nonce ledger must reject the report (kUnknownChallenge).  The
+        // kFaultInject lands as a note on the open round span.
         nonce = previous_nonce;
         device.platform_->machine().obs().emit(
             obs::EventKind::kFaultInject, -1,
             static_cast<std::uint32_t>(fault::FaultClass::kNonceReplay),
             static_cast<std::uint32_t>(device.attest_total_ + 1));
       }
+      phase = spans.begin(obs::SpanPhase::kChallengeDeliver, device.task_);
       device.nonce_ = nonce;
       device.attest_total_ += 1;
+      spans.end(phase, obs::SpanOutcome::kOk);
+      // attest_task opens the prover's hmac-compute span under `round`.
       auto report = device.platform_->remote_attest().attest_task(device.task_,
                                                                   nonce);
       if (!report.is_ok()) {
         device.status_ = report.status();
         device.attest_failed_ += 1;
+        spans.end(round, obs::SpanOutcome::kFailed);
         return;
       }
+      phase = spans.begin(obs::SpanPhase::kReportReturn, device.task_);
       device.report_ = *report;
       device.attested_ = true;
+      spans.end(phase, obs::SpanOutcome::kOk);
+      phase = spans.begin(obs::SpanPhase::kVerify, device.task_);
       device.outcome_ = device.challenger_->verify(device.report_, release_name);
+      spans.end(phase, device.outcome_.ok() ? obs::SpanOutcome::kOk
+                                            : obs::SpanOutcome::kFailed);
       if (device.outcome_.ok()) {
         device.attest_verified_ += 1;
         if (attempt > 0) {
@@ -181,14 +206,19 @@ std::size_t Fleet::attest_all(std::string_view release_name) {
               static_cast<std::uint32_t>(fault::RecoveryKind::kAttestRetry),
               attempt);
         }
+        spans.end(round, attempt > 0 ? obs::SpanOutcome::kRetried
+                                     : obs::SpanOutcome::kOk);
         return;
       }
       device.attest_failed_ += 1;
       if (attempt >= config_.attest_retries) {
+        spans.end(round, obs::SpanOutcome::kFailed);
         return;  // out of retries — the failed verdict stands (rogue device)
       }
       // Bounded exponential backoff in simulated time before re-attesting.
+      phase = spans.begin(obs::SpanPhase::kRetryBackoff, device.task_);
       device.platform_->run_for(config_.attest_backoff_cycles << attempt);
+      spans.end(phase, obs::SpanOutcome::kOk);
       ++attempt;
     }
   });
@@ -224,6 +254,17 @@ void Fleet::aggregate_metrics() {
   metrics_.counter("fleet.faults").inc(t.faults);
   metrics_.counter("fleet.attestations").inc(t.attested);
   metrics_.counter("fleet.attestations_verified").inc(t.verified);
+}
+
+std::string Fleet::spans_jsonl() const {
+  std::string out;
+  for (const std::unique_ptr<FleetDevice>& device : devices_) {
+    if (device->platform_ == nullptr) {
+      continue;
+    }
+    out += device->platform_->machine().obs().spans().to_jsonl();
+  }
+  return out;
 }
 
 void Fleet::snapshot_all() {
@@ -267,6 +308,14 @@ obs::HealthSnapshot Fleet::snapshot_device(FleetDevice& dev) {
   }
   s.halted = machine.halted();
   const obs::Hub& hub = machine.obs();
+  if (hub.spans().enabled()) {
+    s.spans_recorded = hub.spans().size();
+    if (const obs::Histogram* rounds =
+            hub.metrics().find_histogram("span.attest-round.cycles");
+        rounds != nullptr) {
+      s.attest_round_p99 = rounds->p99();
+    }
+  }
   if (hub.enabled()) {
     // Context switches have no component counter — they only exist as the
     // hub's events.ctx-save metric, so the field reads 0 with obs disabled.

@@ -55,6 +55,10 @@ struct FleetConfig {
   /// Enable per-device observability (event bus + metrics + accounting) so
   /// fleet-level metrics can be aggregated.  Costs host time, never cycles.
   bool enable_obs = true;
+  /// Record attestation spans (obs/span.h): per-round trace ids, typed
+  /// protocol phases, fault annotations.  Off by default — dormant spans are
+  /// a single branch per site and never a simulated cycle.
+  bool spans = false;
   /// Template for every device's Platform::Config; kp, rng_seed, and log are
   /// overridden per device.
   core::Platform::Config base{};
@@ -93,6 +97,8 @@ class FleetDevice {
   [[nodiscard]] std::uint64_t attest_failed() const { return attest_failed_; }
   /// Sweeps that recovered (verified) only after at least one retry.
   [[nodiscard]] std::uint64_t attest_recoveries() const { return attest_recoveries_; }
+  /// Completed attest_all() rounds for this device (one trace id each).
+  [[nodiscard]] std::uint64_t attest_rounds() const { return attest_rounds_; }
   /// Deploy-time loads rejected by the golden-identity gate, then retried.
   [[nodiscard]] std::uint64_t quarantines() const { return quarantines_; }
 
@@ -114,6 +120,7 @@ class FleetDevice {
   std::uint64_t attest_verified_ = 0;
   std::uint64_t attest_failed_ = 0;
   std::uint64_t attest_recoveries_ = 0;
+  std::uint64_t attest_rounds_ = 0;
   std::uint64_t quarantines_ = 0;
   std::uint64_t telemetry_seq_ = 0;  ///< per-device HealthSnapshot sequence
 };
@@ -159,6 +166,17 @@ class Fleet {
   /// Populated only when config().telemetry.enabled.
   [[nodiscard]] obs::TelemetryHub& telemetry() { return telemetry_; }
   [[nodiscard]] const obs::TelemetryHub& telemetry() const { return telemetry_; }
+
+  /// Concatenate every device's span recorder as JSONL, sequentially in
+  /// device order — byte-identical whatever the worker-thread count (the
+  /// same discipline as telemetry).  Empty unless config().spans.
+  [[nodiscard]] std::string spans_jsonl() const;
+
+  /// Deterministic trace id for device `device_id`'s round `round` (1-based).
+  [[nodiscard]] static std::uint64_t trace_id(std::uint32_t device_id,
+                                              std::uint64_t round) {
+    return (static_cast<std::uint64_t>(device_id) << 20) | round;
+  }
 
   /// Snapshot every device's health into the telemetry hub, running anomaly
   /// rules against the fleet baseline.  Called automatically at round

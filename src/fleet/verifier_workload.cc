@@ -92,7 +92,10 @@ WorkloadResult run_verifier_workload(Fleet& fleet, const WorkloadConfig& config)
     result.run_seconds = seconds_since(run_start);
 
     const Clock::time_point attest_start = Clock::now();
-    result.verified = fleet.attest_all(config.release_name);
+    const unsigned sweeps = config.attest_sweeps == 0 ? 1 : config.attest_sweeps;
+    for (unsigned sweep = 0; sweep < sweeps; ++sweep) {
+      result.verified = fleet.attest_all(config.release_name);
+    }
     result.attest_seconds = seconds_since(attest_start);
   }
 

@@ -18,6 +18,10 @@ struct WorkloadConfig {
   FleetConfig fleet{};
   /// Total simulated cycles per device between deploy and attestation.
   std::uint64_t cycles = 2'000'000;
+  /// Attestation sweeps after the run (>= 1).  Each sweep is one round — one
+  /// span trace id — per device; multiple sweeps exercise the nonce ledger
+  /// (and give nonce-replay clauses a consumed challenge to replay).
+  unsigned attest_sweeps = 1;
   /// Release registered in the golden database and deployed everywhere.
   std::string release_name = "fleet-fw";
   unsigned release_version = 1;

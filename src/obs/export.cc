@@ -46,7 +46,8 @@ std::string task_label(const EventBus& bus, std::int32_t task) {
 
 }  // namespace
 
-std::string export_chrome_trace(const EventBus& bus, const SampleProfiler* profiler) {
+std::string export_chrome_trace(const EventBus& bus, const SampleProfiler* profiler,
+                                const SpanRecorder* spans) {
   const std::vector<Event> events = bus.snapshot();
   std::vector<std::string> lines;
   lines.reserve(events.size() * 2 + 8);
@@ -130,6 +131,27 @@ std::string export_chrome_trace(const EventBus& bus, const SampleProfiler* profi
     }
   }
 
+  if (spans != nullptr) {
+    // Async begin/end pairs: id = trace id, so every phase of a round nests
+    // under the same async track; cat+name must match between "b" and "e".
+    for (const Span& span : spans->spans()) {
+      std::ostringstream begin;
+      begin << R"({"ph":"b","cat":"span","id":)" << span.trace_id << R"(,"pid":1,"tid":)"
+            << trace_tid(span.task) << R"(,"name":")" << span_phase_name(span.phase)
+            << R"(","ts":)" << us(span.begin_cycle) << R"(,"args":{"cycle":)"
+            << span.begin_cycle << R"(,"span":)" << span.span_id << R"(,"parent":)"
+            << span.parent_id << "}}";
+      lines.push_back(begin.str());
+      std::ostringstream end;
+      end << R"({"ph":"e","cat":"span","id":)" << span.trace_id << R"(,"pid":1,"tid":)"
+          << trace_tid(span.task) << R"(,"name":")" << span_phase_name(span.phase)
+          << R"(","ts":)" << us(span.end_cycle) << R"(,"args":{"cycle":)"
+          << span.end_cycle << R"(,"outcome":")" << span_outcome_name(span.outcome)
+          << R"("}})";
+      lines.push_back(end.str());
+    }
+  }
+
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -140,12 +162,12 @@ std::string export_chrome_trace(const EventBus& bus, const SampleProfiler* profi
 }
 
 Status write_chrome_trace(const std::string& path, const EventBus& bus,
-                          const SampleProfiler* profiler) {
+                          const SampleProfiler* profiler, const SpanRecorder* spans) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return make_error(Err::kUnavailable, "cannot open trace output '" + path + "'");
   }
-  out << export_chrome_trace(bus, profiler);
+  out << export_chrome_trace(bus, profiler, spans);
   if (!out.good()) {
     return make_error(Err::kInternal, "short write to '" + path + "'");
   }

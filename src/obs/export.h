@@ -20,6 +20,7 @@
 #include "obs/event_bus.h"
 #include "obs/hub.h"
 #include "obs/profiler.h"
+#include "obs/span.h"
 
 namespace tytan::obs {
 
@@ -34,13 +35,17 @@ inline int trace_tid(std::int32_t task) { return task >= 0 ? task + 2 : 1; }
 /// Serialize the bus contents as Chrome trace-event JSON.  When a profiler
 /// is supplied, every sample appears as a "prof-sample" instant on its
 /// task's track with the resolved frame in args; a metadata line carries
-/// the bus's dropped-event count so readers can flag eviction.
+/// the bus's dropped-event count so readers can flag eviction.  When a span
+/// recorder is supplied, every span appears as an async "b"/"e" pair keyed
+/// by its trace id, so rounds render as nested timelines in Perfetto.
 [[nodiscard]] std::string export_chrome_trace(const EventBus& bus,
-                                              const SampleProfiler* profiler = nullptr);
+                                              const SampleProfiler* profiler = nullptr,
+                                              const SpanRecorder* spans = nullptr);
 
-/// Write export_chrome_trace(bus, profiler) to `path`.
+/// Write export_chrome_trace(bus, profiler, spans) to `path`.
 Status write_chrome_trace(const std::string& path, const EventBus& bus,
-                          const SampleProfiler* profiler = nullptr);
+                          const SampleProfiler* profiler = nullptr,
+                          const SpanRecorder* spans = nullptr);
 
 /// Plain-text timeline, one event per line:
 ///   "cycle 123456  [t0] sched-dispatch a=0 b=3"

@@ -54,4 +54,10 @@ void Hub::update_metrics(const Event& event) {
   }
 }
 
+void Hub::update_span_metrics(const Span& span) {
+  metrics_.counter("spans.recorded").inc();
+  metrics_.histogram("span." + std::string(span_phase_name(span.phase)) + ".cycles")
+      .observe(span.end_cycle - span.begin_cycle);
+}
+
 }  // namespace tytan::obs

@@ -12,6 +12,7 @@
 #include "obs/accounting.h"
 #include "obs/event_bus.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace tytan::obs {
 
@@ -20,11 +21,12 @@ class Hub {
   explicit Hub(std::size_t capacity = EventBus::kDefaultCapacity) : bus_(capacity) {
     wire_listener();
   }
-  // The listener captures `this`, so moves must re-wire it.
+  // The listener and span callback capture `this`, so moves must re-wire.
   Hub(Hub&& other) noexcept
       : bus_(std::move(other.bus_)),
         metrics_(std::move(other.metrics_)),
         accounting_(std::move(other.accounting_)),
+        spans_(std::move(other.spans_)),
         clock_(other.clock_),
         ipc_send_cycle_(std::move(other.ipc_send_cycle_)) {
     wire_listener();
@@ -33,6 +35,7 @@ class Hub {
     bus_ = std::move(other.bus_);
     metrics_ = std::move(other.metrics_);
     accounting_ = std::move(other.accounting_);
+    spans_ = std::move(other.spans_);
     clock_ = other.clock_;
     ipc_send_cycle_ = std::move(other.ipc_send_cycle_);
     wire_listener();
@@ -42,6 +45,7 @@ class Hub {
   void set_clock(const std::uint64_t* clock) {
     clock_ = clock;
     bus_.set_clock(clock);
+    spans_.set_clock(clock);
   }
 
   /// Start recording events, metrics, and per-task accounting.
@@ -69,6 +73,12 @@ class Hub {
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] TaskAccounting& accounting() { return accounting_; }
   [[nodiscard]] const TaskAccounting& accounting() const { return accounting_; }
+  /// Attestation-span recorder (obs/span.h).  Separately enabled from the
+  /// bus so spans stay free when dormant; completed spans fold into
+  /// span.<phase>.cycles histograms, and fault-engine events annotate the
+  /// innermost open span via the bus listener.
+  [[nodiscard]] SpanRecorder& spans() { return spans_; }
+  [[nodiscard]] const SpanRecorder& spans() const { return spans_; }
 
   /// Task currently charged by the accounting tracker (-1 = platform).
   [[nodiscard]] std::int32_t current_task() const { return accounting_.current_task(); }
@@ -76,20 +86,28 @@ class Hub {
  private:
   [[nodiscard]] std::uint64_t now() const { return clock_ != nullptr ? *clock_ : 0; }
   void update_metrics(const Event& event);
+  void update_span_metrics(const Span& span);
 
   // The hub listens on its own bus so every emitter — whether it goes through
   // Hub::emit or holds the EventBus directly (rtos::Scheduler) — drives
-  // metrics and accounting exactly once.
+  // metrics and accounting exactly once.  Fault events additionally annotate
+  // the current attestation span, covering every injection site centrally.
   void wire_listener() {
     bus_.set_listener([this](const Event& event) {
       accounting_.on_event(event);
       update_metrics(event);
+      if (event.kind == EventKind::kFaultInject ||
+          event.kind == EventKind::kFaultRecover) {
+        spans_.annotate(event);
+      }
     });
+    spans_.set_on_end([this](const Span& span) { update_span_metrics(span); });
   }
 
   EventBus bus_;
   MetricsRegistry metrics_;
   TaskAccounting accounting_;
+  SpanRecorder spans_;
   const std::uint64_t* clock_ = nullptr;
   /// Receiver handle -> cycle of the in-flight kIpcSend, for the
   /// ipc.send_to_deliver.cycles latency histogram.

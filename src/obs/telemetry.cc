@@ -198,8 +198,9 @@ void append_snapshot_json(std::ostringstream& os, const HealthSnapshot& s) {
      << s.attest_verified << R"(,"attest_failed":)" << s.attest_failed
      << R"(,"events_dropped":)" << s.events_dropped << R"(,"faults_injected":)"
      << s.faults_injected << R"(,"recoveries":)" << s.fault_recoveries
-     << R"(,"watchdog_restarts":)" << s.watchdog_restarts << R"(,"halted":)"
-     << (s.halted ? 1 : 0) << "}\n";
+     << R"(,"watchdog_restarts":)" << s.watchdog_restarts << R"(,"spans":)"
+     << s.spans_recorded << R"(,"round_p99":)" << s.attest_round_p99
+     << R"(,"halted":)" << (s.halted ? 1 : 0) << "}\n";
 }
 
 std::string json_escape(std::string_view text) {
@@ -321,6 +322,8 @@ Result<TelemetryLog> parse_telemetry_jsonl(std::string_view text) {
       s.faults_injected = u64(line, "faults_injected");
       s.fault_recoveries = u64(line, "recoveries");
       s.watchdog_restarts = u64(line, "watchdog_restarts");
+      s.spans_recorded = u64(line, "spans");
+      s.attest_round_p99 = u64(line, "round_p99");
       s.halted = u64(line, "halted") != 0;
       log.snapshots.push_back(s);
     } else if (type == "anomaly") {

@@ -47,6 +47,8 @@ struct HealthSnapshot {
   std::uint64_t faults_injected = 0;   ///< FaultEngine injections (src/fault)
   std::uint64_t fault_recoveries = 0;  ///< recoveries paired with injections
   std::uint64_t watchdog_restarts = 0; ///< kernel watchdog task revivals
+  std::uint64_t spans_recorded = 0;    ///< SpanRecorder spans (0 = spans off)
+  std::uint64_t attest_round_p99 = 0;  ///< p99 attest-round cycles so far
   bool halted = false;
 };
 

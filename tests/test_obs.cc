@@ -218,6 +218,56 @@ TEST(Metrics, MergeExactnessIsStickyDown) {
   EXPECT_EQ(exact.count(), obs::Histogram::kMaxExactValues + 11);
 }
 
+TEST(Metrics, MergeDisjointBucketRanges) {
+  // All of `low` lands below bucket 4, all of `high` in bucket 17 — the
+  // merged histogram must keep both populations apart bucket-wise and span
+  // the full min..max range.
+  obs::Histogram low;
+  for (std::uint64_t v = 1; v <= 8; ++v) {
+    low.observe(v);
+  }
+  obs::Histogram high;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    high.observe(100'000 + v);  // < 2^17
+  }
+  low.merge(high);
+  EXPECT_EQ(low.count(), 16u);
+  EXPECT_EQ(low.min(), 1u);
+  EXPECT_EQ(low.max(), 100'007u);
+  EXPECT_EQ(low.bucket(17), 8u);
+  std::uint64_t below_16 = 0;
+  for (std::size_t i = 0; i <= 4; ++i) {
+    below_16 += low.bucket(i);
+  }
+  EXPECT_EQ(below_16, 8u);
+  // Half the mass is small, so p50 stays in the low range and p95 jumps to
+  // the high range — disjointness survives the merge.
+  EXPECT_LE(low.p50(), 8u);
+  EXPECT_GE(low.p95(), 100'000u);
+}
+
+TEST(Metrics, MergeOrderDoesNotChangeExactPercentiles) {
+  obs::Histogram a;
+  obs::Histogram b;
+  for (std::uint64_t v = 1; v <= 60; ++v) {
+    a.observe(v * 7);
+  }
+  for (std::uint64_t v = 1; v <= 40; ++v) {
+    b.observe(v * 13);
+  }
+  obs::Histogram ab = a;
+  ab.merge(b);
+  obs::Histogram ba = b;
+  ba.merge(a);
+  ASSERT_TRUE(ab.exact_percentiles());
+  ASSERT_TRUE(ba.exact_percentiles());
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.sum(), ba.sum());
+  EXPECT_EQ(ab.p50(), ba.p50());
+  EXPECT_EQ(ab.p95(), ba.p95());
+  EXPECT_EQ(ab.p99(), ba.p99());
+}
+
 TEST(Metrics, RegistryMergeHandlesDisjointNames) {
   obs::MetricsRegistry a;
   a.counter("only.in.a").inc(2);

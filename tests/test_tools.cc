@@ -3,6 +3,8 @@
 // inspect it with the dumper.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -395,6 +397,102 @@ TEST(Lint, AssemblerStrictLintGate) {
                         &output),
             0);
   EXPECT_EQ(output.find("lint"), std::string::npos) << output;
+}
+
+// ------------------------------------------------------------ suite plumbing
+
+constexpr const char* kAllTools[] = {"tytan-as",    "tytan-objdump", "tytan-lint",
+                                     "tytan-run",   "tytan-fleet",   "tytan-trace",
+                                     "tytan-top"};
+
+/// Exit code from a run_command() wait status.
+int exit_code(int status) { return WIFEXITED(status) ? WEXITSTATUS(status) : -1; }
+
+TEST(Suite, VersionAndHelpExitZeroEverywhere) {
+  for (const char* name : kAllTools) {
+    std::string output;
+    EXPECT_EQ(exit_code(run_command(tool(name) + " --version", &output)), 0) << name;
+    EXPECT_NE(output.find("span-schema"), std::string::npos) << name << ": " << output;
+    EXPECT_NE(output.find(name), std::string::npos) << name << ": " << output;
+    EXPECT_EQ(exit_code(run_command(tool(name) + " --help", &output)), 0) << name;
+    EXPECT_NE(output.find("usage:"), std::string::npos) << name << ": " << output;
+  }
+}
+
+TEST(Suite, UnknownFlagsExitTwoEverywhere) {
+  for (const char* name : kAllTools) {
+    std::string output;
+    // The bogus flag rides along with plausible positionals so every tool
+    // reaches its flag loop rather than bailing on arity first.
+    const std::string positional =
+        std::string(name) == "tytan-trace" ? " stats /dev/null" : "";
+    EXPECT_EQ(exit_code(run_command(
+                  tool(name) + positional + " --definitely-not-a-flag", &output)),
+              2)
+        << name << ": " << output;
+  }
+}
+
+TEST(Suite, EmptyJsonlInputsDiagnoseAndFail) {
+  const std::string empty = tmp_path("empty.jsonl");
+  { std::ofstream out(empty); }
+  std::string output;
+  EXPECT_EQ(exit_code(run_command(tool("tytan-top") + " " + empty, &output)), 1);
+  EXPECT_NE(output.find("no telemetry records"), std::string::npos) << output;
+  EXPECT_EQ(exit_code(run_command(tool("tytan-trace") + " spans " + empty, &output)),
+            1);
+  EXPECT_NE(output.find("no span records"), std::string::npos) << output;
+  EXPECT_EQ(exit_code(run_command(tool("tytan-trace") + " slo " + empty +
+                                      " --p99-cycles=100",
+                                  &output)),
+            1);
+}
+
+TEST(Suite, TruncatedJsonlInputsDiagnoseAndFail) {
+  const std::string trunc = tmp_path("trunc.jsonl");
+  {
+    std::ofstream out(trunc);
+    out << R"({"type":"span","device":1,"trace":1,"span":1,"par)";
+  }
+  std::string output;
+  EXPECT_EQ(exit_code(run_command(tool("tytan-trace") + " spans " + trunc, &output)),
+            1);
+  EXPECT_NE(output.find("truncated"), std::string::npos) << output;
+  const std::string garbage = tmp_path("garbage.jsonl");
+  {
+    std::ofstream out(garbage);
+    out << "definitely not telemetry\n";
+  }
+  EXPECT_EQ(exit_code(run_command(tool("tytan-top") + " " + garbage, &output)), 1);
+}
+
+TEST(Suite, FleetSpansRoundTripThroughTrace) {
+  const std::string spans = tmp_path("fleet_spans.jsonl");
+  std::string output;
+  ASSERT_EQ(exit_code(run_command(tool("tytan-fleet") +
+                                      " --devices 2 --attest-sweeps 2 --spans-out " +
+                                      spans,
+                                  &output)),
+            0)
+      << output;
+  EXPECT_NE(output.find("spans:"), std::string::npos) << output;
+  ASSERT_EQ(exit_code(run_command(
+                tool("tytan-trace") + " spans " + spans + " --phase=attest-round",
+                &output)),
+            0)
+      << output;
+  EXPECT_NE(output.find("attest-round"), std::string::npos) << output;
+  // Generous budget passes; absurdly small budget breaches with exit 1.
+  EXPECT_EQ(exit_code(run_command(tool("tytan-trace") + " slo " + spans +
+                                      " --p99-cycles=100000000",
+                                  &output)),
+            0)
+      << output;
+  EXPECT_EQ(exit_code(run_command(
+                tool("tytan-trace") + " slo " + spans + " --p99-cycles=1", &output)),
+            1)
+      << output;
+  EXPECT_NE(output.find("SLO BREACH"), std::string::npos) << output;
 }
 
 }  // namespace

@@ -10,9 +10,33 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 
 namespace tytan::tools {
+
+/// One shared suite version for every tytan-* tool, carrying the schema
+/// versions of the serialized formats so scripts can gate on compatibility.
+inline constexpr const char* kSuiteVersion =
+    "tytan-tools 7 (span-schema 1, telemetry-schema 2, trace-schema 1)";
+
+/// Handle `--version` / `--help` uniformly: scan argv before any other
+/// parsing; print one line (version) or the usage text (help) on stdout and
+/// exit 0.  Every tool calls this first, so the flags win over positional
+/// parsing and never depend on argument order.
+inline void handle_version_help(const char* tool, int argc, char** argv,
+                                const char* usage_text) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s %s\n", tool, kSuiteVersion);
+      std::exit(0);
+    }
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(usage_text, stdout);
+      std::exit(0);
+    }
+  }
+}
 
 /// Parse `text` as an unsigned 64-bit decimal/hex number; on any garbage,
 /// overflow, or negative sign, print "<tool>: <flag> ..." and exit 2.

@@ -18,19 +18,23 @@
 #include "analysis/analyzer.h"
 #include "isa/assembler.h"
 #include "tbf/tbf.h"
+#include "tool_util.h"
 
 namespace {
 
+constexpr const char kUsageText[] =
+    "usage: tytan-as <input.s> -o <output.tbf> [--dump-symbols]"
+    " [--no-lint] [--strict-lint]\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: tytan-as <input.s> -o <output.tbf> [--dump-symbols]"
-               " [--no-lint] [--strict-lint]\n");
+  std::fputs(kUsageText, stderr);
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  tytan::tools::handle_version_help("tytan-as", argc, argv, kUsageText);
   std::string input;
   std::string output;
   bool dump_symbols = false;

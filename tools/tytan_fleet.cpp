@@ -46,15 +46,18 @@ using namespace tytan;
 
 namespace {
 
+constexpr const char kUsageText[] =
+    "usage: tytan-fleet [--devices N] [--threads T] [--cycles C]\n"
+    "                   [--quantum Q] [--task FILE] [--json FILE] [--metrics]\n"
+    "                   [--telemetry-out FILE] [--telemetry-every N]\n"
+    "                   [--spans-out FILE] [--attest-sweeps N]\n"
+    "                   [--rogue-device I] [--fault-device I]\n"
+    "                   [--fault-plan SPEC] [--fault-plan-device I]\n"
+    "                   [--fault-seed N] [--attest-retries N]\n"
+    "                   [--attest-backoff C]\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: tytan-fleet [--devices N] [--threads T] [--cycles C]\n"
-               "                   [--quantum Q] [--task FILE] [--json FILE] [--metrics]\n"
-               "                   [--telemetry-out FILE] [--telemetry-every N]\n"
-               "                   [--rogue-device I] [--fault-device I]\n"
-               "                   [--fault-plan SPEC] [--fault-plan-device I]\n"
-               "                   [--fault-seed N] [--attest-retries N]\n"
-               "                   [--attest-backoff C]\n");
+  std::fputs(kUsageText, stderr);
   return 2;
 }
 
@@ -99,11 +102,13 @@ void write_json(const std::string& path, const fleet::Fleet& fleet,
 }  // namespace
 
 int main(int argc, char** argv) {
+  tools::handle_version_help("tytan-fleet", argc, argv, kUsageText);
   fleet::WorkloadConfig config;
   config.fleet.device_count = 8;
   std::string json_path;
   std::string task_path;
   std::string telemetry_path;
+  std::string spans_path;
   std::string fault_plan_spec;
   std::optional<std::uint64_t> fault_seed;
   bool attest_retries_set = false;
@@ -141,6 +146,17 @@ int main(int argc, char** argv) {
       telemetry_path = next("--telemetry-out");
     } else if (arg.rfind("--telemetry-out=", 0) == 0) {
       telemetry_path = arg.substr(std::strlen("--telemetry-out="));
+    } else if (arg == "--spans-out") {
+      spans_path = next("--spans-out");
+    } else if (arg.rfind("--spans-out=", 0) == 0) {
+      spans_path = arg.substr(std::strlen("--spans-out="));
+    } else if (arg == "--attest-sweeps") {
+      config.attest_sweeps = static_cast<unsigned>(tools::parse_u32(
+          "tytan-fleet", "--attest-sweeps", next("--attest-sweeps")));
+    } else if (arg.rfind("--attest-sweeps=", 0) == 0) {
+      config.attest_sweeps = static_cast<unsigned>(
+          tools::parse_u32("tytan-fleet", "--attest-sweeps",
+                           arg.c_str() + std::strlen("--attest-sweeps=")));
     } else if (arg == "--telemetry-every") {
       config.fleet.telemetry.every_rounds = tools::parse_u64(
           "tytan-fleet", "--telemetry-every", next("--telemetry-every"));
@@ -199,6 +215,9 @@ int main(int argc, char** argv) {
 
   if (!telemetry_path.empty()) {
     config.fleet.telemetry.enabled = true;
+  }
+  if (!spans_path.empty()) {
+    config.fleet.spans = true;
   }
   if (!fault_plan_spec.empty()) {
     auto plan = fault::FaultPlan::parse(fault_plan_spec);
@@ -262,6 +281,20 @@ int main(int argc, char** argv) {
                 fleet.telemetry().snapshots().size(),
                 fleet.telemetry().anomalies().size());
   }
+  std::string spans_jsonl;
+  if (config.fleet.spans) {
+    spans_jsonl = fleet.spans_jsonl();
+    // Span count and round p99 are simulated-state — deterministic.
+    std::size_t span_count = 0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      span_count += fleet.device(i).platform().machine().obs().spans().size();
+    }
+    const obs::Histogram* rounds =
+        fleet.metrics().find_histogram("span.attest-round.cycles");
+    std::printf("spans: %zu spans, round p50=%llu p99=%llu cycles\n", span_count,
+                static_cast<unsigned long long>(rounds != nullptr ? rounds->p50() : 0),
+                static_cast<unsigned long long>(rounds != nullptr ? rounds->p99() : 0));
+  }
   if (metrics) {
     std::printf("\n--- fleet metrics ---\n");
     fleet.metrics().visit_counters(
@@ -290,6 +323,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << fleet.telemetry().to_jsonl();
+  }
+  if (!spans_path.empty()) {
+    std::ofstream out(spans_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "tytan-fleet: cannot write '%s'\n", spans_path.c_str());
+      return 1;
+    }
+    out << spans_jsonl;
   }
   return result.all_verified() ? 0 : 1;
 }

@@ -40,12 +40,14 @@ using namespace tytan;
 
 constexpr const char* kTool = "tytan-lint";
 
+constexpr const char kUsageText[] =
+    "usage: tytan-lint <task.tbf|task.s> [--porcelain] [--json]\n"
+    "                  [--strict] [--suppress RULE]... [--max-targets N]\n"
+    "                  [--no-cfg] [--no-reloc] [--no-stack] [--no-mmio]\n"
+    "                  [--no-dataflow]\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: tytan-lint <task.tbf|task.s> [--porcelain] [--json]\n"
-               "                  [--strict] [--suppress RULE]... [--max-targets N]\n"
-               "                  [--no-cfg] [--no-reloc] [--no-stack] [--no-mmio]\n"
-               "                  [--no-dataflow]\n");
+  std::fputs(kUsageText, stderr);
   return 2;
 }
 
@@ -152,6 +154,7 @@ void print_json(const std::string& input, const isa::ObjectFile& object,
 }  // namespace
 
 int main(int argc, char** argv) {
+  tools::handle_version_help(kTool, argc, argv, kUsageText);
   std::string input;
   bool porcelain = false;
   bool json = false;

@@ -12,12 +12,30 @@
 #include "analysis/analyzer.h"
 #include "isa/disasm.h"
 #include "tbf/tbf.h"
+#include "tool_util.h"
+
+namespace {
+constexpr const char kUsageText[] = "usage: tytan-objdump <file.tbf>\n";
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: tytan-objdump <file.tbf>\n");
+  tytan::tools::handle_version_help("tytan-objdump", argc, argv, kUsageText);
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-' && argv[i][1] != '\0') {
+      tytan::tools::unknown_flag("tytan-objdump", argv[i]);
+    }
+    if (path != nullptr) {
+      std::fputs(kUsageText, stderr);
+      return 2;
+    }
+    path = argv[i];
+  }
+  if (path == nullptr) {
+    std::fputs(kUsageText, stderr);
     return 2;
   }
+  argv[1] = const_cast<char*>(path);
   std::ifstream in(argv[1], std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "tytan-objdump: cannot open '%s'\n", argv[1]);

@@ -35,19 +35,22 @@ using namespace tytan;
 
 namespace {
 
+constexpr const char kUsageText[] =
+    "usage: tytan-run [--cycles N] [--priority P] [--pedal V] [--radar V]\n"
+    "                 [--attest] [--trace N] [--trace-out FILE] [--metrics]\n"
+    "                 [--profile N] [--folded-out FILE] [--spans-out FILE]\n"
+    "                 [--fault SPEC] [--fault-seed N]\n"
+    "                 <task.tbf> [more.tbf ...]\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: tytan-run [--cycles N] [--priority P] [--pedal V] [--radar V]\n"
-               "                 [--attest] [--trace N] [--trace-out FILE] [--metrics]\n"
-               "                 [--profile N] [--folded-out FILE]\n"
-               "                 [--fault SPEC] [--fault-seed N]\n"
-               "                 <task.tbf> [more.tbf ...]\n");
+  std::fputs(kUsageText, stderr);
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  tools::handle_version_help("tytan-run", argc, argv, kUsageText);
   std::uint64_t cycles = 10'000'000;
   unsigned priority = 3;
   std::uint32_t pedal = 0;
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   std::uint64_t profile = 0;
   std::string folded_out;
+  std::string spans_out;
   std::string fault_spec;
   std::optional<std::uint64_t> fault_seed;
   std::vector<std::string> files;
@@ -105,6 +109,10 @@ int main(int argc, char** argv) {
       folded_out = next("--folded-out");
     } else if (arg.rfind("--folded-out=", 0) == 0) {
       folded_out = arg.substr(std::strlen("--folded-out="));
+    } else if (arg == "--spans-out") {
+      spans_out = next("--spans-out");
+    } else if (arg.rfind("--spans-out=", 0) == 0) {
+      spans_out = arg.substr(std::strlen("--spans-out="));
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -139,9 +147,13 @@ int main(int argc, char** argv) {
     // Enable before boot so firmware entry points register as symbols.
     platform.machine().enable_profiler(profile);
   }
-  if (!trace_out.empty() || metrics) {
+  if (!trace_out.empty() || metrics || !spans_out.empty()) {
     // Enable before boot so loader / RTM / EA-MPU events are captured too.
     platform.machine().obs().enable();
+  }
+  if (!spans_out.empty()) {
+    // Before boot/load so rtm-measure spans cover the first measurements.
+    platform.machine().obs().spans().enable();
   }
   auto boot = platform.boot();
   if (!boot.is_ok()) {
@@ -177,8 +189,17 @@ int main(int argc, char** argv) {
     std::printf("loaded %-20s @ 0x%05x  id_t=%s%s\n", path.c_str(), tcb->region_base,
                 hex_encode(tcb->identity).c_str(), tcb->secure ? "  [secure]" : "");
     if (attest) {
+      // One round span per attested task (trace id = task handle + 1), so a
+      // single-device run decomposes the same way a fleet round does.
+      obs::SpanRecorder& spans = platform.machine().obs().spans();
+      const obs::SpanRecorder::SpanId round = spans.begin_trace(
+          static_cast<std::uint64_t>(*task) + 1, obs::SpanPhase::kAttestRound, *task);
+      auto phase = spans.begin(obs::SpanPhase::kNonceGen, *task);
       const std::uint64_t nonce = platform.rng().next64();
+      spans.end(phase, obs::SpanOutcome::kOk);
       auto report = platform.remote_attest().attest_task(*task, nonce);
+      spans.end(round, report.is_ok() ? obs::SpanOutcome::kOk
+                                      : obs::SpanOutcome::kFailed);
       if (report.is_ok()) {
         std::printf("  attestation report: %s\n", hex_encode(report->serialize()).c_str());
       }
@@ -250,13 +271,26 @@ int main(int argc, char** argv) {
                    "export — the trace is incomplete (raise the bus capacity)\n",
                    static_cast<unsigned long long>(hub.bus().dropped()));
     }
-    if (Status s = obs::write_chrome_trace(trace_out, hub.bus(), profiler); !s.is_ok()) {
+    const obs::SpanRecorder* spans =
+        hub.spans().enabled() ? &hub.spans() : nullptr;
+    if (Status s = obs::write_chrome_trace(trace_out, hub.bus(), profiler, spans);
+        !s.is_ok()) {
       std::fprintf(stderr, "tytan-run: cannot write trace '%s': %s\n", trace_out.c_str(),
                    s.to_string().c_str());
       return 1;
     }
     std::printf("\nwrote %zu events to %s (load in ui.perfetto.dev or chrome://tracing)\n",
                 hub.bus().snapshot().size(), trace_out.c_str());
+  }
+  if (!spans_out.empty()) {
+    std::ofstream out(spans_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "tytan-run: cannot write '%s'\n", spans_out.c_str());
+      return 1;
+    }
+    out << hub.spans().to_jsonl();
+    std::printf("wrote %zu spans to %s (inspect with tytan-trace spans)\n",
+                hub.spans().size(), spans_out.c_str());
   }
   if (!folded_out.empty() && profiler != nullptr) {
     std::ofstream out(folded_out);

@@ -1,14 +1,17 @@
 // tytan-top — fleet health at a glance, from a telemetry JSONL stream
 // written by `tytan-fleet --telemetry-out=FILE`.
 //
-//   tytan-top FILE [--anomalies] [--watch [SECONDS]]
+//   tytan-top FILE [--anomalies] [--spans FILE] [--watch [SECONDS]]
 //     --anomalies     list every anomaly record (default: summary count)
+//     --spans FILE    also read a span file (tytan-fleet --spans-out) and
+//                     append a per-phase p50/p95/p99 cycle table
 //     --watch [S]     re-read and re-render the file every S seconds
 //                     (default 2) — live view of a fleet writing telemetry
 //
 // The table shows the latest snapshot per device; rates are computed from
 // the first and last snapshot of each device.  Reads the file only — never
 // attaches to a live platform.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -17,16 +20,22 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "obs/span.h"
 #include "obs/telemetry.h"
+#include "tool_util.h"
 
 using namespace tytan;
 
 namespace {
 
+constexpr const char kUsageText[] =
+    "usage: tytan-top <telemetry.jsonl> [--anomalies] [--spans FILE]"
+    " [--watch [SECONDS]]\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: tytan-top <telemetry.jsonl> [--anomalies] [--watch [SECONDS]]\n");
+  std::fputs(kUsageText, stderr);
   return 2;
 }
 
@@ -36,6 +45,46 @@ struct DeviceRow {
   std::uint64_t snapshots = 0;
   std::uint64_t anomalies = 0;
 };
+
+/// Nearest-rank percentile over a sorted cycle list.
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, unsigned pct) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const std::size_t rank = (sorted.size() * pct + 99) / 100;
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+/// Per-phase span latency table from a `--spans FILE` span log.
+int render_spans(const std::string& path) {
+  auto log = obs::read_spans_file(path);
+  if (!log.is_ok()) {
+    std::fprintf(stderr, "tytan-top: %s: %s\n", path.c_str(),
+                 log.status().to_string().c_str());
+    return 1;
+  }
+  if (log->spans.empty()) {
+    std::fprintf(stderr,
+                 "tytan-top: %s: no span records (empty or truncated span "
+                 "file)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::map<std::string, std::vector<std::uint64_t>> by_phase;
+  for (const obs::ParsedSpan& span : log->spans) {
+    by_phase[span.phase].push_back(span.cycles);
+  }
+  std::printf("\n%-17s %8s %12s %12s %12s\n", "phase", "spans", "p50 cyc",
+              "p95 cyc", "p99 cyc");
+  for (auto& [phase, cycles] : by_phase) {
+    std::sort(cycles.begin(), cycles.end());
+    std::printf("%-17s %8zu %12llu %12llu %12llu\n", phase.c_str(), cycles.size(),
+                static_cast<unsigned long long>(percentile(cycles, 50)),
+                static_cast<unsigned long long>(percentile(cycles, 95)),
+                static_cast<unsigned long long>(percentile(cycles, 99)));
+  }
+  return 0;
+}
 
 int render(const std::string& path, bool list_anomalies) {
   std::ifstream in(path);
@@ -49,6 +98,13 @@ int render(const std::string& path, bool list_anomalies) {
   if (!log.is_ok()) {
     std::fprintf(stderr, "tytan-top: %s: %s\n", path.c_str(),
                  log.status().to_string().c_str());
+    return 1;
+  }
+  if (log->snapshots.empty() && log->anomalies.empty()) {
+    std::fprintf(stderr,
+                 "tytan-top: %s: no telemetry records (empty or truncated "
+                 "file)\n",
+                 path.c_str());
     return 1;
   }
 
@@ -65,9 +121,9 @@ int render(const std::string& path, bool list_anomalies) {
     ++rows[a.device].anomalies;
   }
 
-  std::printf("%-7s %5s %12s %8s %7s %6s %9s %7s %7s %4s %9s %6s\n", "device",
+  std::printf("%-7s %5s %12s %8s %7s %6s %9s %7s %7s %4s %9s %9s %6s\n", "device",
               "snaps", "cycles", "sim ms", "instr/c", "faults", "ipc", "attest",
-              "inj/rec", "wdog", "anomalies", "state");
+              "inj/rec", "wdog", "rnd p99", "anomalies", "state");
   for (const auto& [device, row] : rows) {
     const obs::HealthSnapshot& s = row.last;
     const double ipc_rate =
@@ -83,13 +139,14 @@ int render(const std::string& path, bool list_anomalies) {
     std::snprintf(injected, sizeof injected, "%llu/%llu",
                   static_cast<unsigned long long>(s.faults_injected),
                   static_cast<unsigned long long>(s.fault_recoveries));
-    std::printf("%-7u %5llu %12llu %8.2f %7.3f %6llu %9llu %7s %7s %4llu %9llu %6s\n",
+    std::printf("%-7u %5llu %12llu %8.2f %7.3f %6llu %9llu %7s %7s %4llu %9llu %9llu %6s\n",
                 device, static_cast<unsigned long long>(row.snapshots),
                 static_cast<unsigned long long>(s.cycle),
                 static_cast<double>(s.cycle) * 1000.0 / 48'000'000.0, ipc_rate,
                 static_cast<unsigned long long>(s.faults),
                 static_cast<unsigned long long>(s.ipc_delivered), attest, injected,
                 static_cast<unsigned long long>(s.watchdog_restarts),
+                static_cast<unsigned long long>(s.attest_round_p99),
                 static_cast<unsigned long long>(row.anomalies),
                 s.halted ? "HALT" : "run");
   }
@@ -111,10 +168,12 @@ int render(const std::string& path, bool list_anomalies) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  tools::handle_version_help("tytan-top", argc, argv, kUsageText);
+  if (argc < 2 || argv[1][0] == '-') {
     return usage();
   }
   const std::string path = argv[1];
+  std::string spans_path;
   bool list_anomalies = false;
   bool watch = false;
   double watch_seconds = 2.0;
@@ -122,6 +181,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--anomalies") {
       list_anomalies = true;
+    } else if (arg == "--spans") {
+      spans_path = tools::required_value("tytan-top", "--spans", argc, argv, &i);
+    } else if (arg.rfind("--spans=", 0) == 0) {
+      spans_path = arg.substr(std::strlen("--spans="));
     } else if (arg == "--watch") {
       watch = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
@@ -133,12 +196,20 @@ int main(int argc, char** argv) {
   }
 
   if (!watch) {
-    return render(path, list_anomalies);
+    if (int rc = render(path, list_anomalies); rc != 0) {
+      return rc;
+    }
+    return spans_path.empty() ? 0 : render_spans(spans_path);
   }
   for (;;) {
     std::printf("\x1b[2J\x1b[H");  // clear + home, terminal-top style
     if (int rc = render(path, list_anomalies); rc != 0) {
       return rc;
+    }
+    if (!spans_path.empty()) {
+      if (int rc = render_spans(spans_path); rc != 0) {
+        return rc;
+      }
     }
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::duration<double>(watch_seconds));

@@ -1,5 +1,6 @@
 // tytan-trace — inspect a Chrome/Perfetto trace written by
-// `tytan-run --trace-out=FILE` (or obs::write_chrome_trace).
+// `tytan-run --trace-out=FILE` (or obs::write_chrome_trace), or an
+// attestation span file written by `--spans-out=FILE`.
 //
 //   tytan-trace stats  FILE [--json]     event counts per kind, cycle range,
 //                                        context-switch cost summary (Table 2);
@@ -14,6 +15,14 @@
 //                                        --profile) into collapsed stacks on
 //                                        stdout: `... > out.folded`, then
 //                                        flamegraph.pl out.folded > flame.svg
+//   tytan-trace spans  FILE [filters]    list attestation spans
+//     --device=N --phase=NAME --outcome=NAME --min-cycles=N --limit=N --json
+//   tytan-trace slo    FILE --p99-cycles=N
+//                                        gate on the p99 attest-round
+//                                        round-trip; exit 1 on breach
+//   tytan-trace critpath FILE [--trace=N]
+//                                        per-trace critical-path breakdown
+//                                        into typed phases
 //
 // Everything here is computed from the trace file alone — no live platform —
 // so the numbers double as a check that the exporter loses nothing.
@@ -25,6 +34,7 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/span.h"
 #include "obs/trace_reader.h"
 #include "tool_util.h"
 
@@ -32,13 +42,20 @@ using namespace tytan;
 
 namespace {
 
+constexpr const char kUsageText[] =
+    "usage: tytan-trace stats  <trace.json> [--json]\n"
+    "       tytan-trace tasks  <trace.json>\n"
+    "       tytan-trace events <trace.json> [--kind=NAME] [--task=N] "
+    "[--limit=N]\n"
+    "       tytan-trace flame  <trace.json>\n"
+    "       tytan-trace spans  <spans.jsonl> [--device=N] [--phase=NAME]\n"
+    "                          [--outcome=NAME] [--min-cycles=N] [--limit=N]"
+    " [--json]\n"
+    "       tytan-trace slo    <spans.jsonl> --p99-cycles=N\n"
+    "       tytan-trace critpath <spans.jsonl> [--trace=N]\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: tytan-trace stats  <trace.json> [--json]\n"
-               "       tytan-trace tasks  <trace.json>\n"
-               "       tytan-trace events <trace.json> [--kind=NAME] [--task=N] "
-               "[--limit=N]\n"
-               "       tytan-trace flame  <trace.json>\n");
+  std::fputs(kUsageText, stderr);
   return 2;
 }
 
@@ -94,8 +111,9 @@ int cmd_stats_json(const obs::Trace& trace) {
 
 int cmd_stats(const obs::Trace& trace) {
   if (trace.events.empty()) {
-    std::printf("empty trace\n");
-    return 0;
+    std::fprintf(stderr,
+                 "tytan-trace: trace has no events (empty or truncated file)\n");
+    return 1;
   }
   std::uint64_t first = trace.events.front().cycle;
   std::uint64_t last = first;
@@ -195,6 +213,160 @@ int cmd_flame(const obs::Trace& trace) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Span-file commands (`tytan-run --spans-out` / `tytan-fleet --spans-out`)
+// ---------------------------------------------------------------------------
+
+struct SpanFilter {
+  std::uint32_t device = 0;
+  bool have_device = false;
+  std::string phase;
+  std::string outcome;
+  std::uint64_t min_cycles = 0;
+  std::uint64_t limit = 0;
+};
+
+bool span_matches(const obs::ParsedSpan& span, const SpanFilter& filter) {
+  if (filter.have_device && span.device != filter.device) {
+    return false;
+  }
+  if (!filter.phase.empty() && span.phase != filter.phase) {
+    return false;
+  }
+  if (!filter.outcome.empty() && span.outcome != filter.outcome) {
+    return false;
+  }
+  return span.cycles >= filter.min_cycles;
+}
+
+std::string notes_label(const obs::ParsedSpan& span) {
+  std::string out;
+  for (const std::string& kind : span.note_kinds) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += kind;
+  }
+  return out;
+}
+
+int cmd_spans(const obs::SpanLog& log, const SpanFilter& filter, bool json) {
+  std::uint64_t printed = 0;
+  if (!json) {
+    std::printf("%-6s %-10s %-6s %-6s %-17s %5s %12s %-8s %s\n", "device",
+                "trace", "span", "parent", "phase", "task", "cycles", "outcome",
+                "notes");
+  }
+  for (const obs::ParsedSpan& span : log.spans) {
+    if (!span_matches(span, filter)) {
+      continue;
+    }
+    if (json) {
+      std::printf("{\"device\": %u, \"trace\": %llu, \"span\": %u, "
+                  "\"parent\": %u, \"phase\": \"%s\", \"task\": %d, "
+                  "\"cycles\": %llu, \"outcome\": \"%s\", \"notes\": \"%s\"}\n",
+                  span.device, static_cast<unsigned long long>(span.trace),
+                  span.span, span.parent, span.phase.c_str(), span.task,
+                  static_cast<unsigned long long>(span.cycles),
+                  span.outcome.c_str(), notes_label(span).c_str());
+    } else {
+      std::printf("%-6u %-10llu %-6u %-6u %-17s %5d %12llu %-8s %s\n",
+                  span.device, static_cast<unsigned long long>(span.trace),
+                  span.span, span.parent, span.phase.c_str(), span.task,
+                  static_cast<unsigned long long>(span.cycles),
+                  span.outcome.c_str(), notes_label(span).c_str());
+    }
+    if (filter.limit != 0 && ++printed >= filter.limit) {
+      break;
+    }
+  }
+  return 0;
+}
+
+/// Nearest-rank percentile over a sorted cycle list.
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, unsigned pct) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const std::size_t rank = (sorted.size() * pct + 99) / 100;
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+int cmd_slo(const obs::SpanLog& log, std::uint64_t p99_cycles) {
+  std::vector<std::uint64_t> rounds;
+  for (const obs::ParsedSpan& span : log.spans) {
+    if (span.phase == "attest-round") {
+      rounds.push_back(span.cycles);
+    }
+  }
+  if (rounds.empty()) {
+    std::fprintf(stderr, "tytan-trace: no attest-round spans to gate on\n");
+    return 1;
+  }
+  std::sort(rounds.begin(), rounds.end());
+  const std::uint64_t p50 = percentile(rounds, 50);
+  const std::uint64_t p99 = percentile(rounds, 99);
+  const bool breach = p99 > p99_cycles;
+  std::printf("%zu attest rounds: p50 %llu cycles, p99 %llu cycles "
+              "(budget %llu) — %s\n",
+              rounds.size(), static_cast<unsigned long long>(p50),
+              static_cast<unsigned long long>(p99),
+              static_cast<unsigned long long>(p99_cycles),
+              breach ? "SLO BREACH" : "ok");
+  return breach ? 1 : 0;
+}
+
+int cmd_critpath(const obs::SpanLog& log, std::uint64_t trace_filter,
+                 bool have_trace) {
+  struct TraceRow {
+    std::uint32_t device = 0;
+    std::uint64_t total = 0;  ///< root attest-round round-trip
+    std::string outcome;
+    std::map<std::string, std::uint64_t> by_phase;  ///< child phases only
+  };
+  std::map<std::uint64_t, TraceRow> traces;
+  for (const obs::ParsedSpan& span : log.spans) {
+    if (span.trace == 0 || (have_trace && span.trace != trace_filter)) {
+      continue;  // trace 0: parentless spans (e.g. rtm-measure at load)
+    }
+    TraceRow& row = traces[span.trace];
+    if (span.phase == "attest-round") {
+      row.device = span.device;
+      row.total = span.cycles;
+      row.outcome = span.outcome;
+    } else {
+      row.by_phase[span.phase] += span.cycles;
+    }
+  }
+  if (traces.empty()) {
+    std::fprintf(stderr, "tytan-trace: no matching attestation traces\n");
+    return 1;
+  }
+  for (const auto& [trace_id, row] : traces) {
+    std::printf("trace %llu  device %u  %llu cycles round-trip  [%s]\n",
+                static_cast<unsigned long long>(trace_id), row.device,
+                static_cast<unsigned long long>(row.total), row.outcome.c_str());
+    std::uint64_t attributed = 0;
+    for (const auto& [phase, cycles] : row.by_phase) {
+      attributed += cycles;
+      const double pct = row.total == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(cycles) /
+                                   static_cast<double>(row.total);
+      std::printf("  %-17s %12llu cycles  %5.1f%%\n", phase.c_str(),
+                  static_cast<unsigned long long>(cycles), pct);
+    }
+    if (row.total > attributed) {
+      const std::uint64_t other = row.total - attributed;
+      std::printf("  %-17s %12llu cycles  %5.1f%%\n", "(unattributed)",
+                  static_cast<unsigned long long>(other),
+                  100.0 * static_cast<double>(other) /
+                      static_cast<double>(row.total));
+    }
+  }
+  return 0;
+}
+
 int cmd_events(const obs::Trace& trace, const std::string& kind, std::int32_t task,
                bool have_task, std::uint64_t limit) {
   std::uint64_t printed = 0;
@@ -218,6 +390,7 @@ int cmd_events(const obs::Trace& trace, const std::string& kind, std::int32_t ta
 }  // namespace
 
 int main(int argc, char** argv) {
+  tools::handle_version_help("tytan-trace", argc, argv, kUsageText);
   if (argc < 3) {
     return usage();
   }
@@ -229,6 +402,11 @@ int main(int argc, char** argv) {
   bool have_task = false;
   bool json = false;
   std::uint64_t limit = 0;
+  SpanFilter filter;
+  std::uint64_t p99_cycles = 0;
+  bool have_p99 = false;
+  std::uint64_t trace_filter = 0;
+  bool have_trace_filter = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -242,9 +420,56 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--limit=", 0) == 0) {
       limit = tools::parse_u64("tytan-trace", "--limit",
                                arg.c_str() + std::strlen("--limit="));
+      filter.limit = limit;
+    } else if (arg.rfind("--device=", 0) == 0) {
+      filter.device = tools::parse_u32("tytan-trace", "--device",
+                                       arg.c_str() + std::strlen("--device="));
+      filter.have_device = true;
+    } else if (arg.rfind("--phase=", 0) == 0) {
+      filter.phase = arg.substr(std::strlen("--phase="));
+    } else if (arg.rfind("--outcome=", 0) == 0) {
+      filter.outcome = arg.substr(std::strlen("--outcome="));
+    } else if (arg.rfind("--min-cycles=", 0) == 0) {
+      filter.min_cycles = tools::parse_u64(
+          "tytan-trace", "--min-cycles", arg.c_str() + std::strlen("--min-cycles="));
+    } else if (arg.rfind("--p99-cycles=", 0) == 0) {
+      p99_cycles = tools::parse_u64(
+          "tytan-trace", "--p99-cycles", arg.c_str() + std::strlen("--p99-cycles="));
+      have_p99 = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_filter = tools::parse_u64("tytan-trace", "--trace",
+                                      arg.c_str() + std::strlen("--trace="));
+      have_trace_filter = true;
     } else {
       return usage();
     }
+  }
+
+  if (command == "spans" || command == "slo" || command == "critpath") {
+    auto log = obs::read_spans_file(path);
+    if (!log.is_ok()) {
+      std::fprintf(stderr, "tytan-trace: %s: %s\n", path.c_str(),
+                   log.status().to_string().c_str());
+      return 1;
+    }
+    if (log->spans.empty()) {
+      std::fprintf(stderr,
+                   "tytan-trace: %s: no span records (empty or truncated span "
+                   "file)\n",
+                   path.c_str());
+      return 1;
+    }
+    if (command == "spans") {
+      return cmd_spans(*log, filter, json);
+    }
+    if (command == "slo") {
+      if (!have_p99) {
+        std::fprintf(stderr, "tytan-trace: slo needs --p99-cycles=N\n");
+        return 2;
+      }
+      return cmd_slo(*log, p99_cycles);
+    }
+    return cmd_critpath(*log, trace_filter, have_trace_filter);
   }
 
   auto trace = obs::read_chrome_trace_file(path);
