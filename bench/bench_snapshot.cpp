@@ -1,0 +1,209 @@
+// Snapshot cost and fork-based fuzzing throughput (host wall time).
+//
+// These are NOT paper numbers — the snapshot subsystem is infrastructure the
+// paper does not describe.  This bench pins two properties CI gates on:
+//   * save/restore/clone are cheap enough to use per-input (microseconds,
+//     not the milliseconds a full boot costs), and
+//   * fork-mode fuzzing (restore a pristine post-boot snapshot per input)
+//     beats reboot-per-input by >= 10x execs/sec — the acceptance bar for
+//     the fork-based loader fuzzing workflow (tools/tytan-fuzz).
+#include <chrono>
+#include <cstdint>
+
+#include "bench_util.h"
+#include "core/platform.h"
+#include "isa/assembler.h"
+#include "tbf/tbf.h"
+
+using namespace tytan;
+
+namespace {
+
+constexpr std::string_view kCounterTask = R"(
+    .secure
+    .stack 256
+    .entry main
+main:
+    li   r2, counter
+    ldw  r3, [r2]
+    addi r3, 1
+    stw  r3, [r2]
+    movi r0, 1
+    int  0x21
+    jmp  main
+counter:
+    .word 0
+)";
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_us(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start)
+          .count());
+}
+
+/// xorshift64 — same deterministic mutator tytan-fuzz uses.
+struct Rng {
+  std::uint64_t state = 0x6675'7a7a'6265'6e63ull;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+ByteVec mutate(const ByteVec& seed, Rng& rng) {
+  ByteVec input = seed;
+  const std::uint64_t mutations = 1 + rng.next() % 8;
+  for (std::uint64_t m = 0; m < mutations; ++m) {
+    input[rng.next() % input.size()] = static_cast<std::uint8_t>(rng.next());
+  }
+  return input;
+}
+
+/// One fuzz exec against an already-pristine platform: parse, maybe load,
+/// maybe run a small guest budget.  Loader fuzzing is parse/reject-heavy —
+/// most mutants die in tbf::read or the lint gate — so the guest budget is
+/// small; the per-input fixed cost (reboot vs restore) dominates, which is
+/// exactly what this bench compares.
+void fuzz_one(core::Platform& platform, const ByteVec& input) {
+  auto object = tbf::read(input);
+  if (!object.is_ok()) {
+    return;
+  }
+  auto task = platform.load_task(object.take(), {.name = "fuzz"});
+  if (task.is_ok()) {
+    platform.run_for(5'000);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  bench::JsonReport report("snapshot", options);
+
+  const int snap_iters = options.smoke ? 20 : 200;
+  const std::uint64_t fuzz_execs = options.smoke ? 40 : 400;
+
+  core::Platform platform;
+  if (!platform.boot().is_ok()) {
+    std::fprintf(stderr, "boot failed\n");
+    return 1;
+  }
+  auto counter = platform.load_task_source(kCounterTask, {.name = "counter"});
+  if (!counter.is_ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  platform.run_for(500'000);
+
+  // -- save / restore / clone cost --------------------------------------------
+  auto first = platform.save();
+  if (!first.is_ok()) {
+    std::fprintf(stderr, "save failed: %s\n", first.status().to_string().c_str());
+    return 1;
+  }
+  const std::uint64_t snapshot_bytes = first->serialize().size();
+
+  auto t0 = Clock::now();
+  for (int i = 0; i < snap_iters; ++i) {
+    auto snapshot = platform.save();
+    if (!snapshot.is_ok()) {
+      return 1;
+    }
+  }
+  const std::uint64_t save_us = elapsed_us(t0) / snap_iters;
+
+  t0 = Clock::now();
+  for (int i = 0; i < snap_iters; ++i) {
+    if (!platform.restore(*first).is_ok()) {
+      return 1;
+    }
+  }
+  const std::uint64_t restore_us = elapsed_us(t0) / snap_iters;
+
+  t0 = Clock::now();
+  for (int i = 0; i < snap_iters / 4 + 1; ++i) {
+    auto clone = platform.clone();
+    if (!clone.is_ok()) {
+      return 1;
+    }
+  }
+  const std::uint64_t clone_us = elapsed_us(t0) / (snap_iters / 4 + 1);
+
+  // -- fork-mode vs reboot-per-input fuzzing throughput -----------------------
+  auto seed_object = isa::assemble(kCounterTask);
+  if (!seed_object.is_ok()) {
+    return 1;
+  }
+  const ByteVec seed_image = tbf::write(*seed_object);
+
+  core::Platform fuzzer;
+  if (!fuzzer.boot().is_ok()) {
+    return 1;
+  }
+  auto pristine = fuzzer.save();
+  if (!pristine.is_ok()) {
+    return 1;
+  }
+
+  Rng fork_rng;
+  t0 = Clock::now();
+  for (std::uint64_t i = 0; i < fuzz_execs; ++i) {
+    if (!fuzzer.restore(*pristine).is_ok()) {
+      return 1;
+    }
+    fuzz_one(fuzzer, mutate(seed_image, fork_rng));
+  }
+  const std::uint64_t fork_total_us = elapsed_us(t0);
+
+  Rng reboot_rng;  // identical input stream for a fair comparison
+  t0 = Clock::now();
+  for (std::uint64_t i = 0; i < fuzz_execs; ++i) {
+    core::Platform fresh;
+    if (!fresh.boot().is_ok()) {
+      return 1;
+    }
+    fuzz_one(fresh, mutate(seed_image, reboot_rng));
+  }
+  const std::uint64_t reboot_total_us = elapsed_us(t0);
+
+  const std::uint64_t fork_eps =
+      fork_total_us == 0 ? 0 : fuzz_execs * 1'000'000 / fork_total_us;
+  const std::uint64_t reboot_eps =
+      reboot_total_us == 0 ? 0 : fuzz_execs * 1'000'000 / reboot_total_us;
+  const std::uint64_t speedup = reboot_eps == 0 ? 0 : (fork_eps * 10) / reboot_eps;
+
+  bench::Table table("machine snapshots (host wall time; no paper equivalent)");
+  table.columns({"operation", "measured"})
+      .row({"save", std::to_string(save_us) + " us"})
+      .row({"restore", std::to_string(restore_us) + " us"})
+      .row({"clone", std::to_string(clone_us) + " us"})
+      .row({"snapshot size", std::to_string(snapshot_bytes) + " bytes"})
+      .row({"fuzz fork mode", std::to_string(fork_eps) + " execs/s"})
+      .row({"fuzz reboot mode", std::to_string(reboot_eps) + " execs/s"})
+      .row({"fork speedup", std::to_string(speedup / 10) + "." +
+                                std::to_string(speedup % 10) + "x"});
+  table.print();
+
+  report.add("save_us", save_us, 0);
+  report.add("restore_us", restore_us, 0);
+  report.add("clone_us", clone_us, 0);
+  report.add("snapshot_bytes", snapshot_bytes, 0);
+  report.add("fork_execs_per_sec", fork_eps, 0);
+  report.add("reboot_execs_per_sec", reboot_eps, 0);
+  report.add("fork_speedup_x10", speedup, 0);
+
+  if (speedup < 100) {  // speedup is scaled by 10: 100 == 10.0x
+    std::fprintf(stderr,
+                 "FAIL: fork-mode fuzzing is only %llu.%llux faster than "
+                 "reboot-per-input (acceptance bar: 10x)\n",
+                 static_cast<unsigned long long>(speedup / 10),
+                 static_cast<unsigned long long>(speedup % 10));
+    return 1;
+  }
+  return 0;
+}

@@ -43,6 +43,11 @@ class EaMpuDriver {
   [[nodiscard]] const ConfigStats& last_config() const { return stats_; }
   [[nodiscard]] hw::EaMpu& mpu() { return mpu_; }
 
+  /// Serialize / overwrite the last-configure stats (the rule table itself
+  /// is the EA-MPU's own snapshot section).
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
  private:
   /// Overlap policy: a new data region may not overlap an existing rule's
   /// data region.  Rules whose code region lies in the trusted firmware area

@@ -99,6 +99,13 @@ class IntMux {
   [[nodiscard]] const SaveStats& last_save() const { return save_stats_; }
   [[nodiscard]] const ResumeStats& last_resume() const { return resume_stats_; }
 
+  // -- snapshots ----------------------------------------------------------------
+  /// Serialize / overwrite the shadow-TCB index, vector handler table, and
+  /// last save/resume stats.  The authoritative shadow slot *contents* live
+  /// in trusted physical memory and travel with the memory section.
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
  private:
   struct ShadowIndex {
     std::uint32_t region_base = 0;

@@ -78,6 +78,11 @@ class IpcProxy {
   /// Release a shared-memory grant (frees the region and both rules).
   Status release_grant(std::uint32_t base);
 
+  // -- snapshots ----------------------------------------------------------------
+  /// Serialize / overwrite delivery stats, counters, and shm grants.
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
  private:
   /// Write id_S + message into the receiver's mailbox (proxy identity).
   Status write_mailbox(const RegistryEntry& receiver, const rtos::TaskIdentity& sender_id,

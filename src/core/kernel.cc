@@ -68,21 +68,44 @@ Result<TaskHandle> Kernel::create_firmware_task(const std::string& name, unsigne
   return *handle;
 }
 
-Status Kernel::start(std::uint32_t tick_period_cycles) {
-  TYTAN_CHECK(loader_ != nullptr, "kernel: loader not wired");
-  auto idle = create_firmware_task("idle", rtos::kIdlePriority, [this]() {
+std::function<bool()> Kernel::idle_quantum() {
+  return [this]() {
     machine_.charge(20);  // the idle loop burns a few cycles per pass
     return true;
-  });
+  };
+}
+
+std::function<bool()> Kernel::loader_quantum() {
+  return [this]() { return loader_->load_quantum(); };
+}
+
+Status Kernel::adopt_firmware_task(Tcb& tcb) {
+  if (tcb.name == "idle") {
+    tcb.quantum = idle_quantum();
+  } else if (tcb.name == "loader") {
+    tcb.quantum = loader_quantum();
+  } else {
+    return make_error(Err::kUnavailable,
+                      "cannot rebuild quantum for firmware task '" + tcb.name +
+                          "' (restore in place instead)");
+  }
+  if (!machine_.is_firmware(tcb.entry)) {
+    machine_.register_firmware(tcb.entry, "fwtask:" + tcb.name,
+                               [this](sim::Machine&) { run_firmware_quantum(); });
+  }
+  return Status::ok();
+}
+
+Status Kernel::start(std::uint32_t tick_period_cycles) {
+  TYTAN_CHECK(loader_ != nullptr, "kernel: loader not wired");
+  auto idle = create_firmware_task("idle", rtos::kIdlePriority, idle_quantum());
   if (!idle.is_ok()) {
     return idle.status();
   }
   idle_task_ = *idle;
   scheduler_.make_ready(idle_task_);
 
-  auto loader_task = create_firmware_task("loader", /*priority=*/1, [this]() {
-    return loader_->load_quantum();
-  });
+  auto loader_task = create_firmware_task("loader", /*priority=*/1, loader_quantum());
   if (!loader_task.is_ok()) {
     return loader_task.status();
   }
@@ -551,6 +574,63 @@ void Kernel::run_firmware_quantum() {
   }
   // Otherwise EIP stays at the task entry: the next machine step re-invokes
   // the quantum, and pending interrupts can preempt in between.
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+void Kernel::save_state(snap::Writer& w) const {
+  queues_.save_state(w);
+  w.i32(idle_task_);
+  w.i32(loader_task_);
+  w.u32(next_fw_entry_);
+  w.u64(syscalls_);
+  w.u64(fault_kills_);
+  w.u64(watchdog_ticks_);
+  w.u64(watchdog_restarts_);
+  w.u32(static_cast<std::uint32_t>(irq_waiters_.size()));
+  for (const auto& [vector, waiters] : irq_waiters_) {
+    w.u8(vector);
+    w.u32(static_cast<std::uint32_t>(waiters.size()));
+    for (const TaskHandle task : waiters) {
+      w.i32(task);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(routed_irqs_.size()));
+  for (const std::uint8_t vector : routed_irqs_) {
+    w.u8(vector);
+  }
+}
+
+Status Kernel::restore_state(snap::Reader& r) {
+  if (Status s = queues_.restore_state(r); !s.is_ok()) {
+    return s;
+  }
+  timers_.clear();  // snapshots are only taken with no timers active
+  idle_task_ = r.i32();
+  loader_task_ = r.i32();
+  next_fw_entry_ = r.u32();
+  syscalls_ = r.u64();
+  fault_kills_ = r.u64();
+  watchdog_ticks_ = r.u64();
+  watchdog_restarts_ = r.u64();
+  const std::uint32_t waiter_maps = r.u32();
+  irq_waiters_.clear();
+  for (std::uint32_t i = 0; i < waiter_maps && r.ok(); ++i) {
+    const std::uint8_t vector = r.u8();
+    const std::uint32_t count = r.u32();
+    std::vector<TaskHandle>& waiters = irq_waiters_[vector];
+    for (std::uint32_t j = 0; j < count && r.ok(); ++j) {
+      waiters.push_back(r.i32());
+    }
+  }
+  const std::uint32_t routed = r.u32();
+  routed_irqs_.clear();
+  for (std::uint32_t i = 0; i < routed && r.ok(); ++i) {
+    routed_irqs_.insert(r.u8());
+  }
+  return Status::ok();
 }
 
 }  // namespace tytan::core

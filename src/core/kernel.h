@@ -66,6 +66,14 @@ class Kernel {
   Result<rtos::TaskHandle> create_firmware_task(const std::string& name, unsigned priority,
                                                 std::function<bool()> quantum);
 
+  /// Scheduler::QuantumRebuild hook for snapshot restore into a platform
+  /// whose live task table has no matching firmware task: rebuilds the
+  /// quantum closure of the kernel's own firmware tasks ("idle", "loader")
+  /// and re-registers their machine firmware entry.  Firmware tasks created
+  /// by test harnesses cannot be rebuilt and are a typed error — such
+  /// platforms must restore in place.
+  Status adopt_firmware_task(rtos::Tcb& tcb);
+
   // -- scheduling services ----------------------------------------------------------
   /// Pick and dispatch the highest-priority ready task (idle always exists).
   void reschedule();
@@ -102,7 +110,18 @@ class Kernel {
   [[nodiscard]] rtos::QueueSet& queues() { return queues_; }
   [[nodiscard]] rtos::TimerService& timers() { return timers_; }
 
+  // -- snapshots ----------------------------------------------------------------
+  /// Serialize / overwrite the kernel's own state: queues, task handles,
+  /// firmware-entry cursor, counters, IRQ routing.  The scheduler's task
+  /// table is a separate section.  Software timers hold closures and cannot
+  /// travel; Platform::save refuses while any are active, and restore resets
+  /// the timer service to empty.
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
  private:
+  [[nodiscard]] std::function<bool()> idle_quantum();
+  [[nodiscard]] std::function<bool()> loader_quantum();
   void run_firmware_quantum();
   void dispatch_guest(rtos::Tcb& tcb);
   void syscall_result(rtos::Tcb& tcb, std::uint32_t value);

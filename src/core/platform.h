@@ -30,6 +30,7 @@
 #include "isa/assembler.h"
 #include "rtos/scheduler.h"
 #include "sim/devices.h"
+#include "snap/snapshot.h"
 
 namespace tytan::core {
 
@@ -169,6 +170,44 @@ class Platform {
   [[nodiscard]] bool booted() const { return booted_; }
   [[nodiscard]] const BootReport& boot_report() const { return boot_report_; }
 
+  // -- snapshots --------------------------------------------------------------------
+  /// Walk every guest-visible state owner exactly once, in the fixed section
+  /// order of docs/SNAPSHOT.md, handing the visitor each (tag, save,
+  /// restore) triple.  Save, restore, and schema listing are all visitors
+  /// over this single walk.  Host-only observability (profiler, event bus,
+  /// spans, metrics) is deliberately not part of the walk.
+  Status visit_state(snap::StateVisitor& visitor);
+
+  /// Serialize the complete guest-visible platform state.  Refuses with
+  /// kUnavailable while state that cannot travel is live: an in-flight async
+  /// load carrying an on_loaded callback (hitless updates) or active
+  /// software timers (closures).
+  Result<snap::Snapshot> save() const;
+
+  /// Overwrite this platform's state from `snapshot`, compat-checked against
+  /// this platform's configuration (CONF section: memory size, cost model,
+  /// Kp, devices, fault plan).  On success the platform re-executes exactly
+  /// as the saved one would, including under an active fault plan.  On a
+  /// typed error the platform may be partially overwritten — restore again
+  /// (or discard it) before running.
+  Status restore(const snap::Snapshot& snapshot);
+
+  /// A fresh platform carrying identical state: constructed from this
+  /// platform's config (no boot — boot state travels in the snapshot), then
+  /// restored.  Requires the standard device set and only kernel-owned
+  /// firmware tasks; platforms with custom extras restore in place instead.
+  Result<std::unique_ptr<Platform>> clone() const;
+
+  /// Rebuild a Config from a snapshot's CONF section (replay tooling: a
+  /// compatible platform can be constructed from the snapshot alone).  The
+  /// lint analysis config is not serialized and comes back default.
+  static Result<Config> config_from_snapshot(const snap::Snapshot& snapshot,
+                                             const LogContext* log = nullptr);
+
+  /// Cycle count recorded in a snapshot (nearest-snapshot selection without
+  /// constructing a platform).
+  static Result<std::uint64_t> snapshot_cycle(const snap::Snapshot& snapshot);
+
  private:
   void ensure_scheduled();
 
@@ -192,6 +231,14 @@ class Platform {
 
   bool booted_ = false;
   BootReport boot_report_;
+
+  // Digest of the last successfully restored snapshot.  When the same
+  // snapshot is restored again (the fork-fuzzing rewind loop), guest memory
+  // outside PhysicalMemory's dirty range already equals the image and is not
+  // rewritten.  Zero means "no fast path" (fresh platform, or the previous
+  // restore failed part-way).
+  std::uint64_t last_restore_digest_ = 0;
+  bool memr_rewind_ = false;
 };
 
 }  // namespace tytan::core

@@ -93,6 +93,14 @@ class Rtm {
 
   [[nodiscard]] const MeasureStats& last_measure() const { return stats_; }
 
+  // -- snapshots ----------------------------------------------------------------
+  /// Serialize / overwrite the registry mirror, the in-flight measurement
+  /// job (including the streaming SHA-1 context — a task may be saved
+  /// mid-measurement), the pending result, and the last-measure stats.  The
+  /// job's span id does not travel (host-side observability; restored as 0).
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
  private:
   struct Job {
     rtos::TaskHandle handle = rtos::kNoTask;

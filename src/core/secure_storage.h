@@ -64,6 +64,13 @@ class SecureStorage {
   /// re-store supersedes the blob).
   [[nodiscard]] std::size_t poisoned_count() const;
 
+  // -- snapshots ----------------------------------------------------------------
+  /// Serialize / overwrite the blob index and nonce ledger.  The sealed
+  /// bytes themselves live in trusted physical memory and travel with the
+  /// memory section.
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
  private:
   struct BlobIndex {
     rtos::TaskIdentity owner{};

@@ -63,6 +63,9 @@ class RamArena {
   [[nodiscard]] std::uint32_t free_bytes() const;
   [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
 
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
  private:
   struct Block {
     std::uint32_t base;
@@ -134,6 +137,19 @@ class TaskLoader {
   [[nodiscard]] const std::vector<QuarantineRecord>& quarantine() const {
     return quarantine_;
   }
+
+  // -- snapshots ----------------------------------------------------------------
+  /// True when an in-flight job carries an on_loaded callback — a closure
+  /// that cannot travel through a snapshot; Platform::save refuses then.
+  [[nodiscard]] bool job_has_callback() const {
+    return job_.has_value() && static_cast<bool>(job_->params.on_loaded);
+  }
+
+  /// Serialize / overwrite the arena, the in-flight job (if any), the last
+  /// load stats, and the quarantine ledger.  The host-side lint report is
+  /// diagnostics, not guest state, and does not travel.
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
 
  private:
   enum class Phase { kVerify, kAlloc, kCopy, kReloc, kStackPrep, kMpu, kMeasure, kRegister, kDone };

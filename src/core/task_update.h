@@ -48,6 +48,13 @@ class UpdateManager {
   /// Status of the most recent completed swap.
   [[nodiscard]] const Status& last_swap_status() const { return last_swap_status_; }
 
+  // -- snapshots ----------------------------------------------------------------
+  /// Serialize / overwrite the update ledger.  A *pending* hitless update
+  /// rides on the loader's on_loaded callback, so Platform::save refuses
+  /// while one is in flight (the loader reports job_has_callback()).
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
  private:
   Status swap(rtos::TaskHandle old_handle, rtos::TaskHandle new_handle,
               const UpdateParams& params);

@@ -41,6 +41,26 @@ class Sha1 {
   /// One-shot convenience.
   static Sha1Digest hash(std::span<const std::uint8_t> data);
 
+  /// Full streaming state, for machine snapshots: the RTM may be saved
+  /// mid-measurement, so the running context must survive a save/restore.
+  struct State {
+    std::array<std::uint32_t, 5> h{};
+    std::array<std::uint8_t, kSha1BlockSize> buffer{};
+    std::uint64_t buffer_len = 0;
+    std::uint64_t total_bits = 0;
+    std::uint64_t blocks = 0;
+  };
+  [[nodiscard]] State save_state() const {
+    return {h_, buffer_, buffer_len_, total_bits_, blocks_};
+  }
+  void restore_state(const State& s) {
+    h_ = s.h;
+    buffer_ = s.buffer;
+    buffer_len_ = static_cast<std::size_t>(s.buffer_len);
+    total_bits_ = s.total_bits;
+    blocks_ = s.blocks;
+  }
+
  private:
   void compress(const std::uint8_t* block);
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "snap/snapshot.h"
 
 namespace tytan::fault {
 
@@ -124,6 +125,13 @@ class FaultEngine {
   [[nodiscard]] std::uint64_t injected_total() const;
   [[nodiscard]] std::uint64_t recovered_total() const;
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Serialize / overwrite the engine's determinism cursors (per-spec fire
+  /// counts, RNG stream position, load counter, injection/recovery tallies).
+  /// The plan itself is configuration and travels in the snapshot's CONF
+  /// section; restore_state checks only that the spec count matches.
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
 
  private:
   /// Next value of the SplitMix64 stream.

@@ -189,4 +189,59 @@ bool EaMpu::allows_transfer(std::uint32_t from_ip, std::uint32_t to_ip) const {
   return true;
 }
 
+void EaMpu::save_state(snap::Writer& w) const {
+  for (const auto& slot : slots_) {
+    w.boolean(slot.has_value());
+    if (slot) {
+      w.u32(slot->code_start);
+      w.u32(slot->code_size);
+      w.u32(slot->data_start);
+      w.u32(slot->data_size);
+      w.u8(slot->perms);
+      w.boolean(slot->os_accessible);
+      w.boolean(slot->background);
+    }
+  }
+  for (const auto& region : exec_regions_) {
+    w.boolean(region.has_value());
+    if (region) {
+      w.u32(region->start);
+      w.u32(region->size);
+      w.u32(region->entry);
+    }
+  }
+  w.boolean(port_locked_);
+}
+
+Status EaMpu::restore_state(snap::Reader& r) {
+  for (auto& slot : slots_) {
+    if (r.boolean()) {
+      Rule rule;
+      rule.code_start = r.u32();
+      rule.code_size = r.u32();
+      rule.data_start = r.u32();
+      rule.data_size = r.u32();
+      rule.perms = r.u8();
+      rule.os_accessible = r.boolean();
+      rule.background = r.boolean();
+      slot = rule;
+    } else {
+      slot.reset();
+    }
+  }
+  for (auto& region : exec_regions_) {
+    if (r.boolean()) {
+      ExecRegion er;
+      er.start = r.u32();
+      er.size = r.u32();
+      er.entry = r.u32();
+      region = er;
+    } else {
+      region.reset();
+    }
+  }
+  port_locked_ = r.boolean();
+  return Status::ok();
+}
+
 }  // namespace tytan::hw

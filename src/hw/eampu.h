@@ -37,6 +37,7 @@
 #include "common/status.h"
 #include "sim/memory_map.h"
 #include "sim/policy.h"
+#include "snap/snapshot.h"
 
 namespace tytan::hw {
 
@@ -113,6 +114,11 @@ class EaMpu final : public sim::AccessPolicy {
   /// modeled as a host-side latch the driver toggles around its accesses).
   void set_port_guard(bool locked) { port_locked_ = locked; }
   [[nodiscard]] bool port_locked() const { return port_locked_; }
+  /// Serialize / overwrite the full rule table, execution regions, and port
+  /// guard for machine snapshots.
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
   /// Driver-only bypass around a legitimate reconfiguration.
   class PortUnlock {
    public:

@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "rtos/task.h"
+#include "snap/snapshot.h"
 
 namespace tytan::rtos {
 
@@ -36,6 +37,11 @@ class QueueSet {
 
   [[nodiscard]] Result<std::size_t> depth(QueueHandle handle) const;
   [[nodiscard]] Result<std::size_t> capacity(QueueHandle handle) const;
+
+  /// Serialize / overwrite every queue (items and waiter lists) for machine
+  /// snapshots.
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
 
   // -- waiter bookkeeping (kernel attaches blocked tasks here) -----------------
   void add_waiter_send(QueueHandle handle, TaskHandle task);

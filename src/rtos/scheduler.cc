@@ -257,4 +257,148 @@ void Scheduler::remove_from_ready(TaskHandle handle) {
   queue.erase(std::remove(queue.begin(), queue.end(), handle), queue.end());
 }
 
+namespace {
+
+void write_tcb(snap::Writer& w, const Tcb& t) {
+  w.i32(t.handle);
+  w.str(t.name);
+  w.u32(t.priority);
+  w.u8(static_cast<std::uint8_t>(t.state));
+  w.u8(static_cast<std::uint8_t>(t.kind));
+  w.boolean(t.secure);
+  w.u32(t.region_base);
+  w.u32(t.region_size);
+  w.u32(t.entry);
+  w.u32(t.msg_handler);
+  w.u32(t.mailbox);
+  w.u32(t.stack_top);
+  w.u32(t.image_size);
+  w.u32(t.saved_sp);
+  w.boolean(t.context_saved);
+  w.boolean(t.started);
+  w.u8(static_cast<std::uint8_t>(t.block_reason));
+  w.u64(t.wake_tick);
+  w.i32(t.wait_object);
+  w.boolean(t.message_pending);
+  w.raw(t.identity);
+  w.boolean(t.measured);
+  w.i32(t.exec_region_idx);
+  w.i32(t.mpu_slot);
+  w.u64(t.activations);
+  w.u64(t.preemptions);
+  w.u64(t.cpu_cycles);
+  w.u64(t.dispatch_cycle);
+  w.u64(t.budget_per_tick);
+  w.u64(t.budget_used);
+  w.u64(t.throttle_events);
+  w.boolean(t.stalled);
+  w.u64(t.stall_since_tick);
+  w.u64(t.watchdog_restarts);
+}
+
+void read_tcb(snap::Reader& r, Tcb& t) {
+  t.handle = r.i32();
+  t.name = r.str();
+  t.priority = r.u32();
+  t.state = static_cast<TaskState>(r.u8());
+  t.kind = static_cast<TaskKind>(r.u8());
+  t.secure = r.boolean();
+  t.region_base = r.u32();
+  t.region_size = r.u32();
+  t.entry = r.u32();
+  t.msg_handler = r.u32();
+  t.mailbox = r.u32();
+  t.stack_top = r.u32();
+  t.image_size = r.u32();
+  t.saved_sp = r.u32();
+  t.context_saved = r.boolean();
+  t.started = r.boolean();
+  t.block_reason = static_cast<BlockReason>(r.u8());
+  t.wake_tick = r.u64();
+  t.wait_object = r.i32();
+  t.message_pending = r.boolean();
+  r.raw(t.identity);
+  t.measured = r.boolean();
+  t.exec_region_idx = r.i32();
+  t.mpu_slot = r.i32();
+  t.activations = r.u64();
+  t.preemptions = r.u64();
+  t.cpu_cycles = r.u64();
+  t.dispatch_cycle = r.u64();
+  t.budget_per_tick = r.u64();
+  t.budget_used = r.u64();
+  t.throttle_events = r.u64();
+  t.stalled = r.boolean();
+  t.stall_since_tick = r.u64();
+  t.watchdog_restarts = r.u64();
+}
+
+}  // namespace
+
+void Scheduler::save_state(snap::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(tasks_.size()));
+  for (const auto& tcb : tasks_) {
+    w.boolean(tcb != nullptr);
+    if (tcb != nullptr) {
+      write_tcb(w, *tcb);
+    }
+  }
+  for (const auto& queue : ready_) {
+    w.u32(static_cast<std::uint32_t>(queue.size()));
+    for (const TaskHandle handle : queue) {
+      w.i32(handle);
+    }
+  }
+  w.i32(current_);
+  w.u64(tick_count_);
+}
+
+Status Scheduler::restore_state(snap::Reader& r, const QuantumRebuild& rebuild) {
+  const std::uint32_t count = r.u32();
+  std::vector<std::unique_ptr<Tcb>> restored;
+  restored.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    if (!r.boolean()) {
+      restored.push_back(nullptr);
+      continue;
+    }
+    auto tcb = std::make_unique<Tcb>();
+    read_tcb(r, *tcb);
+    if (!r.ok()) {
+      break;  // finish() reports the truncation
+    }
+    if (tcb->kind == TaskKind::kFirmware && tcb->state != TaskState::kDead) {
+      // The quantum closure cannot travel through a snapshot.  Restoring
+      // in-place: the live table has the same firmware task in the same slot
+      // — adopt its closure.  Restoring into a fresh platform: ask the
+      // platform to rebuild it.
+      if (i < tasks_.size() && tasks_[i] != nullptr &&
+          tasks_[i]->name == tcb->name && tasks_[i]->quantum) {
+        tcb->quantum = tasks_[i]->quantum;
+      } else if (Status s = rebuild(*tcb); !s.is_ok()) {
+        return s;
+      }
+    }
+    restored.push_back(std::move(tcb));
+  }
+  tasks_ = std::move(restored);
+  for (auto& queue : ready_) {
+    const std::uint32_t depth = r.u32();
+    queue.clear();
+    for (std::uint32_t i = 0; i < depth && r.ok(); ++i) {
+      queue.push_back(r.i32());
+    }
+  }
+  current_ = r.i32();
+  tick_count_ = r.u64();
+  if (events_ != nullptr) {
+    for (const auto& tcb : tasks_) {
+      if (tcb != nullptr && tcb->state != TaskState::kDead) {
+        events_->set_task_name(tcb->handle, tcb->name);
+      }
+    }
+  }
+  return Status::ok();
+}
+
 }  // namespace tytan::rtos

@@ -32,6 +32,11 @@ class TimerService {
 
   [[nodiscard]] std::size_t active_count() const;
 
+  /// Drop every timer.  Machine snapshots refuse to save while timers are
+  /// active (callbacks are closures and cannot travel), so a restore resets
+  /// the service to empty.
+  void clear() { timers_.clear(); }
+
  private:
   struct Timer {
     bool used = false;

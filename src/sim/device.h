@@ -7,6 +7,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+#include "snap/snapshot.h"
+
 namespace tytan::sim {
 
 /// Callback a device uses to raise an interrupt line.
@@ -26,6 +29,15 @@ class Device {
 
   /// Advance device time to the absolute cycle count `now`.
   virtual void tick(std::uint64_t now) { (void)now; }
+
+  /// Serialize / overwrite the device's guest-visible state for machine
+  /// snapshots.  The default is stateless (devices holding only wiring or
+  /// fused constants); every device with mutable registers overrides both.
+  virtual void save_state(snap::Writer& w) const { (void)w; }
+  virtual Status restore_state(snap::Reader& r) {
+    (void)r;
+    return Status::ok();
+  }
 
   void set_irq_sink(IrqSink sink) { irq_sink_ = std::move(sink); }
 

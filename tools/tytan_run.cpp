@@ -16,6 +16,10 @@
 //     --fault SPEC    fault-injection plan (docs/FAULTS.md grammar); a fault
 //                     summary prints at exit
 //     --fault-seed N  RNG seed for seeded bit/drop choices
+//     --snapshot-out F  write a versioned machine snapshot (docs/SNAPSHOT.md)
+//                     to F; `tytan-trace replay` resumes from it
+//     --snapshot-at N  take the snapshot after running N of the --cycles
+//                     budget (default 0: right after the tasks are loaded)
 //
 // Serial output is echoed to stdout; per-task statistics print at exit.
 #include <cstdio>
@@ -40,6 +44,7 @@ constexpr const char kUsageText[] =
     "                 [--attest] [--trace N] [--trace-out FILE] [--metrics]\n"
     "                 [--profile N] [--folded-out FILE] [--spans-out FILE]\n"
     "                 [--fault SPEC] [--fault-seed N]\n"
+    "                 [--snapshot-out FILE] [--snapshot-at N]\n"
     "                 <task.tbf> [more.tbf ...]\n";
 
 int usage() {
@@ -64,6 +69,8 @@ int main(int argc, char** argv) {
   std::string spans_out;
   std::string fault_spec;
   std::optional<std::uint64_t> fault_seed;
+  std::string snapshot_out;
+  std::uint64_t snapshot_at = 0;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +120,15 @@ int main(int argc, char** argv) {
       spans_out = next("--spans-out");
     } else if (arg.rfind("--spans-out=", 0) == 0) {
       spans_out = arg.substr(std::strlen("--spans-out="));
+    } else if (arg == "--snapshot-out") {
+      snapshot_out = next("--snapshot-out");
+    } else if (arg.rfind("--snapshot-out=", 0) == 0) {
+      snapshot_out = arg.substr(std::strlen("--snapshot-out="));
+    } else if (arg == "--snapshot-at") {
+      snapshot_at = tools::parse_u64("tytan-run", "--snapshot-at", next("--snapshot-at"));
+    } else if (arg.rfind("--snapshot-at=", 0) == 0) {
+      snapshot_at = tools::parse_u64("tytan-run", "--snapshot-at",
+                                     arg.c_str() + std::strlen("--snapshot-at="));
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -207,7 +223,26 @@ int main(int argc, char** argv) {
     tasks.push_back(*task);
   }
 
-  platform.run_for(cycles);
+  if (!snapshot_out.empty()) {
+    const std::uint64_t pre = std::min(snapshot_at, cycles);
+    platform.run_for(pre);
+    auto snapshot = platform.save();
+    if (!snapshot.is_ok()) {
+      std::fprintf(stderr, "tytan-run: snapshot failed: %s\n",
+                   snapshot.status().to_string().c_str());
+      return 1;
+    }
+    if (Status s = snapshot->write_file(snapshot_out); !s.is_ok()) {
+      std::fprintf(stderr, "tytan-run: %s: %s\n", snapshot_out.c_str(),
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("snapshot written to %s at cycle %llu\n", snapshot_out.c_str(),
+                static_cast<unsigned long long>(platform.machine().cycles()));
+    platform.run_for(cycles - pre);
+  } else {
+    platform.run_for(cycles);
+  }
 
   if (!platform.serial().output().empty()) {
     std::printf("\n--- serial ---\n%s\n--------------\n", platform.serial().output().c_str());

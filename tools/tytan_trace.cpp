@@ -23,19 +23,30 @@
 //   tytan-trace critpath FILE [--trace=N]
 //                                        per-trace critical-path breakdown
 //                                        into typed phases
+//   tytan-trace replay SNAP [SNAP...] --to-cycle=N [--trace=K]
+//                                        time-travel replay: restore the
+//                                        nearest snapshot at or before cycle
+//                                        N (tytan-run --snapshot-out) and
+//                                        re-execute deterministically to N;
+//                                        prints a state digest, and with
+//                                        --trace=K the last K instructions
 //
-// Everything here is computed from the trace file alone — no live platform —
-// so the numbers double as a check that the exporter loses nothing.
+// Except for `replay`, everything here is computed from the trace file alone
+// — no live platform — so the numbers double as a check that the exporter
+// loses nothing.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/platform.h"
 #include "obs/export.h"
 #include "obs/span.h"
 #include "obs/trace_reader.h"
+#include "snap/snapshot.h"
 #include "tool_util.h"
 
 using namespace tytan;
@@ -52,7 +63,9 @@ constexpr const char kUsageText[] =
     "                          [--outcome=NAME] [--min-cycles=N] [--limit=N]"
     " [--json]\n"
     "       tytan-trace slo    <spans.jsonl> --p99-cycles=N\n"
-    "       tytan-trace critpath <spans.jsonl> [--trace=N]\n";
+    "       tytan-trace critpath <spans.jsonl> [--trace=N]\n"
+    "       tytan-trace replay <snap.tysn> [more.tysn ...] --to-cycle=N"
+    " [--trace=K]\n";
 
 int usage() {
   std::fputs(kUsageText, stderr);
@@ -387,6 +400,81 @@ int cmd_events(const obs::Trace& trace, const std::string& kind, std::int32_t ta
   return 0;
 }
 
+/// Time-travel replay: pick the snapshot with the largest recorded cycle not
+/// past --to-cycle, rebuild a compatible platform from its CONF section,
+/// restore, and re-execute deterministically up to the target cycle.
+int cmd_replay(const std::vector<std::string>& paths, std::uint64_t to_cycle,
+               std::uint64_t trace_tail) {
+  std::optional<snap::Snapshot> best;
+  std::string best_path;
+  std::uint64_t best_cycle = 0;
+  for (const std::string& snap_path : paths) {
+    auto snapshot = snap::Snapshot::read_file(snap_path);
+    if (!snapshot.is_ok()) {
+      std::fprintf(stderr, "tytan-trace: %s: %s\n", snap_path.c_str(),
+                   snapshot.status().to_string().c_str());
+      return 1;
+    }
+    auto cycle = core::Platform::snapshot_cycle(*snapshot);
+    if (!cycle.is_ok()) {
+      std::fprintf(stderr, "tytan-trace: %s: %s\n", snap_path.c_str(),
+                   cycle.status().to_string().c_str());
+      return 1;
+    }
+    if (*cycle <= to_cycle && (!best.has_value() || *cycle >= best_cycle)) {
+      best = snapshot.take();
+      best_path = snap_path;
+      best_cycle = *cycle;
+    }
+  }
+  if (!best.has_value()) {
+    std::fprintf(stderr,
+                 "tytan-trace: no snapshot at or before cycle %llu (replay "
+                 "cannot run backwards from a later snapshot)\n",
+                 static_cast<unsigned long long>(to_cycle));
+    return 1;
+  }
+
+  auto config = core::Platform::config_from_snapshot(*best);
+  if (!config.is_ok()) {
+    std::fprintf(stderr, "tytan-trace: %s: %s\n", best_path.c_str(),
+                 config.status().to_string().c_str());
+    return 1;
+  }
+  core::Platform platform(*config);
+  if (Status s = platform.restore(*best); !s.is_ok()) {
+    std::fprintf(stderr, "tytan-trace: %s: %s\n", best_path.c_str(),
+                 s.to_string().c_str());
+    return 1;
+  }
+  if (trace_tail != 0) {
+    platform.machine().enable_trace(static_cast<std::size_t>(trace_tail));
+  }
+  std::printf("replaying %s from cycle %llu to cycle %llu\n", best_path.c_str(),
+              static_cast<unsigned long long>(best_cycle),
+              static_cast<unsigned long long>(to_cycle));
+  if (to_cycle > platform.machine().cycles()) {
+    platform.run_for(to_cycle - platform.machine().cycles());
+  }
+  std::printf("replayed to cycle %llu (%llu instructions executed)\n",
+              static_cast<unsigned long long>(platform.machine().cycles()),
+              static_cast<unsigned long long>(platform.machine().instructions_executed()));
+  if (trace_tail != 0 && platform.machine().tracer() != nullptr) {
+    std::fputs(platform.machine().tracer()->format().c_str(), stdout);
+  }
+  if (!platform.serial().output().empty()) {
+    std::printf("--- serial ---\n%s\n--------------\n",
+                platform.serial().output().c_str());
+  }
+  auto state = platform.save();
+  if (state.is_ok()) {
+    const ByteVec bytes = state->serialize();
+    std::printf("state-digest: %016llx\n",
+                static_cast<unsigned long long>(snap::fnv1a64(bytes)));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -407,6 +495,9 @@ int main(int argc, char** argv) {
   bool have_p99 = false;
   std::uint64_t trace_filter = 0;
   bool have_trace_filter = false;
+  std::uint64_t to_cycle = 0;
+  bool have_to_cycle = false;
+  std::vector<std::string> snapshot_paths = {path};
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -440,9 +531,24 @@ int main(int argc, char** argv) {
       trace_filter = tools::parse_u64("tytan-trace", "--trace",
                                       arg.c_str() + std::strlen("--trace="));
       have_trace_filter = true;
+    } else if (arg.rfind("--to-cycle=", 0) == 0) {
+      to_cycle = tools::parse_u64("tytan-trace", "--to-cycle",
+                                  arg.c_str() + std::strlen("--to-cycle="));
+      have_to_cycle = true;
+    } else if (command == "replay" && !arg.empty() && arg[0] != '-') {
+      snapshot_paths.push_back(arg);
     } else {
       return usage();
     }
+  }
+
+  if (command == "replay") {
+    if (!have_to_cycle) {
+      std::fprintf(stderr, "tytan-trace: replay needs --to-cycle=N\n");
+      return 2;
+    }
+    return cmd_replay(snapshot_paths, to_cycle,
+                      have_trace_filter ? trace_filter : 0);
   }
 
   if (command == "spans" || command == "slo" || command == "critpath") {
