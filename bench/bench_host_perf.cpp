@@ -3,9 +3,16 @@
 // These are NOT paper numbers — the paper reports guest cycles, reproduced
 // by the bench_table* binaries.  This harness tracks how fast the simulation
 // runs on the host, which bounds how much simulated time the examples and
-// property tests can afford.
+// property tests can afford.  It is the standing A/B harness for interpreter
+// work (ROADMAP item 1, the decode cache): the `--json` artifact publishes
+// guest-MIPS per workload plus the raw sim-cycle / instruction / host-ns
+// rows they derive from, with the execution observatory off and on.  The
+// off/on runs must agree on every simulated quantity — the binary exits 1 on
+// a mismatch, so CI catches an observability layer that leaks cycles.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -118,32 +125,197 @@ void BM_SecureTaskCreate(benchmark::State& state) {
 }
 BENCHMARK(BM_SecureTaskCreate);
 
-/// Deterministic guest-side rows for the `--json` artifact: instruction
-/// throughput per simulated window is a function of the ISA model alone, so
-/// these numbers are comparable across CI hosts (unlike the host-time
-/// numbers google-benchmark prints).
-void write_json_rows(const bench::BenchOptions& options) {
-  bench::JsonReport report("host_perf", options);
-  core::Platform platform;
-  if (!platform.boot().is_ok()) {
-    return;
-  }
-  report.add("boot_cycles", platform.machine().cycles(), 0);
-  auto task = platform.load_task_source(R"(
+/// Guest workloads exercising the distinct interpreter hot paths: plain ALU
+/// dispatch, the load/store MPU choke point, call/ret stack traffic, and
+/// computed jumps through a table (the indirect-edge recording path).
+struct Workload {
+  const char* name;
+  const char* source;
+};
+
+constexpr Workload kWorkloads[] = {
+    {"spin", R"(
       .secure
       .stack 128
       .entry main
   main:
       addi r5, 1
       jmp  main
-  )", {.name = "spin"});
-  if (!task.is_ok()) {
-    return;
+  )"},
+    {"memory", R"(
+      .secure
+      .stack 128
+      .entry main
+  main:
+      li   r2, data
+  loop:
+      ldw  r3, [r2]
+      addi r3, 1
+      stw  r3, [r2]
+      jmp  loop
+  data:
+      .word 0
+  )"},
+    {"call_branch", R"(
+      .secure
+      .stack 256
+      .entry main
+  main:
+      call bump
+      cmpi r5, 0
+      jnz  main
+      jmp  main
+  bump:
+      addi r5, 1
+      ret
+  )"},
+    {"jump_table", R"(
+      .secure
+      .stack 128
+      .entry main
+  main:
+      addi r1, 1
+      andi r1, 3
+      shli r1, 2
+      li   r2, table
+      add  r2, r1
+      ldw  r2, [r2]
+      shri r1, 2
+      jmpr r2
+  case0:
+      jmp  main
+  case1:
+      jmp  main
+  case2:
+      jmp  main
+  case3:
+      jmp  main
+  table:
+      .word case0, case1, case2, case3
+  )"},
+};
+
+struct RunResult {
+  std::uint64_t sim_cycles = 0;     ///< simulated cycles the window advanced
+  std::uint64_t instructions = 0;   ///< guest instructions dispatched
+  std::uint64_t host_ns = 0;        ///< host wall time for the window
+};
+
+/// Boot a fresh platform, load `source`, run a `window`-cycle quantum, and
+/// measure.  `heat` turns the execution observatory on before boot (the mode
+/// tytan-run --heat-out uses).
+std::optional<RunResult> run_workload(const char* source, std::uint64_t window,
+                                      bool heat) {
+  core::Platform platform;
+  if (heat) {
+    platform.machine().enable_heat();
   }
-  const std::uint64_t before = platform.machine().instructions_executed();
-  platform.run_for(100'000);
-  report.add("guest_instr_per_100k_cycles",
-             platform.machine().instructions_executed() - before, 0);
+  if (!platform.boot().is_ok()) {
+    return std::nullopt;
+  }
+  auto task = platform.load_task_source(source, {.name = "workload"});
+  if (!task.is_ok()) {
+    return std::nullopt;
+  }
+  RunResult result;
+  const std::uint64_t c0 = platform.machine().cycles();
+  const std::uint64_t i0 = platform.machine().instructions_executed();
+  const auto t0 = std::chrono::steady_clock::now();
+  platform.run_for(window);
+  const auto t1 = std::chrono::steady_clock::now();
+  result.sim_cycles = platform.machine().cycles() - c0;
+  result.instructions = platform.machine().instructions_executed() - i0;
+  result.host_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return result;
+}
+
+/// MIPS×1000 so the artifact stays integer rows (bench_util's JSON shape).
+std::uint64_t mips_x1000(const RunResult& r) {
+  return r.host_ns == 0 ? 0 : r.instructions * 1'000'000 / r.host_ns;
+}
+
+/// Per-workload guest-MIPS rows plus the observatory on/off A/B.  Returns
+/// false when the on/off runs disagree on any simulated quantity — the
+/// zero-simulated-cost invariant the observatory promises.
+bool write_json_rows(const bench::BenchOptions& options) {
+  bench::JsonReport report("host_perf", options);
+  {
+    core::Platform platform;
+    if (!platform.boot().is_ok()) {
+      std::fprintf(stderr, "bench_host_perf: boot failed\n");
+      return false;
+    }
+    report.add("boot_cycles", platform.machine().cycles(), 0);
+  }
+
+  const std::uint64_t window = options.smoke ? 2'000'000 : 20'000'000;
+  auto table = bench::Table("guest throughput (window " +
+                            std::to_string(window) + " cycles)");
+  table.columns({"workload", "instructions", "MIPS", "MIPS (heat)",
+                 "heat overhead"});
+  bool ok = true;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t total_heat_ns = 0;
+  for (const Workload& workload : kWorkloads) {
+    const auto off = run_workload(workload.source, window, /*heat=*/false);
+    const auto on = run_workload(workload.source, window, /*heat=*/true);
+    if (!off.has_value() || !on.has_value()) {
+      std::fprintf(stderr, "bench_host_perf: %s failed to run\n", workload.name);
+      ok = false;
+      continue;
+    }
+    if (off->sim_cycles != on->sim_cycles || off->instructions != on->instructions) {
+      std::fprintf(stderr,
+                   "bench_host_perf: %s: observatory changed simulated state: "
+                   "cycles %llu vs %llu, instructions %llu vs %llu\n",
+                   workload.name,
+                   static_cast<unsigned long long>(off->sim_cycles),
+                   static_cast<unsigned long long>(on->sim_cycles),
+                   static_cast<unsigned long long>(off->instructions),
+                   static_cast<unsigned long long>(on->instructions));
+      ok = false;
+    }
+    const std::string name = workload.name;
+    report.add(name + "_sim_cycles", off->sim_cycles, 0);
+    report.add(name + "_instructions", off->instructions, 0);
+    report.add(name + "_host_ns", off->host_ns, 0);
+    report.add(name + "_guest_mips_x1000", mips_x1000(*off), 0);
+    report.add(name + "_heat_host_ns", on->host_ns, 0);
+    report.add(name + "_heat_guest_mips_x1000", mips_x1000(*on), 0);
+    total_instructions += off->instructions;
+    total_ns += off->host_ns;
+    total_heat_ns += on->host_ns;
+    const double overhead =
+        off->host_ns == 0
+            ? 0.0
+            : 100.0 * (static_cast<double>(on->host_ns) -
+                       static_cast<double>(off->host_ns)) /
+                  static_cast<double>(off->host_ns);
+    table.row({workload.name, bench::num(off->instructions),
+               bench::fixed(mips_x1000(*off) / 1000.0),
+               bench::fixed(mips_x1000(*on) / 1000.0),
+               bench::fixed(overhead, 1) + "%"});
+  }
+  const RunResult overall{0, total_instructions, total_ns};
+  const RunResult overall_heat{0, total_instructions, total_heat_ns};
+  report.add("overall_instructions", total_instructions, 0);
+  report.add("overall_host_ns", total_ns, 0);
+  report.add("overall_guest_mips_x1000", mips_x1000(overall), 0);
+  report.add("overall_heat_host_ns", total_heat_ns, 0);
+  report.add("overall_heat_guest_mips_x1000", mips_x1000(overall_heat), 0);
+  table.row({"overall", bench::num(total_instructions),
+             bench::fixed(mips_x1000(overall) / 1000.0),
+             bench::fixed(mips_x1000(overall_heat) / 1000.0),
+             total_ns == 0 ? "-"
+                           : bench::fixed(100.0 *
+                                              (static_cast<double>(total_heat_ns) -
+                                               static_cast<double>(total_ns)) /
+                                              static_cast<double>(total_ns),
+                                          1) + "%"});
+  table.print();
+  return ok;
 }
 
 }  // namespace
@@ -166,7 +338,10 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
-  write_json_rows(options);
+  const bool invariant_ok = write_json_rows(options);
+  if (!invariant_ok) {
+    return 1;  // observatory on/off disagreed on simulated state
+  }
   if (options.smoke) {
     // Smoke keeps CI fast: the deterministic JSON rows above are the
     // artifact; the host-time measurement loop is skipped.

@@ -457,6 +457,22 @@ bool TaskLoader::quantum_register() {
     machine_.profiler()->add_region(job.handle, job.params.name, tcb->region_base,
                                     tcb->region_size, job.object.symbols);
   }
+  if (obs::HeatRecorder* heat = machine_.heat(); heat != nullptr) {
+    // Execution observatory: name the loaded region and seed static block
+    // leaders from CFG recovery so heat blocks line up with the disassembler's
+    // basic blocks (runtime leader detection alone would split only at
+    // discontinuities).  Heat regions deliberately persist across unload —
+    // the profile is cumulative history, not live state.
+    heat->add_region(job.handle, job.params.name, tcb->region_base, tcb->region_size);
+    analysis::Report scratch;
+    const analysis::Cfg cfg = analysis::recover_cfg(job.object, scratch);
+    std::vector<std::uint32_t> offsets;
+    offsets.reserve(cfg.blocks.size());
+    for (const auto& [start, block] : cfg.blocks) {
+      offsets.push_back(start);
+    }
+    heat->add_leaders(tcb->region_base, offsets);
+  }
   stats_.total = machine_.cycles() - job.start_cycles;
   machine_.obs().emit(obs::EventKind::kLoadDone, job.handle,
                       static_cast<std::uint32_t>(stats_.total));

@@ -53,6 +53,9 @@ Status Fleet::bring_up() {
     if (config_.spans) {
       spans.enable();
     }
+    if (config_.heat) {
+      device.platform_->machine().enable_heat(/*time_dispatch=*/false);
+    }
     if (auto boot = device.platform_->boot(); !boot.is_ok()) {
       device.status_ = boot.status();
     }
@@ -241,7 +244,10 @@ void Fleet::aggregate_metrics() {
       continue;
     }
     obs::Hub& hub = device->platform_->machine().obs();
-    if (hub.enabled()) {
+    if (obs::HeatRecorder* heat = device->platform_->machine().heat(); heat != nullptr) {
+      heat->flush();  // close the open block so counts are exact
+    }
+    if (hub.enabled() || device->platform_->machine().heat() != nullptr) {
       hub.flush();
       metrics_.merge_from(hub.metrics());
     }

@@ -59,6 +59,11 @@ struct FleetConfig {
   /// protocol phases, fault annotations.  Off by default — dormant spans are
   /// a single branch per site and never a simulated cycle.
   bool spans = false;
+  /// Record execution-heat profiles (obs/heat.h) on every device, aggregated
+  /// into the fleet registry by aggregate_metrics().  Devices run with
+  /// dispatch timing OFF so fleet artifacts stay byte-identical across
+  /// thread counts (host nanoseconds are non-deterministic; counts are not).
+  bool heat = false;
   /// Template for every device's Platform::Config; kp, rng_seed, and log are
   /// overridden per device.
   core::Platform::Config base{};

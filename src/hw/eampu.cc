@@ -164,6 +164,49 @@ bool EaMpu::allows(std::uint32_t exec_ip, std::uint32_t addr, Access access) con
   return !protected_addr;
 }
 
+int EaMpu::classify(std::uint32_t exec_ip, std::uint32_t addr, Access access) const {
+  const ExecRegion* addr_region = find_exec_region(addr);
+  const ExecRegion* ip_region = find_exec_region(exec_ip);
+
+  if (addr_region != nullptr && ip_region == addr_region) {
+    return sim::kCheckImplicitSelf;
+  }
+
+  if (access == Access::kExecute) {
+    if (addr_region != nullptr) {
+      return sim::kCheckDenied;  // foreign execution region (self handled above)
+    }
+    for (const auto& slot : slots_) {
+      if (slot && !slot->background && addr >= slot->data_start &&
+          addr - slot->data_start < slot->data_size) {
+        return sim::kCheckDenied;  // protected data is never executable
+      }
+    }
+    return sim::kCheckUnprotected;
+  }
+
+  const std::uint8_t wanted = (access == Access::kRead) ? kPermRead : kPermWrite;
+  bool protected_addr = addr_region != nullptr;
+  for (std::size_t i = 0; i < kNumSlots; ++i) {
+    const auto& slot = slots_[i];
+    if (!slot || addr < slot->data_start || addr - slot->data_start >= slot->data_size) {
+      continue;
+    }
+    if (!slot->background) {
+      protected_addr = true;
+    }
+    const bool ip_in_code =
+        exec_ip >= slot->code_start && exec_ip - slot->code_start < slot->code_size;
+    if (ip_in_code && (slot->perms & wanted) != 0) {
+      return static_cast<int>(i);
+    }
+    if (slot->os_accessible && in_os_window(exec_ip)) {
+      return sim::kCheckOsWindow;
+    }
+  }
+  return protected_addr ? sim::kCheckDenied : sim::kCheckUnprotected;
+}
+
 bool EaMpu::allows_transfer(std::uint32_t from_ip, std::uint32_t to_ip) const {
   const ExecRegion* to_region = find_exec_region(to_ip);
   if (to_region != nullptr) {

@@ -111,6 +111,14 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+HeatProfile& MetricsRegistry::heat_profile(const std::string& name) {
+  auto& slot = heat_profiles_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<HeatProfile>();
+  }
+  return *slot;
+}
+
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
@@ -124,6 +132,11 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const HeatProfile* MetricsRegistry::find_heat_profile(const std::string& name) const {
+  const auto it = heat_profiles_.find(name);
+  return it == heat_profiles_.end() ? nullptr : it->second.get();
 }
 
 std::string MetricsRegistry::format_table() const {
@@ -179,6 +192,13 @@ void MetricsRegistry::visit_histograms(
   }
 }
 
+void MetricsRegistry::visit_heat_profiles(
+    const std::function<void(const std::string&, const HeatProfile&)>& fn) const {
+  for (const auto& [name, h] : heat_profiles_) {
+    fn(name, *h);
+  }
+}
+
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   other.visit_counters(
       [this](const std::string& name, const Counter& c) { counter(name).inc(c.value()); });
@@ -187,12 +207,16 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   other.visit_histograms([this](const std::string& name, const Histogram& h) {
     histogram(name).merge(h);
   });
+  other.visit_heat_profiles([this](const std::string& name, const HeatProfile& h) {
+    heat_profile(name).merge(h);
+  });
 }
 
 void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  heat_profiles_.clear();
 }
 
 }  // namespace tytan::obs

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/heat.h"
+
 namespace tytan::obs {
 
 class Counter {
@@ -91,10 +93,15 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  /// Execution-heat profile (obs/heat.h), the fourth instrument kind.  Like
+  /// the others the registry owns it and the pointer is stable, so the
+  /// machine's HeatRecorder binds to it once.
+  HeatProfile& heat_profile(const std::string& name);
 
   [[nodiscard]] const Counter* find_counter(const std::string& name) const;
   [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+  [[nodiscard]] const HeatProfile* find_heat_profile(const std::string& name) const;
 
   /// Sorted "name value" summary table (counters, gauges, then histograms
   /// with count/mean/min/max), for --metrics and the tests.
@@ -107,10 +114,13 @@ class MetricsRegistry {
       const std::function<void(const std::string&, const Gauge&)>& fn) const;
   void visit_histograms(
       const std::function<void(const std::string&, const Histogram&)>& fn) const;
+  void visit_heat_profiles(
+      const std::function<void(const std::string&, const HeatProfile&)>& fn) const;
 
   /// Fold `other` into this registry: counters and gauges add, histograms
-  /// merge sample-wise.  Used to aggregate per-device registries into
-  /// fleet-level metrics; `other` must not be mutated concurrently.
+  /// merge sample-wise, heat profiles fold block/opcode/edge counters.  Used
+  /// to aggregate per-device registries into fleet-level metrics; `other`
+  /// must not be mutated concurrently.
   void merge_from(const MetricsRegistry& other);
 
   void clear();
@@ -119,6 +129,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<HeatProfile>> heat_profiles_;
 };
 
 }  // namespace tytan::obs

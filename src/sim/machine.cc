@@ -1,6 +1,7 @@
 #include "sim/machine.h"
 
 #include <bit>
+#include <chrono>
 #include <sstream>
 
 #include "common/log.h"
@@ -199,6 +200,14 @@ void Machine::enable_profiler(std::uint64_t interval_cycles, std::size_t capacit
   }
 }
 
+void Machine::enable_heat(bool time_dispatch) {
+  // The profile lives in the obs metrics registry so fleet aggregation folds
+  // it with the same merge_from discipline as every other instrument; the
+  // recorder is the machine-owned hot-path state bound to it.
+  heat_ = std::make_unique<obs::HeatRecorder>(&obs_.metrics().heat_profile("machine"),
+                                              time_dispatch);
+}
+
 std::string_view Machine::firmware_name(std::uint32_t addr) const {
   const auto it = firmware_.find(addr);
   return it == firmware_.end() ? std::string_view{} : std::string_view{it->second.name};
@@ -209,7 +218,18 @@ std::string_view Machine::firmware_name(std::uint32_t addr) const {
 // ---------------------------------------------------------------------------
 
 bool Machine::check(std::uint32_t exec_ip, std::uint32_t addr, Access access) const {
-  return policy_ == nullptr || policy_->allows(exec_ip, addr, access);
+  if (heat_ == nullptr) {
+    return policy_ == nullptr || policy_->allows(exec_ip, addr, access);
+  }
+  // Observatory enabled: also ask the policy *which* rule decided.  The
+  // verdict still comes from allows() — classify() is attribution only, so a
+  // policy without a classify() override stays correct (its checks land in
+  // the "unclassified" bucket).
+  const bool allowed = policy_ == nullptr || policy_->allows(exec_ip, addr, access);
+  heat_->count_check(static_cast<int>(access),
+                     policy_ == nullptr ? kCheckNoPolicy
+                                        : policy_->classify(exec_ip, addr, access));
+  return allowed;
 }
 
 bool Machine::raw_read32(std::uint32_t addr, std::uint32_t* out) {
@@ -495,6 +515,27 @@ void Machine::execute_one() {
   charge(isa::base_cycles(instr.opcode));
   ++instructions_;
 
+  if (heat_ == nullptr) {  // hot path: observatory off costs one null check
+    execute_op(instr, pc);
+    return;
+  }
+  if (heat_->on_instruction(pc, static_cast<std::uint8_t>(instr.opcode))) {
+    // Sampled dispatch: attribute host nanoseconds to this opcode.  Host
+    // clocks never feed back into simulated state, so cycle counts stay
+    // bit-identical with the observatory on or off.
+    const auto t0 = std::chrono::steady_clock::now();
+    execute_op(instr, pc);
+    const auto t1 = std::chrono::steady_clock::now();
+    heat_->attribute(
+        static_cast<std::uint8_t>(instr.opcode),
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  } else {
+    execute_op(instr, pc);
+  }
+}
+
+void Machine::execute_op(const isa::Instruction& instr, std::uint32_t pc) {
   auto& regs = cpu_.regs;
   const std::uint32_t next = pc + isa::kInstrSize;
   cpu_.eip = next;  // default; branches overwrite below
@@ -651,6 +692,9 @@ void Machine::execute_one() {
       break;
     case Opcode::kJmpr: {
       const std::uint32_t target = regs[instr.ra];
+      if (heat_ != nullptr) {
+        heat_->record_edge(pc, target, /*is_call=*/false);
+      }
       if (indirect_branch_hook_) {
         indirect_branch_hook_(pc, target, /*is_call=*/false);
       }
@@ -673,6 +717,9 @@ void Machine::execute_one() {
         break;
       }
       const std::uint32_t target = regs[instr.ra];
+      if (heat_ != nullptr) {
+        heat_->record_edge(pc, target, /*is_call=*/true);
+      }
       if (indirect_branch_hook_) {
         indirect_branch_hook_(pc, target, /*is_call=*/true);
       }

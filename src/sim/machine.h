@@ -19,6 +19,7 @@
 
 #include "common/log.h"
 #include "common/status.h"
+#include "obs/heat.h"
 #include "obs/hub.h"
 #include "obs/profiler.h"
 #include "sim/cost_model.h"
@@ -151,6 +152,20 @@ class Machine {
   [[nodiscard]] obs::SampleProfiler* profiler() { return profiler_.get(); }
   [[nodiscard]] const obs::SampleProfiler* profiler() const { return profiler_.get(); }
 
+  /// Enable the execution observatory (obs/heat.h): per-block heat counters,
+  /// per-opcode dispatch histograms with batched host-ns attribution, EA-MPU
+  /// check counters split by granting rule, and indirect-branch edge
+  /// profiles, recorded into the obs metrics registry's "machine" heat
+  /// profile.  Never charges simulated cycles — cycle counts stay
+  /// bit-identical with the observatory on; disabled (the default) every
+  /// hook is a single null-pointer check.  `time_dispatch` false skips the
+  /// host-clock sampling so the recorded profile is a deterministic function
+  /// of the simulated execution (the mode fleet devices use).
+  void enable_heat(bool time_dispatch = true);
+  void disable_heat() { heat_ = nullptr; }
+  [[nodiscard]] obs::HeatRecorder* heat() { return heat_.get(); }
+  [[nodiscard]] const obs::HeatRecorder* heat() const { return heat_.get(); }
+
   /// Structured observability (event bus + metrics + per-task accounting).
   /// Disabled by default; never charges simulated cycles.  The clock is
   /// wired once in the constructor (Machine is non-movable).
@@ -214,6 +229,10 @@ class Machine {
 
   void dispatch_pending();
   void execute_one();
+  /// Dispatch one decoded instruction (the opcode switch).  Split out of
+  /// execute_one so the heat recorder can host-time a sampled dispatch
+  /// without touching the interpreter body.
+  void execute_op(const isa::Instruction& instr, std::uint32_t pc);
 
   // Guest-side memory helpers: on violation, raise the fault and return false.
   bool guest_read32(std::uint32_t addr, std::uint32_t* out);
@@ -255,6 +274,7 @@ class Machine {
   std::uint64_t fw_invocations_ = 0;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<obs::SampleProfiler> profiler_;
+  std::unique_ptr<obs::HeatRecorder> heat_;  ///< see enable_heat()
   fault::FaultEngine* faults_ = nullptr;  ///< non-owning; see set_fault_engine
   obs::Hub obs_;
   const LogContext* log_;  ///< never null; defaults to process_log_context()

@@ -18,6 +18,17 @@ inline const char* access_name(Access a) {
   return "?";
 }
 
+/// classify() outcome codes.  Non-negative values are policy-specific rule
+/// indices (the EA-MPU returns the granting slot); the negative codes name
+/// every non-slot outcome.  The execution observatory (obs/heat.h) buckets
+/// check counters by these values — its bucket table mirrors this list.
+inline constexpr int kCheckDenied = -1;        ///< access would be refused
+inline constexpr int kCheckUnprotected = -2;   ///< address covered by no rule
+inline constexpr int kCheckImplicitSelf = -3;  ///< region's own code touched it
+inline constexpr int kCheckOsWindow = -4;      ///< os_accessible + OS kernel IP
+inline constexpr int kCheckUnclassified = -5;  ///< policy has no classify()
+inline constexpr int kCheckNoPolicy = -6;      ///< machine runs with no policy
+
 class AccessPolicy {
  public:
   virtual ~AccessPolicy() = default;
@@ -30,6 +41,20 @@ class AccessPolicy {
   /// entry points are enforced (paper §3, EA-MPU property 2).
   [[nodiscard]] virtual bool allows_transfer(std::uint32_t from_ip,
                                              std::uint32_t to_ip) const = 0;
+
+  /// Attribution twin of allows(): *which* rule decided the access — a
+  /// non-negative rule index or one of the kCheck* codes above.  Purely
+  /// observational: the machine consults it only while the execution
+  /// observatory is recording, and correctness never depends on it (the
+  /// verdict still comes from allows()).  Implementations must agree with
+  /// allows(): classify() == kCheckDenied iff allows() is false.
+  [[nodiscard]] virtual int classify(std::uint32_t exec_ip, std::uint32_t addr,
+                                     Access access) const {
+    (void)exec_ip;
+    (void)addr;
+    (void)access;
+    return kCheckUnclassified;
+  }
 };
 
 }  // namespace tytan::sim

@@ -284,6 +284,66 @@ TEST(Metrics, RegistryMergeHandlesDisjointNames) {
   EXPECT_EQ(a.find_histogram("hist.b")->sum(), 20u);
 }
 
+TEST(Metrics, MergeCreatesEveryInstrumentKindAbsentFromDestination) {
+  // Fleet aggregation folds per-device registries into a destination that may
+  // never have seen some instruments — merge_from must create them, not drop
+  // them.  Cover all four kinds at once against a completely empty target.
+  obs::MetricsRegistry source;
+  source.counter("syscalls.total").inc(7);
+  source.gauge("tasks.live").set(3);
+  source.histogram("attest.roundtrip.cycles").observe(4096);
+  obs::HeatProfile& heat = source.heat_profile("machine");
+  heat.opcodes[0x12].count = 9;
+  heat.blocks[0x40000] = {0x4000c, 2, 6};
+
+  obs::MetricsRegistry dest;
+  ASSERT_EQ(dest.find_counter("syscalls.total"), nullptr);
+  dest.merge_from(source);
+  ASSERT_NE(dest.find_counter("syscalls.total"), nullptr);
+  EXPECT_EQ(dest.find_counter("syscalls.total")->value(), 7u);
+  ASSERT_NE(dest.find_gauge("tasks.live"), nullptr);
+  EXPECT_EQ(dest.find_gauge("tasks.live")->value(), 3);
+  ASSERT_NE(dest.find_histogram("attest.roundtrip.cycles"), nullptr);
+  EXPECT_EQ(dest.find_histogram("attest.roundtrip.cycles")->count(), 1u);
+  EXPECT_EQ(dest.find_histogram("attest.roundtrip.cycles")->sum(), 4096u);
+  ASSERT_NE(dest.find_heat_profile("machine"), nullptr);
+  EXPECT_EQ(dest.find_heat_profile("machine")->opcodes[0x12].count, 9u);
+
+  // Folding the same source again adds, it does not overwrite.
+  dest.merge_from(source);
+  EXPECT_EQ(dest.find_counter("syscalls.total")->value(), 14u);
+  EXPECT_EQ(dest.find_gauge("tasks.live")->value(), 6);
+  EXPECT_EQ(dest.find_histogram("attest.roundtrip.cycles")->count(), 2u);
+  EXPECT_EQ(dest.find_heat_profile("machine")->blocks.at(0x40000).entries, 4u);
+}
+
+TEST(Metrics, HubMetricsFoldIntoFleetRegistryWithMissingCounters) {
+  // The telemetry fold path: fleet aggregation flushes a device hub and
+  // merges hub.metrics() into the fleet-level registry.  The device's
+  // event-derived counters ("events.<kind>") do not exist in the destination
+  // until the first fold; pre-existing destination instruments must survive.
+  std::uint64_t clock = 100;
+  obs::Hub hub;
+  hub.set_clock(&clock);
+  hub.enable();
+  hub.emit(obs::EventKind::kSchedTick);
+  hub.emit(obs::EventKind::kSchedTick);
+  hub.emit(obs::EventKind::kCtxSave, 0, 120, 1);  // secure save, 120 cycles
+  hub.flush();
+
+  obs::MetricsRegistry fleet;
+  fleet.counter("fleet.rounds").inc(5);
+  ASSERT_EQ(fleet.find_counter("events.sched-tick"), nullptr);
+  fleet.merge_from(hub.metrics());
+  ASSERT_NE(fleet.find_counter("events.sched-tick"), nullptr);
+  EXPECT_EQ(fleet.find_counter("events.sched-tick")->value(), 2u);
+  ASSERT_NE(fleet.find_histogram("ctx_save.secure.cycles"), nullptr);
+  EXPECT_EQ(fleet.find_histogram("ctx_save.secure.cycles")->count(), 1u);
+  EXPECT_EQ(fleet.find_histogram("ctx_save.secure.cycles")->sum(), 120u);
+  // The destination's own instruments are untouched by the fold.
+  EXPECT_EQ(fleet.find_counter("fleet.rounds")->value(), 5u);
+}
+
 TEST(Metrics, FormatTableShowsPercentiles) {
   obs::MetricsRegistry registry;
   obs::Histogram& h = registry.histogram("latency.cycles");

@@ -356,5 +356,69 @@ TEST(Snapshot, FileRoundTripAndConfigRecovery) {
   std::filesystem::remove(path);
 }
 
+// Hooks are host-side observers, deliberately not part of the snapshot: a
+// restored platform with the hook re-attached must record the exact same
+// dynamic indirect-branch edge profile a continued run does, bit for bit.
+TEST(Snapshot, IndirectBranchHookRecordsIdenticalEdgesAfterRestore) {
+  // A jump-table dispatcher that never halts: the selector walks 0..3
+  // forever, so indirect edges keep flowing after the snapshot point.
+  constexpr std::string_view kDispatcher = R"(
+      .secure
+      .stack 128
+      .entry main
+  main:
+      andi r1, 3
+      shli r1, 2
+      li   r2, table
+      add  r2, r1
+      ldw  r2, [r2]
+      shri r1, 2
+      jmpr r2
+  case0:
+      addi r1, 1
+      jmp  main
+  case1:
+      addi r1, 1
+      jmp  main
+  case2:
+      addi r1, 1
+      jmp  main
+  case3:
+      movi r1, 0
+      jmp  main
+  table:
+      .word case0, case1, case2, case3
+  )";
+
+  using EdgeList = std::vector<std::tuple<std::uint32_t, std::uint32_t, bool>>;
+  auto edge_hook = [](EdgeList& edges) {
+    return [&edges](std::uint32_t pc, std::uint32_t target, bool is_call) {
+      edges.emplace_back(pc, target, is_call);
+    };
+  };
+
+  core::Platform original;
+  ASSERT_TRUE(original.boot().is_ok());
+  auto task =
+      original.load_task_source(std::string(kDispatcher), {.name = "dispatcher"});
+  ASSERT_TRUE(task.is_ok()) << task.status().to_string();
+  original.run_for(50'000);
+  auto snapshot = original.save();
+  ASSERT_TRUE(snapshot.is_ok()) << snapshot.status().to_string();
+
+  EdgeList continued_edges;
+  original.machine().set_indirect_branch_hook(edge_hook(continued_edges));
+  original.run_for(200'000);
+
+  core::Platform restored;
+  ASSERT_TRUE(restored.restore(*snapshot).is_ok());
+  EdgeList restored_edges;
+  restored.machine().set_indirect_branch_hook(edge_hook(restored_edges));
+  restored.run_for(200'000);
+
+  EXPECT_FALSE(continued_edges.empty());
+  EXPECT_EQ(continued_edges, restored_edges);
+}
+
 }  // namespace
 }  // namespace tytan

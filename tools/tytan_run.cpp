@@ -20,6 +20,11 @@
 //                     to F; `tytan-trace replay` resumes from it
 //     --snapshot-at N  take the snapshot after running N of the --cycles
 //                     budget (default 0: right after the tasks are loaded)
+//     --heat-out F    record the execution observatory (heat-schema 1 JSONL:
+//                     block heat, dispatch histogram + host-ns, MPU rule
+//                     splits, indirect edges) and write it to F; inspect with
+//                     `tytan-objdump --heat F` or `tytan-top --heat F`
+//     --heat-folded F write heat blocks as collapsed stacks for flamegraph.pl
 //
 // Serial output is echoed to stdout; per-task statistics print at exit.
 #include <cstdio>
@@ -31,7 +36,9 @@
 
 #include "core/platform.h"
 #include "fault/fault.h"
+#include "isa/isa.h"
 #include "obs/export.h"
+#include "obs/heat.h"
 #include "tbf/tbf.h"
 #include "tool_util.h"
 
@@ -45,6 +52,7 @@ constexpr const char kUsageText[] =
     "                 [--profile N] [--folded-out FILE] [--spans-out FILE]\n"
     "                 [--fault SPEC] [--fault-seed N]\n"
     "                 [--snapshot-out FILE] [--snapshot-at N]\n"
+    "                 [--heat-out FILE] [--heat-folded FILE]\n"
     "                 <task.tbf> [more.tbf ...]\n";
 
 int usage() {
@@ -71,6 +79,8 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> fault_seed;
   std::string snapshot_out;
   std::uint64_t snapshot_at = 0;
+  std::string heat_out;
+  std::string heat_folded;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -129,6 +139,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--snapshot-at=", 0) == 0) {
       snapshot_at = tools::parse_u64("tytan-run", "--snapshot-at",
                                      arg.c_str() + std::strlen("--snapshot-at="));
+    } else if (arg == "--heat-out") {
+      heat_out = next("--heat-out");
+    } else if (arg.rfind("--heat-out=", 0) == 0) {
+      heat_out = arg.substr(std::strlen("--heat-out="));
+    } else if (arg == "--heat-folded") {
+      heat_folded = next("--heat-folded");
+    } else if (arg.rfind("--heat-folded=", 0) == 0) {
+      heat_folded = arg.substr(std::strlen("--heat-folded="));
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -170,6 +188,10 @@ int main(int argc, char** argv) {
   if (!spans_out.empty()) {
     // Before boot/load so rtm-measure spans cover the first measurements.
     platform.machine().obs().spans().enable();
+  }
+  if (!heat_out.empty() || !heat_folded.empty()) {
+    // Before boot so secure-boot and loader instructions are attributed too.
+    platform.machine().enable_heat();
   }
   auto boot = platform.boot();
   if (!boot.is_ok()) {
@@ -336,6 +358,36 @@ int main(int argc, char** argv) {
     out << profiler->folded();
     std::printf("wrote collapsed stacks to %s (flamegraph.pl %s > flame.svg)\n",
                 folded_out.c_str(), folded_out.c_str());
+  }
+  if (obs::HeatRecorder* heat = platform.machine().heat(); heat != nullptr) {
+    heat->flush();
+    const obs::HeatProfile& profile_data = heat->profile();
+    const obs::OpcodeNamer namer = [](std::uint8_t op) {
+      return std::string(isa::mnemonic(static_cast<isa::Opcode>(op)));
+    };
+    if (!heat_out.empty()) {
+      std::ofstream out(heat_out, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "tytan-run: cannot write '%s'\n", heat_out.c_str());
+        return 1;
+      }
+      out << profile_data.to_jsonl(/*include_host_ns=*/true, namer);
+      std::printf("wrote heat profile to %s (%llu instructions over %zu blocks; "
+                  "inspect with tytan-objdump --heat or tytan-top --heat)\n",
+                  heat_out.c_str(),
+                  static_cast<unsigned long long>(profile_data.total_instructions()),
+                  profile_data.blocks.size());
+    }
+    if (!heat_folded.empty()) {
+      std::ofstream out(heat_folded);
+      if (!out) {
+        std::fprintf(stderr, "tytan-run: cannot write '%s'\n", heat_folded.c_str());
+        return 1;
+      }
+      out << profile_data.folded();
+      std::printf("wrote heat collapsed stacks to %s (flamegraph.pl %s > heat.svg)\n",
+                  heat_folded.c_str(), heat_folded.c_str());
+    }
   }
   return 0;
 }

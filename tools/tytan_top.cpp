@@ -1,10 +1,13 @@
 // tytan-top — fleet health at a glance, from a telemetry JSONL stream
 // written by `tytan-fleet --telemetry-out=FILE`.
 //
-//   tytan-top FILE [--anomalies] [--spans FILE] [--watch [SECONDS]]
+//   tytan-top FILE [--anomalies] [--spans FILE] [--heat FILE]
+//             [--watch [SECONDS]]
 //     --anomalies     list every anomaly record (default: summary count)
 //     --spans FILE    also read a span file (tytan-fleet --spans-out) and
 //                     append a per-phase p50/p95/p99 cycle table
+//     --heat FILE     also read a heat profile (tytan-run --heat-out) and
+//                     append hot-block / dispatch / MPU-check tables
 //     --watch [S]     re-read and re-render the file every S seconds
 //                     (default 2) — live view of a fleet writing telemetry
 //
@@ -22,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/heat.h"
 #include "obs/span.h"
 #include "obs/telemetry.h"
 #include "tool_util.h"
@@ -32,7 +36,7 @@ namespace {
 
 constexpr const char kUsageText[] =
     "usage: tytan-top <telemetry.jsonl> [--anomalies] [--spans FILE]"
-    " [--watch [SECONDS]]\n";
+    " [--heat FILE] [--watch [SECONDS]]\n";
 
 int usage() {
   std::fputs(kUsageText, stderr);
@@ -82,6 +86,119 @@ int render_spans(const std::string& path) {
                 static_cast<unsigned long long>(percentile(cycles, 50)),
                 static_cast<unsigned long long>(percentile(cycles, 95)),
                 static_cast<unsigned long long>(percentile(cycles, 99)));
+  }
+  return 0;
+}
+
+/// Hot-block / dispatch / MPU tables from a `--heat FILE` profile.
+int render_heat(const std::string& path) {
+  auto log = obs::read_heat_file(path);
+  if (!log.is_ok()) {
+    std::fprintf(stderr, "tytan-top: %s: %s\n", path.c_str(),
+                 log.status().to_string().c_str());
+    return 1;
+  }
+  const obs::HeatLog& heat = *log;
+  const obs::HeatProfile& profile = heat.profile;
+  const std::uint64_t total = profile.total_instructions();
+  if (total == 0) {
+    std::fprintf(stderr, "tytan-top: %s: heat profile records no execution\n",
+                 path.c_str());
+    return 1;
+  }
+
+  // Hot blocks, descending by executed instructions, until >= 90% covered.
+  struct Row {
+    std::uint32_t start;
+    obs::HeatProfile::Block block;
+  };
+  std::vector<Row> rows;
+  rows.reserve(profile.blocks.size());
+  for (const auto& [start, block] : profile.blocks) {
+    rows.push_back({start, block});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.block.instructions != b.block.instructions
+               ? a.block.instructions > b.block.instructions
+               : a.start < b.start;
+  });
+  std::printf("\nhot blocks (%llu instructions, %zu blocks, %zu regions):\n",
+              static_cast<unsigned long long>(total), profile.blocks.size(),
+              profile.regions.size());
+  std::printf("%-20s %-19s %12s %12s %6s %6s\n", "region", "block", "insns",
+              "entries", "%", "cum%");
+  std::uint64_t cumulative = 0;
+  for (const Row& row : rows) {
+    if (row.block.instructions == 0) {
+      break;
+    }
+    cumulative += row.block.instructions;
+    char range[32];
+    std::snprintf(range, sizeof range, "%08x-%08x", row.start, row.block.end);
+    std::printf("%-20s %-19s %12llu %12llu %5.1f%% %5.1f%%\n",
+                std::string(profile.region_name(row.start)).c_str(), range,
+                static_cast<unsigned long long>(row.block.instructions),
+                static_cast<unsigned long long>(row.block.entries),
+                100.0 * row.block.instructions / total, 100.0 * cumulative / total);
+    if (cumulative * 10 >= total * 9) {
+      break;
+    }
+  }
+
+  // Dispatch histogram: top opcodes with host-ns attribution when sampled.
+  struct OpRow {
+    std::uint8_t op;
+    obs::HeatProfile::OpcodeStat stat;
+  };
+  std::vector<OpRow> ops;
+  for (std::size_t i = 0; i < profile.opcodes.size(); ++i) {
+    if (profile.opcodes[i].count != 0) {
+      ops.push_back({static_cast<std::uint8_t>(i), profile.opcodes[i]});
+    }
+  }
+  std::sort(ops.begin(), ops.end(), [](const OpRow& a, const OpRow& b) {
+    return a.stat.count != b.stat.count ? a.stat.count > b.stat.count : a.op < b.op;
+  });
+  std::printf("\ndispatch histogram (top %zu of %zu opcodes):\n",
+              std::min<std::size_t>(ops.size(), 10), ops.size());
+  std::printf("%-8s %14s %6s %14s\n", "opcode", "count", "%", "host ns/insn");
+  for (std::size_t i = 0; i < ops.size() && i < 10; ++i) {
+    char ns[24] = "-";
+    if (ops[i].stat.ns_samples != 0) {
+      std::snprintf(ns, sizeof ns, "%llu",
+                    static_cast<unsigned long long>(ops[i].stat.ns_total /
+                                                    ops[i].stat.ns_samples));
+    }
+    std::printf("%-8s %14llu %5.1f%% %14s\n",
+                heat.opcode_name(ops[i].op).c_str(),
+                static_cast<unsigned long long>(ops[i].stat.count),
+                100.0 * ops[i].stat.count / total, ns);
+  }
+
+  // EA-MPU check counters split by deciding rule.
+  if (const std::uint64_t checks = profile.total_checks(); checks != 0) {
+    std::printf("\nEA-MPU checks (%llu total):\n",
+                static_cast<unsigned long long>(checks));
+    std::printf("%-16s %14s %14s %14s\n", "rule", "read", "write", "execute");
+    for (std::size_t bucket = 0; bucket < obs::HeatProfile::kMpuBuckets; ++bucket) {
+      std::uint64_t row_total = 0;
+      for (std::size_t kind = 0; kind < obs::HeatProfile::kMpuAccessKinds; ++kind) {
+        row_total += profile.mpu[kind][bucket];
+      }
+      if (row_total == 0) {
+        continue;
+      }
+      std::printf("%-16s %14llu %14llu %14llu\n",
+                  obs::HeatProfile::bucket_name(bucket).c_str(),
+                  static_cast<unsigned long long>(profile.mpu[0][bucket]),
+                  static_cast<unsigned long long>(profile.mpu[1][bucket]),
+                  static_cast<unsigned long long>(profile.mpu[2][bucket]));
+    }
+  }
+
+  if (!profile.edges.empty()) {
+    std::printf("\nindirect branches: %zu distinct site->target edges\n",
+                profile.edges.size());
   }
   return 0;
 }
@@ -174,6 +291,7 @@ int main(int argc, char** argv) {
   }
   const std::string path = argv[1];
   std::string spans_path;
+  std::string heat_path;
   bool list_anomalies = false;
   bool watch = false;
   double watch_seconds = 2.0;
@@ -185,6 +303,10 @@ int main(int argc, char** argv) {
       spans_path = tools::required_value("tytan-top", "--spans", argc, argv, &i);
     } else if (arg.rfind("--spans=", 0) == 0) {
       spans_path = arg.substr(std::strlen("--spans="));
+    } else if (arg == "--heat") {
+      heat_path = tools::required_value("tytan-top", "--heat", argc, argv, &i);
+    } else if (arg.rfind("--heat=", 0) == 0) {
+      heat_path = arg.substr(std::strlen("--heat="));
     } else if (arg == "--watch") {
       watch = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
@@ -199,7 +321,12 @@ int main(int argc, char** argv) {
     if (int rc = render(path, list_anomalies); rc != 0) {
       return rc;
     }
-    return spans_path.empty() ? 0 : render_spans(spans_path);
+    if (!spans_path.empty()) {
+      if (int rc = render_spans(spans_path); rc != 0) {
+        return rc;
+      }
+    }
+    return heat_path.empty() ? 0 : render_heat(heat_path);
   }
   for (;;) {
     std::printf("\x1b[2J\x1b[H");  // clear + home, terminal-top style
@@ -208,6 +335,11 @@ int main(int argc, char** argv) {
     }
     if (!spans_path.empty()) {
       if (int rc = render_spans(spans_path); rc != 0) {
+        return rc;
+      }
+    }
+    if (!heat_path.empty()) {
+      if (int rc = render_heat(heat_path); rc != 0) {
         return rc;
       }
     }
