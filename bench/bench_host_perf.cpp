@@ -6,11 +6,14 @@
 // property tests can afford.  It is the standing A/B harness for interpreter
 // work (ROADMAP item 1, the decode cache): the `--json` artifact publishes
 // guest-MIPS per workload plus the raw sim-cycle / instruction / host-ns
-// rows they derive from, with the execution observatory off and on.  The
-// off/on runs must agree on every simulated quantity — the binary exits 1 on
-// a mismatch, so CI catches an observability layer that leaks cycles.
+// rows they derive from, with the execution observatory off and on AND with
+// the decode cache on (default) and off (`_interp_*` rows).  All legs must
+// agree on every simulated quantity — cycles, instructions, registers, EIP,
+// EFLAGS, fault count — or the binary exits 1, so CI catches an observability
+// layer that leaks cycles or a dispatch mode that diverges.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <chrono>
 #include <optional>
 #include <string>
@@ -169,6 +172,49 @@ constexpr Workload kWorkloads[] = {
       addi r5, 1
       ret
   )"},
+    // Long straight-line block (32 ALU ops per loop): the regime decoded
+    // dispatch is built for — the interpreter pays fetch + decode + the
+    // EA-MPU walk on every instruction, the cache pays one cursor bump.
+    // This is the shape of attestation / hashing inner loops.
+    {"alu_block", R"(
+      .secure
+      .stack 128
+      .entry main
+  main:
+      addi r1, 1
+      xor  r2, r1
+      shli r3, 1
+      ori  r3, 5
+      add  r4, r1
+      andi r4, 255
+      sub  r5, r2
+      shri r5, 3
+      addi r1, 7
+      xor  r2, r4
+      shli r3, 2
+      ori  r3, 9
+      add  r4, r2
+      andi r4, 1023
+      sub  r5, r1
+      shri r5, 1
+      addi r1, 3
+      xor  r2, r3
+      shli r3, 1
+      ori  r3, 17
+      add  r4, r3
+      andi r4, 4095
+      sub  r5, r4
+      shri r5, 2
+      addi r1, 11
+      xor  r2, r5
+      shli r3, 3
+      ori  r3, 33
+      add  r4, r5
+      andi r4, 65535
+      sub  r5, r3
+      shri r5, 4
+      jmp  main
+  )"},
     {"jump_table", R"(
       .secure
       .stack 128
@@ -199,14 +245,29 @@ struct RunResult {
   std::uint64_t sim_cycles = 0;     ///< simulated cycles the window advanced
   std::uint64_t instructions = 0;   ///< guest instructions dispatched
   std::uint64_t host_ns = 0;        ///< host wall time for the window
+  // Final simulated machine state, compared bit-for-bit across the
+  // observatory A/B and the dispatch-mode A/B.
+  std::array<std::uint32_t, 8> regs{};
+  std::uint32_t eip = 0;
+  std::uint32_t eflags = 0;
+  std::uint64_t faults = 0;
+
+  [[nodiscard]] bool same_sim_state(const RunResult& other) const {
+    return sim_cycles == other.sim_cycles && instructions == other.instructions &&
+           regs == other.regs && eip == other.eip && eflags == other.eflags &&
+           faults == other.faults;
+  }
 };
 
 /// Boot a fresh platform, load `source`, run a `window`-cycle quantum, and
 /// measure.  `heat` turns the execution observatory on before boot (the mode
-/// tytan-run --heat-out uses).
+/// tytan-run --heat-out uses); `dispatch` selects the interpreter or the
+/// decoded basic-block cache.
 std::optional<RunResult> run_workload(const char* source, std::uint64_t window,
-                                      bool heat) {
-  core::Platform platform;
+                                      bool heat, sim::DispatchMode dispatch) {
+  core::Platform::Config config;
+  config.dispatch = dispatch;
+  core::Platform platform(config);
   if (heat) {
     platform.machine().enable_heat();
   }
@@ -227,6 +288,13 @@ std::optional<RunResult> run_workload(const char* source, std::uint64_t window,
   result.instructions = platform.machine().instructions_executed() - i0;
   result.host_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  const sim::CpuState& cpu = platform.machine().cpu();
+  for (std::size_t i = 0; i < result.regs.size(); ++i) {
+    result.regs[i] = cpu.regs[i];
+  }
+  result.eip = cpu.eip;
+  result.eflags = cpu.eflags;
+  result.faults = platform.machine().fault_count();
   return result;
 }
 
@@ -252,21 +320,29 @@ bool write_json_rows(const bench::BenchOptions& options) {
   const std::uint64_t window = options.smoke ? 2'000'000 : 20'000'000;
   auto table = bench::Table("guest throughput (window " +
                             std::to_string(window) + " cycles)");
-  table.columns({"workload", "instructions", "MIPS", "MIPS (heat)",
-                 "heat overhead"});
+  table.columns({"workload", "instructions", "MIPS", "MIPS (interp)",
+                 "speedup", "MIPS (heat)", "heat overhead"});
   bool ok = true;
   std::uint64_t total_instructions = 0;
   std::uint64_t total_ns = 0;
+  std::uint64_t total_interp_ns = 0;
   std::uint64_t total_heat_ns = 0;
   for (const Workload& workload : kWorkloads) {
-    const auto off = run_workload(workload.source, window, /*heat=*/false);
-    const auto on = run_workload(workload.source, window, /*heat=*/true);
-    if (!off.has_value() || !on.has_value()) {
+    // Three runs per workload: the default configuration (decode cache,
+    // observatory off), the observatory A/B leg, and the interpreter A/B
+    // leg.  All three must agree on every simulated quantity.
+    const auto off = run_workload(workload.source, window, /*heat=*/false,
+                                  sim::DispatchMode::kCached);
+    const auto on = run_workload(workload.source, window, /*heat=*/true,
+                                 sim::DispatchMode::kCached);
+    const auto interp = run_workload(workload.source, window, /*heat=*/false,
+                                     sim::DispatchMode::kInterpreter);
+    if (!off.has_value() || !on.has_value() || !interp.has_value()) {
       std::fprintf(stderr, "bench_host_perf: %s failed to run\n", workload.name);
       ok = false;
       continue;
     }
-    if (off->sim_cycles != on->sim_cycles || off->instructions != on->instructions) {
+    if (!off->same_sim_state(*on)) {
       std::fprintf(stderr,
                    "bench_host_perf: %s: observatory changed simulated state: "
                    "cycles %llu vs %llu, instructions %llu vs %llu\n",
@@ -277,15 +353,33 @@ bool write_json_rows(const bench::BenchOptions& options) {
                    static_cast<unsigned long long>(on->instructions));
       ok = false;
     }
+    if (!off->same_sim_state(*interp)) {
+      std::fprintf(stderr,
+                   "bench_host_perf: %s: dispatch modes diverged: "
+                   "cycles %llu vs %llu, instructions %llu vs %llu, "
+                   "eip %08x vs %08x, faults %llu vs %llu\n",
+                   workload.name,
+                   static_cast<unsigned long long>(off->sim_cycles),
+                   static_cast<unsigned long long>(interp->sim_cycles),
+                   static_cast<unsigned long long>(off->instructions),
+                   static_cast<unsigned long long>(interp->instructions),
+                   off->eip, interp->eip,
+                   static_cast<unsigned long long>(off->faults),
+                   static_cast<unsigned long long>(interp->faults));
+      ok = false;
+    }
     const std::string name = workload.name;
     report.add(name + "_sim_cycles", off->sim_cycles, 0);
     report.add(name + "_instructions", off->instructions, 0);
     report.add(name + "_host_ns", off->host_ns, 0);
     report.add(name + "_guest_mips_x1000", mips_x1000(*off), 0);
+    report.add(name + "_interp_host_ns", interp->host_ns, 0);
+    report.add(name + "_interp_guest_mips_x1000", mips_x1000(*interp), 0);
     report.add(name + "_heat_host_ns", on->host_ns, 0);
     report.add(name + "_heat_guest_mips_x1000", mips_x1000(*on), 0);
     total_instructions += off->instructions;
     total_ns += off->host_ns;
+    total_interp_ns += interp->host_ns;
     total_heat_ns += on->host_ns;
     const double overhead =
         off->host_ns == 0
@@ -293,20 +387,39 @@ bool write_json_rows(const bench::BenchOptions& options) {
             : 100.0 * (static_cast<double>(on->host_ns) -
                        static_cast<double>(off->host_ns)) /
                   static_cast<double>(off->host_ns);
+    const double speedup =
+        off->host_ns == 0 ? 0.0
+                          : static_cast<double>(interp->host_ns) /
+                                static_cast<double>(off->host_ns);
     table.row({workload.name, bench::num(off->instructions),
                bench::fixed(mips_x1000(*off) / 1000.0),
+               bench::fixed(mips_x1000(*interp) / 1000.0),
+               bench::fixed(speedup) + "x",
                bench::fixed(mips_x1000(*on) / 1000.0),
                bench::fixed(overhead, 1) + "%"});
   }
-  const RunResult overall{0, total_instructions, total_ns};
-  const RunResult overall_heat{0, total_instructions, total_heat_ns};
+  RunResult overall;
+  overall.instructions = total_instructions;
+  overall.host_ns = total_ns;
+  RunResult overall_interp;
+  overall_interp.instructions = total_instructions;
+  overall_interp.host_ns = total_interp_ns;
+  RunResult overall_heat;
+  overall_heat.instructions = total_instructions;
+  overall_heat.host_ns = total_heat_ns;
   report.add("overall_instructions", total_instructions, 0);
   report.add("overall_host_ns", total_ns, 0);
   report.add("overall_guest_mips_x1000", mips_x1000(overall), 0);
+  report.add("overall_interp_host_ns", total_interp_ns, 0);
+  report.add("overall_interp_guest_mips_x1000", mips_x1000(overall_interp), 0);
   report.add("overall_heat_host_ns", total_heat_ns, 0);
   report.add("overall_heat_guest_mips_x1000", mips_x1000(overall_heat), 0);
   table.row({"overall", bench::num(total_instructions),
              bench::fixed(mips_x1000(overall) / 1000.0),
+             bench::fixed(mips_x1000(overall_interp) / 1000.0),
+             total_ns == 0 ? "-"
+                           : bench::fixed(static_cast<double>(total_interp_ns) /
+                                          static_cast<double>(total_ns)) + "x",
              bench::fixed(mips_x1000(overall_heat) / 1000.0),
              total_ns == 0 ? "-"
                            : bench::fixed(100.0 *
@@ -340,7 +453,7 @@ int main(int argc, char** argv) {
   }
   const bool invariant_ok = write_json_rows(options);
   if (!invariant_ok) {
-    return 1;  // observatory on/off disagreed on simulated state
+    return 1;  // observatory A/B or dispatch-mode A/B disagreed on sim state
   }
   if (options.smoke) {
     // Smoke keeps CI fast: the deterministic JSON rows above are the

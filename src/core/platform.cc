@@ -34,6 +34,7 @@ std::vector<std::shared_ptr<sim::Device>> DeviceSet::all() const {
 Platform::Platform(const Config& config, DeviceSet devices)
     : config_(config), devices_(std::move(devices)) {
   machine_ = std::make_unique<sim::Machine>(config.costs, config.log);
+  machine_->set_dispatch_mode(config.dispatch);
   if (!config.fault_plan.empty()) {
     fault_engine_ = std::make_unique<fault::FaultEngine>(config.fault_plan);
     machine_->set_fault_engine(fault_engine_.get());

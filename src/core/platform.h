@@ -79,6 +79,11 @@ class Platform {
     /// Fault-injection plan (src/fault).  Empty — the default — installs no
     /// engine, so every hook site stays a single null-pointer compare.
     fault::FaultPlan fault_plan{};
+    /// Instruction dispatch strategy.  kCached (the default) runs the
+    /// decoded basic-block cache; kInterpreter is the reference path.  Both
+    /// produce bit-identical simulated state — the knob exists for A/B
+    /// verification (bench_host_perf, CI) and debugging.
+    sim::DispatchMode dispatch = sim::DispatchMode::kCached;
   };
 
   Platform() : Platform(Config{}) {}

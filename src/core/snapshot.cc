@@ -208,6 +208,9 @@ Status Platform::visit_state(snap::StateVisitor& visitor) {
   s = visitor.section(
       "DEVS",
       [this](snap::Writer& w) {
+        // Devices latch their time lazily between tick events; bring every
+        // latch up to the classic per-instruction value before serializing.
+        machine_->flush_device_time();
         const auto& devices = machine_->bus().devices();
         w.u32(static_cast<std::uint32_t>(devices.size()));
         for (const auto& device : devices) {

@@ -473,6 +473,10 @@ bool TaskLoader::quantum_register() {
     }
     heat->add_leaders(tcb->region_base, offsets);
   }
+  // The decode cache already observed the image copy (write watch) and the
+  // EA-MPU slot writes (config epoch); dropping it here is belt and braces
+  // so a freshly loaded region can never execute stale decoded blocks.
+  machine_.invalidate_decode_cache();
   stats_.total = machine_.cycles() - job.start_cycles;
   machine_.obs().emit(obs::EventKind::kLoadDone, job.handle,
                       static_cast<std::uint32_t>(stats_.total));
@@ -532,6 +536,10 @@ Status TaskLoader::unload(TaskHandle handle) {
   if (machine_.profiler() != nullptr) {
     machine_.profiler()->remove_region(handle);
   }
+  // See the matching invalidate in finish_load: the wipe and the EA-MPU
+  // teardown above already killed the affected blocks; this pins the
+  // invariant even if the region was never wiped (region_base == 0).
+  machine_.invalidate_decode_cache();
   return scheduler_.destroy(handle);
 }
 

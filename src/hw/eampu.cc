@@ -32,6 +32,7 @@ Status EaMpu::write_slot(std::size_t idx, const Rule& rule) {
     return make_error(Err::kInvalidArgument, "EA-MPU rule with empty data region");
   }
   slots_[idx] = rule;
+  bump_config_epoch();
   return Status::ok();
 }
 
@@ -43,6 +44,7 @@ Status EaMpu::clear_slot(std::size_t idx) {
     return make_error(Err::kPermissionDenied, "EA-MPU configuration port locked");
   }
   slots_[idx].reset();
+  bump_config_epoch();
   return Status::ok();
 }
 
@@ -74,6 +76,7 @@ Result<std::size_t> EaMpu::add_exec_region(const ExecRegion& region) {
   for (std::size_t i = 0; i < kNumExecRegions; ++i) {
     if (!exec_regions_[i]) {
       exec_regions_[i] = region;
+      bump_config_epoch();
       return i;
     }
   }
@@ -88,6 +91,7 @@ Status EaMpu::remove_exec_region(std::size_t idx) {
     return make_error(Err::kPermissionDenied, "EA-MPU configuration port locked");
   }
   exec_regions_[idx].reset();
+  bump_config_epoch();
   return Status::ok();
 }
 
@@ -284,6 +288,9 @@ Status EaMpu::restore_state(snap::Reader& r) {
     }
   }
   port_locked_ = r.boolean();
+  // The restored table may differ arbitrarily from the previous one; the
+  // port guard itself never feeds allows() and needs no bump elsewhere.
+  bump_config_epoch();
   return Status::ok();
 }
 

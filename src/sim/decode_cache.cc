@@ -1,0 +1,77 @@
+#include "sim/decode_cache.h"
+
+#include <algorithm>
+
+namespace tytan::sim {
+
+const DecodeCache::Block* DecodeCache::insert(Block block) {
+  collect();  // find() missed, so no op reference is alive — safe to free
+  if (blocks_.size() >= kMaxBlocks) {
+    invalidate_all();
+  }
+  ++stats_.builds;
+  const std::uint32_t start = block.start;
+  auto owned = std::make_unique<Block>(std::move(block));
+  const Block* result = owned.get();
+  blocks_[start] = std::move(owned);
+  if (blocks_.size() == 1) {
+    span_lo_ = result->start;
+    span_hi_ = result->end;
+  } else {
+    span_lo_ = std::min(span_lo_, result->start);
+    span_hi_ = std::max(span_hi_, result->end);
+  }
+  update_watch();
+  return result;
+}
+
+void DecodeCache::invalidate_all() {
+  ++stats_.invalidations;
+  ++generation_;
+  for (auto& entry : blocks_) {
+    graveyard_.push_back(std::move(entry.second));
+  }
+  blocks_.clear();
+  span_lo_ = 0;
+  span_hi_ = 0;
+  update_watch();
+}
+
+void DecodeCache::on_watched_write(std::uint32_t addr, std::uint32_t len) {
+  // The span filter in PhysicalMemory is coarse (union of all blocks); only
+  // blocks actually intersecting the written range die.  Writes between
+  // blocks — data words interleaved with code — erase nothing and must not
+  // kill cursors, so the generation only bumps when a block goes.
+  bool erased = false;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    const Block& block = *it->second;
+    if (addr < block.end && addr + len > block.start) {
+      // Defer destruction: the write may come from an op executing out of
+      // this very block, and the fast paths hold a reference into it.  The
+      // graveyard is drained at the next find()/insert(), which only ever
+      // run between instructions.
+      graveyard_.push_back(std::move(it->second));
+      it = blocks_.erase(it);
+      erased = true;
+    } else {
+      ++it;
+    }
+  }
+  if (erased) {
+    ++stats_.code_writes;
+    ++generation_;
+  }
+}
+
+void DecodeCache::update_watch() {
+  if (memory_ == nullptr) {
+    return;
+  }
+  if (blocks_.empty()) {
+    memory_->clear_write_watch();
+  } else {
+    memory_->set_write_watch(this, span_lo_, span_hi_);
+  }
+}
+
+}  // namespace tytan::sim

@@ -13,6 +13,12 @@ void MmioBus::attach(std::shared_ptr<Device> device) {
                 "MMIO ranges overlap");
   }
   devices_.push_back(std::move(device));
+  Device* attached = devices_.back().get();
+  if (attached->wants_tick()) {
+    tickers_.push_back(attached);
+  }
+  attached->set_timing_listener([this] { ++timing_epoch_; });
+  ++timing_epoch_;  // a new ticker may be due immediately
 }
 
 Device* MmioBus::find(std::uint32_t addr) const {
@@ -22,12 +28,6 @@ Device* MmioBus::find(std::uint32_t addr) const {
     }
   }
   return nullptr;
-}
-
-void MmioBus::tick_all(std::uint64_t now) {
-  for (const auto& device : devices_) {
-    device->tick(now);
-  }
 }
 
 }  // namespace tytan::sim

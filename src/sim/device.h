@@ -27,8 +27,29 @@ class Device {
   virtual std::uint32_t read32(std::uint32_t offset) = 0;
   virtual void write32(std::uint32_t offset, std::uint32_t value) = 0;
 
+  /// tick() cycle stamp meaning "no time-driven action pending": a device
+  /// returning this from next_tick_due() is skipped by the per-instruction
+  /// walk and instead has its time latched lazily (on MMIO access and
+  /// before serialization).
+  static constexpr std::uint64_t kNeverTicks = ~0ull;
+
   /// Advance device time to the absolute cycle count `now`.
   virtual void tick(std::uint64_t now) { (void)now; }
+
+  /// A device overriding tick() must also return true here: tick_all() runs
+  /// once per executed instruction, so the bus only walks devices that
+  /// declared they need time (skipping a default no-op tick is invisible).
+  [[nodiscard]] virtual bool wants_tick() const { return false; }
+
+  /// Earliest future cycle at which tick() performs observable work (fires
+  /// an IRQ, advances a counter), or kNeverTicks when tick() is currently a
+  /// pure time latch.  The machine skips the per-instruction tick walk until
+  /// the earliest due cycle across the bus.  The conservative default — 0,
+  /// "always due" — keeps any wants_tick() device that does not implement
+  /// this on the classic every-instruction regime.  A device that DOES skip
+  /// ahead must bump the bus timing epoch (touch_timing()) from every
+  /// register write or restore that changes its schedule.
+  [[nodiscard]] virtual std::uint64_t next_tick_due() const { return 0; }
 
   /// Serialize / overwrite the device's guest-visible state for machine
   /// snapshots.  The default is stateless (devices holding only wiring or
@@ -41,6 +62,12 @@ class Device {
 
   void set_irq_sink(IrqSink sink) { irq_sink_ = std::move(sink); }
 
+  /// Wired by MmioBus::attach — bumps the bus timing epoch so the machine
+  /// re-evaluates next_tick_due() after an out-of-band schedule change.
+  void set_timing_listener(std::function<void()> listener) {
+    timing_listener_ = std::move(listener);
+  }
+
  protected:
   void raise_irq(std::uint8_t vector) {
     if (irq_sink_) {
@@ -48,8 +75,17 @@ class Device {
     }
   }
 
+  /// Call from any mutation that changes next_tick_due() — register writes,
+  /// snapshot restores.  Harmless when unwired (device not on a bus).
+  void touch_timing() {
+    if (timing_listener_) {
+      timing_listener_();
+    }
+  }
+
  private:
   IrqSink irq_sink_;
+  std::function<void()> timing_listener_;
 };
 
 /// Dispatches MMIO-range accesses to registered devices.
@@ -61,7 +97,30 @@ class MmioBus {
   /// Device covering `addr`, or nullptr.
   [[nodiscard]] Device* find(std::uint32_t addr) const;
 
-  void tick_all(std::uint64_t now);
+  /// Advance every tick-declaring device; inline and walks only tickers_.
+  /// The machine calls this at most once per instruction, and skips calls
+  /// entirely while `now < next_tick_due()` and the timing epoch is stable.
+  void tick_all(std::uint64_t now) {
+    for (Device* device : tickers_) {
+      device->tick(now);
+    }
+  }
+
+  /// Earliest cycle at which any ticker has observable work, or
+  /// Device::kNeverTicks.  Recompute after every tick_all() (firing moves
+  /// the schedule) and on every timing-epoch change.
+  [[nodiscard]] std::uint64_t next_tick_due() const {
+    std::uint64_t due = Device::kNeverTicks;
+    for (Device* device : tickers_) {
+      due = std::min(due, device->next_tick_due());
+    }
+    return due;
+  }
+
+  /// Bumped whenever a device's tick schedule changes out of band (register
+  /// write, snapshot restore) and on every attach.  One load on the
+  /// per-instruction path buys skipping the whole tick walk between events.
+  [[nodiscard]] std::uint64_t timing_epoch() const { return timing_epoch_; }
 
   [[nodiscard]] const std::vector<std::shared_ptr<Device>>& devices() const {
     return devices_;
@@ -69,6 +128,10 @@ class MmioBus {
 
  private:
   std::vector<std::shared_ptr<Device>> devices_;
+  // Raw pointers into devices_ (same lifetime): only the devices that
+  // declared wants_tick(), so the per-instruction tick walk skips the rest.
+  std::vector<Device*> tickers_;
+  std::uint64_t timing_epoch_ = 1;
 };
 
 }  // namespace tytan::sim

@@ -28,9 +28,11 @@ void TimerDevice::write32(std::uint32_t offset, std::uint32_t value) {
       } else if ((value & 1u) == 0) {
         enabled_ = false;
       }
+      touch_timing();  // next_tick_due() changed
       break;
     case kPeriod:
       period_ = value;
+      touch_timing();
       break;
     default:
       break;
@@ -63,6 +65,7 @@ Status TimerDevice::restore_state(snap::Reader& r) {
   next_fire_ = r.u64();
   last_now_ = r.u64();
   ticks_ = r.u64();
+  touch_timing();  // restored schedule replaces whatever the machine cached
   return Status::ok();
 }
 

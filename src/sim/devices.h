@@ -32,6 +32,13 @@ class TimerDevice : public Device {
   std::uint32_t read32(std::uint32_t offset) override;
   void write32(std::uint32_t offset, std::uint32_t value) override;
   void tick(std::uint64_t now) override;
+  [[nodiscard]] bool wants_tick() const override { return true; }
+  /// Disabled timers never act; enabled ones act exactly at next_fire_.
+  /// (last_now_ staleness between events is repaired by the machine's lazy
+  /// access/serialization latching.)
+  [[nodiscard]] std::uint64_t next_tick_due() const override {
+    return (enabled_ && period_ != 0) ? next_fire_ : kNeverTicks;
+  }
 
   [[nodiscard]] std::uint64_t ticks_fired() const { return ticks_; }
   [[nodiscard]] std::uint32_t period() const { return period_; }
@@ -115,6 +122,12 @@ class EngineActuator : public Device {
   std::uint32_t read32(std::uint32_t offset) override;
   void write32(std::uint32_t offset, std::uint32_t value) override;
   void tick(std::uint64_t now) override { now_ = now; }
+  [[nodiscard]] bool wants_tick() const override { return true; }
+  /// tick() is a pure time latch (command timestamps); the machine latches
+  /// it lazily on MMIO access instead of every instruction.
+  [[nodiscard]] std::uint64_t next_tick_due() const override {
+    return kNeverTicks;
+  }
 
   [[nodiscard]] const std::vector<Command>& commands() const { return commands_; }
   void clear() { commands_.clear(); }

@@ -36,6 +36,7 @@ std::string FaultInfo::to_string() const {
 Machine::Machine(CostModel costs, const LogContext* log)
     : costs_(costs), log_(log != nullptr ? log : &process_log_context()) {
   obs_.set_clock(&cycles_);
+  dcache_.attach(&memory_);
 }
 
 std::int32_t Machine::current_task_context() const {
@@ -105,20 +106,31 @@ Status Machine::restore_state(snap::Reader& r) {
   instructions_ = r.u64();
   interrupts_ = r.u64();
   fw_invocations_ = r.u64();
+  // The decode cache is host-only state: never serialized, rebuilt on demand
+  // against the restored memory image and policy configuration.  (The memory
+  // write watch already dropped blocks overwritten by the image restore;
+  // this also covers order-of-restore races and the transient fault flag.)
+  fault_eip_redirected_ = false;
+  invalidate_decode_cache();
+  // Device tick scheduling is host-only: force a full resync on the next
+  // step (devices restore their own schedules after this), and mark device
+  // time clean so a save immediately after restore reproduces the restored
+  // bytes instead of re-latching.
+  next_device_tick_ = 0;
+  device_timing_epoch_ = 0;
+  step_top_cycles_ = cycles_;
+  device_time_dirty_ = false;
   return Status::ok();
 }
 
-void Machine::dispatch_interrupt(std::uint8_t vector, std::uint32_t origin_eip,
+bool Machine::dispatch_interrupt(std::uint8_t vector, std::uint32_t origin_eip,
                                  std::uint32_t return_eip) {
   charge(costs_.int_dispatch);
   const std::uint32_t handler = idt_entry(vector);
   if (handler == 0) {
     raise_fault({FaultType::kNoHandler, origin_eip, vector, Access::kExecute});
-    return;
+    return false;
   }
-  // Hardware latches: the IPC proxy authenticates the sender from these.
-  int_origin_eip_ = origin_eip;
-  int_vector_ = vector;
   // Exception engine pushes EFLAGS then EIP onto the *current* stack (paper
   // §4: "The instruction pointer (EIP) and flags register (EFLAGS) are saved
   // by the exception engine to the stack of the interrupted task").  The
@@ -128,18 +140,25 @@ void Machine::dispatch_interrupt(std::uint8_t vector, std::uint32_t origin_eip,
   sp -= 4;
   if (!check(origin_eip, sp, Access::kWrite) || !raw_write32(sp, cpu_.eflags)) {
     raise_fault({FaultType::kStackFault, origin_eip, sp, Access::kWrite});
-    return;
+    return false;
   }
   sp -= 4;
   if (!check(origin_eip, sp, Access::kWrite) || !raw_write32(sp, return_eip)) {
     raise_fault({FaultType::kStackFault, origin_eip, sp, Access::kWrite});
-    return;
+    return false;
   }
+  // Hardware latches: the IPC proxy authenticates the sender from these.
+  // Updated only once the frame is safely pushed — an aborted dispatch must
+  // leave the latches of the last *successful* dispatch intact, or a task
+  // could forge its identity by interrupting with a bad SP.
+  int_origin_eip_ = origin_eip;
+  int_vector_ = vector;
   cpu_.set_sp(sp);
   cpu_.set_flag(isa::kFlagIF, false);
   cpu_.eip = handler;
   ++interrupts_;
   obs_.emit(obs::EventKind::kIrqEnter, current_task_context(), vector, origin_eip);
+  return true;
 }
 
 void Machine::record_fault(const FaultInfo& fault) {
@@ -150,6 +169,7 @@ void Machine::record_fault(const FaultInfo& fault) {
 }
 
 void Machine::raise_fault(const FaultInfo& fault) {
+  fault_eip_redirected_ = false;
   last_fault_ = fault;
   ++fault_count_;
   obs_.emit(obs::EventKind::kFault, current_task_context(),
@@ -173,6 +193,7 @@ void Machine::raise_fault(const FaultInfo& fault) {
   int_vector_ = kVecFault;
   cpu_.set_flag(isa::kFlagIF, false);
   cpu_.eip = handler;
+  fault_eip_redirected_ = true;
   in_fault_dispatch_ = false;
 }
 
@@ -187,6 +208,9 @@ void Machine::register_firmware(std::uint32_t addr, std::string name,
     profiler_->add_global_symbol(addr, name);
   }
   firmware_[addr] = {std::move(name), std::move(handler)};
+  // A cached block may span the new address; from now on a step landing
+  // there must invoke the handler, not a pre-decoded instruction.
+  invalidate_decode_cache();
 }
 
 void Machine::enable_profiler(std::uint64_t interval_cycles, std::size_t capacity) {
@@ -242,6 +266,9 @@ bool Machine::raw_read32(std::uint32_t addr, std::uint32_t* out) {
       return false;
     }
     charge(costs_.mmio_access);
+    // Lazy time latch: deliver the step-top cycle the per-instruction tick
+    // regime would have, so counters and timestamps read identically.
+    device->tick(step_top_cycles_);
     *out = device->read32(addr - device->base());
     return true;
   }
@@ -262,6 +289,7 @@ bool Machine::raw_write32(std::uint32_t addr, std::uint32_t value) {
       return false;
     }
     charge(costs_.mmio_access);
+    device->tick(step_top_cycles_);  // lazy time latch; see raw_read32
     device->write32(addr - device->base(), value);
     return true;
   }
@@ -290,8 +318,23 @@ bool Machine::raw_read8(std::uint32_t addr, std::uint8_t* out) {
 
 bool Machine::raw_write8(std::uint32_t addr, std::uint8_t value) {
   if (is_mmio(addr)) {
-    // Byte writes to MMIO write the byte into lane 0 (devices are word-based).
-    return raw_write32(addr & ~3u, value);
+    // Devices are word-based; a byte write is modeled as ONE read-modify-
+    // write bus transaction on the addressed lane (charged once), symmetric
+    // with raw_read8's lane extract.  Registers with read side effects see
+    // the RMW read — that is the documented cost of byte-granular MMIO.
+    const std::uint32_t aligned = addr & ~3u;
+    Device* device = bus_.find(aligned);
+    if (device == nullptr) {
+      return false;
+    }
+    charge(costs_.mmio_access);
+    device->tick(step_top_cycles_);  // lazy time latch; see raw_read32
+    const unsigned shift = 8 * (addr % 4);
+    std::uint32_t word = device->read32(aligned - device->base());
+    word = (word & ~(0xFFu << shift)) |
+           (static_cast<std::uint32_t>(value) << shift);
+    device->write32(aligned - device->base(), word);
+    return true;
   }
   if (!memory_.in_bounds(addr, 1)) {
     return false;
@@ -425,23 +468,6 @@ bool Machine::guest_transfer(std::uint32_t target) {
 // Flags
 // ---------------------------------------------------------------------------
 
-void Machine::set_alu_flags_logic(std::uint32_t result) {
-  cpu_.set_flag(isa::kFlagZ, result == 0);
-  cpu_.set_flag(isa::kFlagN, (result >> 31) != 0);
-}
-
-void Machine::set_alu_flags_addsub(std::uint64_t wide, std::uint32_t a, std::uint32_t b,
-                                   std::uint32_t result, bool is_sub) {
-  cpu_.set_flag(isa::kFlagZ, result == 0);
-  cpu_.set_flag(isa::kFlagN, (result >> 31) != 0);
-  cpu_.set_flag(isa::kFlagC, (wide >> 32) != 0);
-  const bool sa = (a >> 31) != 0;
-  const bool sb = (b >> 31) != 0;
-  const bool sr = (result >> 31) != 0;
-  const bool overflow = is_sub ? (sa != sb && sr != sa) : (sa == sb && sr != sa);
-  cpu_.set_flag(isa::kFlagV, overflow);
-}
-
 // ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
@@ -455,10 +481,59 @@ StepOutcome Machine::step() {
   if (profiler_ != nullptr && profiler_->due(cycles_)) {
     profiler_->take(cycles_, cpu_.eip, current_task_context());
   }
-  bus_.tick_all(cycles_);
+  // Event-driven device time: walk the tick list only when a device has due
+  // work (a timer crossing next_fire_) or a schedule changed out of band
+  // (register write, attach, restore — the bus timing epoch).  Devices whose
+  // tick is a pure time latch are instead latched lazily: on their own MMIO
+  // accesses (raw_* paths) and before serialization (flush_device_time), in
+  // both cases with the step-top cycle the classic every-instruction regime
+  // would have delivered — so IRQ timing, command timestamps, and snapshot
+  // bytes are identical to ticking every step.
+  step_top_cycles_ = cycles_;
+  device_time_dirty_ = true;
+  if (cycles_ >= next_device_tick_ || bus_.timing_epoch() != device_timing_epoch_) {
+    bus_.tick_all(cycles_);
+    device_timing_epoch_ = bus_.timing_epoch();
+    next_device_tick_ = bus_.next_tick_due();
+  }
   if (pending_ != 0 && cpu_.flag(isa::kFlagIF)) {
     dispatch_pending();
     return halted() ? StepOutcome::kHalted : StepOutcome::kOk;
+  }
+  // Cached-dispatch fast paths.  Still one instruction per step(): quantum
+  // boundaries, device ticks, and IRQ windows land exactly where the
+  // interpreter puts them.
+  if (dispatch_ == DispatchMode::kCached) {
+    // Cursor hit: the cursor points at the next op of a live block and EIP
+    // agrees — skip fetch, decode, the EA-MPU walk, and the firmware map
+    // probe (blocks never contain firmware addresses, and register_firmware
+    // invalidates).  Liveness is checked BEFORE the block pointer is
+    // dereferenced: any invalidation freed it.
+    if (cur_block_ != nullptr && dcache_.live(cur_gen_, policy_) &&
+        cur_idx_ < cur_block_->ops.size() &&
+        cur_block_->ops[cur_idx_].pc == cpu_.eip) {
+      // Reference, not copy: a self-modifying store can only *graveyard* the
+      // block (deferred free), never destroy it mid-instruction.
+      const DecodedOp& op = cur_block_->ops[cur_idx_];
+      ++cur_idx_;
+      run_cached_op(op);
+      return halted() ? StepOutcome::kHalted : StepOutcome::kOk;
+    }
+    // Block-head LUT hit: a branch landed on a block head this machine has
+    // activated before — chain straight into it without the firmware map
+    // probe or the hash lookup.  Safe for the same reason as the cursor: a
+    // cached head is never a firmware entry, and the entry's generation
+    // stamp dies with any invalidation (live() also rechecks the policy
+    // configuration epoch).
+    const BlockLutEntry& lut = block_lut_[(cpu_.eip >> 2) & (kBlockLutSize - 1)];
+    if (lut.pc == cpu_.eip && dcache_.live(lut.gen, policy_)) {
+      cur_block_ = lut.block;
+      cur_gen_ = lut.gen;
+      cur_idx_ = 1;
+      dcache_.note_fast_hit();
+      run_cached_op(lut.block->ops[0]);
+      return halted() ? StepOutcome::kHalted : StepOutcome::kOk;
+    }
   }
   const auto fw = firmware_.find(cpu_.eip);
   if (fw != firmware_.end()) {
@@ -468,6 +543,9 @@ StepOutcome Machine::step() {
                       Tracer::kVerdictNone);
     }
     fw->second.handler(*this);
+    return halted() ? StepOutcome::kHalted : StepOutcome::kOk;
+  }
+  if (dispatch_ == DispatchMode::kCached && execute_one_cached()) {
     return halted() ? StepOutcome::kHalted : StepOutcome::kOk;
   }
   if (tracer_ != nullptr && memory_.in_bounds(cpu_.eip, 4) && !is_mmio(cpu_.eip)) {
@@ -485,7 +563,16 @@ StepOutcome Machine::step() {
 void Machine::dispatch_pending() {
   const unsigned vector = static_cast<unsigned>(std::countr_zero(pending_));
   pending_ &= pending_ - 1;  // clear lowest set bit
-  dispatch_interrupt(static_cast<std::uint8_t>(vector), cpu_.eip, cpu_.eip);
+  if (!dispatch_interrupt(static_cast<std::uint8_t>(vector), cpu_.eip, cpu_.eip)) {
+    // A stack fault is transient: the line stays pending and the dispatch
+    // retries once the fault handler repairs SP (no spin — IF is off until
+    // its IRET).  A missing IDT entry is a configuration error: the request
+    // is dropped, since re-asserting would retry a vector that can never
+    // dispatch.  Both are pinned in tests/test_machine.cc.
+    if (last_fault_.type == FaultType::kStackFault) {
+      pending_ |= (1ull << vector);
+    }
+  }
 }
 
 HaltReason Machine::run(std::uint64_t cycle_limit) {
@@ -511,279 +598,186 @@ void Machine::execute_one() {
     raise_fault({FaultType::kBadOpcode, pc, pc, Access::kExecute});
     return;
   }
-  const isa::Instruction instr = *decoded;
-  charge(isa::base_cycles(instr.opcode));
+  // Transient decoded op: same OpVariant handler the cache dispatches, with
+  // nothing memoized (transfer/fetch verdicts resolved live).
+  DecodedOp op;
+  op.instr = *decoded;
+  op.pc = pc;
+  op.word = word;
+  const OpVariant& variant = op_table()[static_cast<std::size_t>(op.instr.opcode)];
+  op.exec = variant.exec;
+  op.base_cycles = variant.base_cycles;
+  charge(variant.base_cycles);
   ++instructions_;
 
   if (heat_ == nullptr) {  // hot path: observatory off costs one null check
-    execute_op(instr, pc);
+    execute_op(op);
     return;
   }
-  if (heat_->on_instruction(pc, static_cast<std::uint8_t>(instr.opcode))) {
+  if (heat_->on_instruction(pc, static_cast<std::uint8_t>(op.instr.opcode))) {
     // Sampled dispatch: attribute host nanoseconds to this opcode.  Host
     // clocks never feed back into simulated state, so cycle counts stay
     // bit-identical with the observatory on or off.
     const auto t0 = std::chrono::steady_clock::now();
-    execute_op(instr, pc);
+    execute_op(op);
     const auto t1 = std::chrono::steady_clock::now();
     heat_->attribute(
-        static_cast<std::uint8_t>(instr.opcode),
+        static_cast<std::uint8_t>(op.instr.opcode),
         static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
   } else {
-    execute_op(instr, pc);
+    execute_op(op);
   }
 }
 
-void Machine::execute_op(const isa::Instruction& instr, std::uint32_t pc) {
-  auto& regs = cpu_.regs;
-  const std::uint32_t next = pc + isa::kInstrSize;
-  cpu_.eip = next;  // default; branches overwrite below
-
-  auto branch_if = [&](bool taken) {
-    if (taken) {
-      // Relative branches within the running code cannot violate entry
-      // points only when staying in-region; still check the policy so a
-      // crafted displacement into another region faults.
-      const std::uint32_t target =
-          static_cast<std::uint32_t>(static_cast<std::int64_t>(next) + instr.simm());
-      cpu_.eip = pc;  // transfer check sees the branching instruction
-      if (guest_transfer(target)) {
-        return;
-      }
-    }
-  };
-
-  switch (instr.opcode) {
-    case Opcode::kNop:
-      break;
-    case Opcode::kMov:
-      regs[instr.rd] = regs[instr.ra];
-      break;
-    case Opcode::kMovi:
-      regs[instr.rd] = static_cast<std::uint32_t>(instr.simm());
-      break;
-    case Opcode::kMoviu:
-      regs[instr.rd] = instr.imm;
-      break;
-    case Opcode::kMovhi:
-      regs[instr.rd] = (regs[instr.rd] & 0xFFFFu) | (static_cast<std::uint32_t>(instr.imm) << 16);
-      break;
-    case Opcode::kAdd:
-    case Opcode::kAddi: {
-      const std::uint32_t a = regs[instr.rd];
-      const std::uint32_t b = instr.opcode == Opcode::kAdd
-                                  ? regs[instr.ra]
-                                  : static_cast<std::uint32_t>(instr.simm());
-      const std::uint64_t wide = static_cast<std::uint64_t>(a) + b;
-      const auto result = static_cast<std::uint32_t>(wide);
-      set_alu_flags_addsub(wide, a, b, result, /*is_sub=*/false);
-      regs[instr.rd] = result;
-      break;
-    }
-    case Opcode::kSub:
-    case Opcode::kSubi:
-    case Opcode::kCmp:
-    case Opcode::kCmpi: {
-      const std::uint32_t a = regs[instr.rd];
-      const std::uint32_t b =
-          (instr.opcode == Opcode::kSub || instr.opcode == Opcode::kCmp)
-              ? regs[instr.ra]
-              : static_cast<std::uint32_t>(instr.simm());
-      const std::uint64_t wide =
-          static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b);
-      const auto result = static_cast<std::uint32_t>(wide);
-      set_alu_flags_addsub(wide, a, b, result, /*is_sub=*/true);
-      if (instr.opcode == Opcode::kSub || instr.opcode == Opcode::kSubi) {
-        regs[instr.rd] = result;
-      }
-      break;
-    }
-    case Opcode::kAnd:
-      regs[instr.rd] &= regs[instr.ra];
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kAndi:
-      regs[instr.rd] &= instr.imm;
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kOr:
-      regs[instr.rd] |= regs[instr.ra];
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kOri:
-      regs[instr.rd] |= instr.imm;
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kXor:
-      regs[instr.rd] ^= regs[instr.ra];
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kShl:
-      regs[instr.rd] <<= (regs[instr.ra] & 31u);
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kShli:
-      regs[instr.rd] <<= (instr.imm & 31u);
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kShr:
-      regs[instr.rd] >>= (regs[instr.ra] & 31u);
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kShri:
-      regs[instr.rd] >>= (instr.imm & 31u);
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kMul:
-      regs[instr.rd] *= regs[instr.ra];
-      set_alu_flags_logic(regs[instr.rd]);
-      break;
-    case Opcode::kLdw: {
-      std::uint32_t value = 0;
-      if (guest_read32(regs[instr.ra] + static_cast<std::uint32_t>(instr.simm()), &value)) {
-        regs[instr.rd] = value;
-      } else {
-        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
-      }
-      break;
-    }
-    case Opcode::kStw:
-      if (!guest_write32(regs[instr.ra] + static_cast<std::uint32_t>(instr.simm()),
-                         regs[instr.rd])) {
-        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
-      }
-      break;
-    case Opcode::kLdb: {
-      std::uint8_t value = 0;
-      if (guest_read8(regs[instr.ra] + static_cast<std::uint32_t>(instr.simm()), &value)) {
-        regs[instr.rd] = value;
-      } else {
-        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
-      }
-      break;
-    }
-    case Opcode::kStb:
-      if (!guest_write8(regs[instr.ra] + static_cast<std::uint32_t>(instr.simm()),
-                        static_cast<std::uint8_t>(regs[instr.rd]))) {
-        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
-      }
-      break;
-    case Opcode::kJmp:
-      branch_if(true);
-      break;
-    case Opcode::kJz:
-      branch_if(cpu_.flag(isa::kFlagZ));
-      break;
-    case Opcode::kJnz:
-      branch_if(!cpu_.flag(isa::kFlagZ));
-      break;
-    case Opcode::kJlt:
-      branch_if(cpu_.flag(isa::kFlagN) != cpu_.flag(isa::kFlagV));
-      break;
-    case Opcode::kJge:
-      branch_if(cpu_.flag(isa::kFlagN) == cpu_.flag(isa::kFlagV));
-      break;
-    case Opcode::kJc:
-      branch_if(cpu_.flag(isa::kFlagC));
-      break;
-    case Opcode::kJnc:
-      branch_if(!cpu_.flag(isa::kFlagC));
-      break;
-    case Opcode::kJmpr: {
-      const std::uint32_t target = regs[instr.ra];
-      if (heat_ != nullptr) {
-        heat_->record_edge(pc, target, /*is_call=*/false);
-      }
-      if (indirect_branch_hook_) {
-        indirect_branch_hook_(pc, target, /*is_call=*/false);
-      }
-      cpu_.eip = pc;
-      guest_transfer(target);
-      break;
-    }
-    case Opcode::kCall: {
-      if (!guest_push32(next)) {
-        break;
-      }
-      const std::uint32_t target =
-          static_cast<std::uint32_t>(static_cast<std::int64_t>(next) + instr.simm());
-      cpu_.eip = pc;
-      guest_transfer(target);
-      break;
-    }
-    case Opcode::kCallr: {
-      if (!guest_push32(next)) {
-        break;
-      }
-      const std::uint32_t target = regs[instr.ra];
-      if (heat_ != nullptr) {
-        heat_->record_edge(pc, target, /*is_call=*/true);
-      }
-      if (indirect_branch_hook_) {
-        indirect_branch_hook_(pc, target, /*is_call=*/true);
-      }
-      cpu_.eip = pc;
-      guest_transfer(target);
-      break;
-    }
-    case Opcode::kRet: {
-      std::uint32_t target = 0;
-      if (!guest_pop32(&target)) {
-        break;
-      }
-      cpu_.eip = pc;
-      guest_transfer(target);
-      break;
-    }
-    case Opcode::kPush:
-      if (!guest_push32(regs[instr.rd])) {
-        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
-      }
-      break;
-    case Opcode::kPop: {
-      std::uint32_t value = 0;
-      if (guest_pop32(&value)) {
-        regs[instr.rd] = value;
-      } else {
-        cpu_.eip = (cpu_.eip == next) ? pc : cpu_.eip;
-      }
-      break;
-    }
-    case Opcode::kInt:
-      dispatch_interrupt(static_cast<std::uint8_t>(instr.imm & 0x3F), pc, next);
-      break;
-    case Opcode::kIret: {
-      std::uint32_t new_eip = 0;
-      std::uint32_t new_eflags = 0;
-      if (!guest_pop32(&new_eip) || !guest_pop32(&new_eflags)) {
-        break;
-      }
-      cpu_.eflags = new_eflags;
-      cpu_.eip = pc;
-      guest_transfer(new_eip);
-      break;
-    }
-    case Opcode::kHlt:
-      // With the EA-MPU armed, HLT is privileged: a guest task must not be
-      // able to stop the platform (availability, paper §5).  On the bare
-      // pre-boot machine it halts normally (tests, bring-up).
-      if (policy_ != nullptr) {
-        raise_fault({FaultType::kPrivileged, pc, pc, Access::kExecute});
-      } else {
-        halt(HaltReason::kHltInstruction);
-      }
-      break;
-    case Opcode::kCli:
-      cpu_.set_flag(isa::kFlagIF, false);
-      break;
-    case Opcode::kSti:
-      cpu_.set_flag(isa::kFlagIF, true);
-      break;
-    case Opcode::kRdcyc:
-      regs[instr.rd] = static_cast<std::uint32_t>(cycles_);
-      break;
+void Machine::run_cached_op(const DecodedOp& op) {
+  if (tracer_ == nullptr && heat_ == nullptr) {
+    // Observatory off: the common case pays two null checks and goes
+    // straight to dispatch.
+    charge(op.base_cycles);
+    ++instructions_;
+    execute_op(op);
+    return;
   }
+  if (tracer_ != nullptr) {
+    // Same record the interpreter path emits: the memoized word, and the
+    // fetch verdict every cached op has by construction (a denied fetch
+    // never enters a block).
+    tracer_->record(cycles_, op.pc, op.word, {}, current_task_context(),
+                    policy_ == nullptr ? Tracer::kVerdictNone
+                                       : Tracer::kVerdictAllowed);
+  }
+  if (heat_ != nullptr) {
+    // Replay the memoized classify() code into the MPU counters — cached
+    // fetches skip the policy walk, but heat profiles must be identical
+    // across dispatch modes.
+    heat_->count_check(static_cast<int>(Access::kExecute), op.fetch_class);
+  }
+  charge(op.base_cycles);
+  ++instructions_;
+  if (heat_ == nullptr) {
+    execute_op(op);
+    return;
+  }
+  if (heat_->on_instruction(op.pc, static_cast<std::uint8_t>(op.instr.opcode))) {
+    const auto t0 = std::chrono::steady_clock::now();
+    execute_op(op);
+    const auto t1 = std::chrono::steady_clock::now();
+    heat_->attribute(
+        static_cast<std::uint8_t>(op.instr.opcode),
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  } else {
+    execute_op(op);
+  }
+}
+
+bool Machine::execute_one_cached() {
+  // Any policy reconfiguration since the last build — EA-MPU slot writes by
+  // the driver firmware, host-side test mutations — drops the whole cache
+  // here, before any memoized verdict can be replayed.
+  dcache_.sync_policy(policy_);
+  const DecodeCache::Block* block = dcache_.find(cpu_.eip);
+  if (block == nullptr) {
+    DecodeCache::Block built = build_block(cpu_.eip);
+    if (built.ops.empty()) {
+      return false;  // uncacheable head: the interpreter raises the exact fault
+    }
+    block = dcache_.insert(std::move(built));
+  }
+  cur_block_ = block;
+  cur_gen_ = dcache_.generation();
+  cur_idx_ = 1;
+  // Remember this head so the next branch here takes the LUT fast path.
+  BlockLutEntry& lut = block_lut_[(cpu_.eip >> 2) & (kBlockLutSize - 1)];
+  lut.pc = cpu_.eip;
+  lut.gen = cur_gen_;
+  lut.block = block;
+  // Reference is safe even against a store erasing its own block: erased
+  // blocks are graveyarded, not destroyed, until the next find()/insert().
+  run_cached_op(block->ops[0]);
+  return true;
+}
+
+DecodeCache::Block Machine::build_block(std::uint32_t pc) const {
+  DecodeCache::Block block;
+  block.start = pc;
+  std::uint32_t p = pc;
+  while (block.ops.size() < DecodeCache::kMaxBlockOps) {
+    // Stop at anything the fast path must not step over: firmware entry
+    // points, MMIO/out-of-bounds fetches, denied fetches, undecodable
+    // words.  A bad *head* yields an empty block and the interpreter path
+    // raises the corresponding fault; a bad tail just ends the block early.
+    if (firmware_.contains(p) || is_mmio(p) || !memory_.in_bounds(p, 4)) {
+      break;
+    }
+    if (policy_ != nullptr && !policy_->allows(p, p, Access::kExecute)) {
+      break;
+    }
+    const std::uint32_t word = memory_.read32(p);
+    const auto decoded = isa::decode(word);
+    if (!decoded) {
+      break;
+    }
+    DecodedOp op;
+    op.instr = *decoded;
+    op.pc = p;
+    op.word = word;
+    const OpVariant& variant = op_table()[static_cast<std::size_t>(op.instr.opcode)];
+    op.exec = variant.exec;
+    op.base_cycles = variant.base_cycles;
+    op.fetch_class = policy_ == nullptr
+                         ? kCheckNoPolicy
+                         : policy_->classify(p, p, Access::kExecute);
+    const std::uint32_t next = p + isa::kInstrSize;
+    bool terminator = false;
+    switch (op.instr.opcode) {
+      // Static-target transfers: the entry-point verdict is a pure function
+      // of (pc, policy configuration) — memoize it under the same epoch that
+      // guards the fetch memo.
+      case Opcode::kJmp:
+      case Opcode::kJz:
+      case Opcode::kJnz:
+      case Opcode::kJlt:
+      case Opcode::kJge:
+      case Opcode::kJc:
+      case Opcode::kJnc:
+      case Opcode::kCall: {
+        const std::uint32_t target = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(next) + op.instr.simm());
+        op.transfer = (policy_ == nullptr || policy_->allows_transfer(p, target))
+                          ? TransferMemo::kAllowed
+                          : TransferMemo::kDenied;
+        // Conditional branches fall through inside the block; the taken path
+        // re-enters through the cursor-miss slow path.
+        terminator =
+            op.instr.opcode == Opcode::kJmp || op.instr.opcode == Opcode::kCall;
+        break;
+      }
+      case Opcode::kJmpr:
+      case Opcode::kCallr:
+      case Opcode::kRet:
+      case Opcode::kInt:
+      case Opcode::kIret:
+      case Opcode::kHlt:
+        terminator = true;  // EIP never falls through sequentially
+        break;
+      default:
+        break;
+    }
+    block.ops.push_back(op);
+    p = next;
+    if (terminator) {
+      break;
+    }
+  }
+  block.end = p;
+  return block;
+}
+
+void Machine::execute_op(const DecodedOp& op) {
+  cpu_.eip = op.pc + isa::kInstrSize;  // default; branch handlers overwrite
+  op.exec(*this, op);
 }
 
 }  // namespace tytan::sim

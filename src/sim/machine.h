@@ -11,6 +11,7 @@
 // access-control matrix governs guest code and trusted components.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -24,6 +25,7 @@
 #include "obs/profiler.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
+#include "sim/decode_cache.h"
 #include "sim/device.h"
 #include "sim/memory.h"
 #include "sim/tracer.h"
@@ -51,6 +53,15 @@ enum class StepOutcome : std::uint8_t {
   kHalted,        ///< machine is halted
 };
 
+/// How guest instructions are dispatched.  Both modes produce bit-identical
+/// simulated state (registers, EIP, EFLAGS, cycles, instructions, faults) at
+/// every step — tests/test_dispatch.cc runs them in lockstep — only the host
+/// cost differs.
+enum class DispatchMode : std::uint8_t {
+  kInterpreter = 0,  ///< fetch → decode → check → dispatch, every step
+  kCached,           ///< decoded basic-block cache + table-driven dispatch
+};
+
 class Machine {
  public:
   /// `log` may be nullptr, meaning the process-default context.  Machines
@@ -71,12 +82,44 @@ class Machine {
   [[nodiscard]] CpuState& cpu() { return cpu_; }
   [[nodiscard]] const CpuState& cpu() const { return cpu_; }
   [[nodiscard]] MmioBus& bus() { return bus_; }
+
+  /// Latch every device's time to what the classic every-instruction tick
+  /// regime would show — call before serializing device state.  No-op when
+  /// no step has run since the last flush or restore, so save → restore →
+  /// save round trips stay byte-identical.
+  void flush_device_time() {
+    if (device_time_dirty_) {
+      bus_.tick_all(step_top_cycles_);
+      device_time_dirty_ = false;
+    }
+  }
   [[nodiscard]] const CostModel& costs() const { return costs_; }
 
   /// Install the EA-MPU (or any policy).  Non-owning; may be nullptr
-  /// (pre-secure-boot: everything allowed).
-  void set_policy(const AccessPolicy* policy) { policy_ = policy; }
+  /// (pre-secure-boot: everything allowed).  Drops the decode cache — cached
+  /// fetch and transfer verdicts were issued by the previous policy.
+  void set_policy(const AccessPolicy* policy) {
+    policy_ = policy;
+    invalidate_decode_cache();
+  }
   [[nodiscard]] const AccessPolicy* policy() const { return policy_; }
+
+  // -- dispatch mode -----------------------------------------------------------
+  /// Default is kCached; kInterpreter is the reference implementation the
+  /// differential tests and the bench A/B compare against.
+  void set_dispatch_mode(DispatchMode mode) {
+    dispatch_ = mode;
+    cur_block_ = nullptr;
+  }
+  [[nodiscard]] DispatchMode dispatch_mode() const { return dispatch_; }
+
+  /// Host-only decode-cache state (stats, block count) — never snapshotted.
+  [[nodiscard]] const DecodeCache& decode_cache() const { return dcache_; }
+  /// Drop every cached block (task load/unload, firmware changes, restores).
+  void invalidate_decode_cache() {
+    dcache_.invalidate_all();
+    cur_block_ = nullptr;
+  }
 
   // -- clock -------------------------------------------------------------------
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
@@ -93,7 +136,11 @@ class Machine {
   [[nodiscard]] std::uint8_t int_vector() const { return int_vector_; }
 
   /// Raise `vector` synchronously (used by the INT instruction and tests).
-  void dispatch_interrupt(std::uint8_t vector, std::uint32_t origin_eip,
+  /// Returns true when control actually reached the handler; false when the
+  /// dispatch failed (no IDT entry, or a stack fault while pushing the
+  /// EFLAGS/EIP frame) — in that case the interrupt latches are NOT updated,
+  /// so the IPC proxy never authenticates a sender from a failed dispatch.
+  bool dispatch_interrupt(std::uint8_t vector, std::uint32_t origin_eip,
                           std::uint32_t return_eip);
 
   // -- faults -------------------------------------------------------------------
@@ -215,6 +262,11 @@ class Machine {
   Status restore_state(snap::Reader& r);
 
  private:
+  // The per-opcode handlers (machine_ops.cc) are the interpreter switch
+  // bodies factored into the OpVariant table; they need the same access the
+  // switch had.
+  friend struct MachineOps;
+
   [[nodiscard]] std::int32_t current_task_context() const;
   [[nodiscard]] bool check(std::uint32_t exec_ip, std::uint32_t addr, Access access) const;
   [[nodiscard]] bool is_mmio(std::uint32_t addr) const {
@@ -229,10 +281,24 @@ class Machine {
 
   void dispatch_pending();
   void execute_one();
-  /// Dispatch one decoded instruction (the opcode switch).  Split out of
+  /// Dispatch one decoded instruction through its OpVariant handler (the
+  /// former opcode switch, factored into machine_ops.cc).  Split out of
   /// execute_one so the heat recorder can host-time a sampled dispatch
-  /// without touching the interpreter body.
-  void execute_op(const isa::Instruction& instr, std::uint32_t pc);
+  /// without touching the interpreter body.  Both dispatch modes funnel
+  /// through this — a single implementation per opcode cannot diverge.
+  void execute_op(const DecodedOp& op);
+
+  // Cached-dispatch slow path: sync the cache with the policy epoch, look up
+  // or build the block at EIP, park the cursor, and run its first op.
+  // Returns false when the head is uncacheable (fault, MMIO, firmware) and
+  // the interpreter path must handle this step.
+  bool execute_one_cached();
+  /// Tracer replay + memoized fetch check + charge + heat hooks + dispatch
+  /// for one cached op (the per-step body shared by fast and slow paths).
+  void run_cached_op(const DecodedOp& op);
+  /// Decode straight-line code starting at `pc` into a block; empty when the
+  /// head instruction cannot be cached.
+  DecodeCache::Block build_block(std::uint32_t pc) const;
 
   // Guest-side memory helpers: on violation, raise the fault and return false.
   bool guest_read32(std::uint32_t addr, std::uint32_t* out);
@@ -243,9 +309,23 @@ class Machine {
   bool guest_pop32(std::uint32_t* out);
   bool guest_transfer(std::uint32_t target);
 
-  void set_alu_flags_logic(std::uint32_t result);
+  // Inline: every ALU handler calls one of these, so they sit on the
+  // per-instruction hot path of both dispatch modes.
+  void set_alu_flags_logic(std::uint32_t result) {
+    cpu_.set_flag(isa::kFlagZ, result == 0);
+    cpu_.set_flag(isa::kFlagN, (result >> 31) != 0);
+  }
   void set_alu_flags_addsub(std::uint64_t wide, std::uint32_t a, std::uint32_t b,
-                            std::uint32_t result, bool is_sub);
+                            std::uint32_t result, bool is_sub) {
+    cpu_.set_flag(isa::kFlagZ, result == 0);
+    cpu_.set_flag(isa::kFlagN, (result >> 31) != 0);
+    cpu_.set_flag(isa::kFlagC, (wide >> 32) != 0);
+    const bool sa = (a >> 31) != 0;
+    const bool sb = (b >> 31) != 0;
+    const bool sr = (result >> 31) != 0;
+    const bool overflow = is_sub ? (sa != sb && sr != sa) : (sa == sb && sr != sa);
+    cpu_.set_flag(isa::kFlagV, overflow);
+  }
 
   PhysicalMemory memory_;
   MmioBus bus_;
@@ -254,6 +334,16 @@ class Machine {
   const AccessPolicy* policy_ = nullptr;
 
   std::uint64_t cycles_ = 0;
+  // Event-driven device time (host-only scheduling state; never snapshotted
+  // — the observable device state it manages is bit-identical to the classic
+  // every-instruction tick regime).  next_device_tick_ = 0 forces a tick on
+  // the first step; device_timing_epoch_ starts mismatched for the same
+  // reason.  step_top_cycles_ is the cycle count at the top of the current
+  // (or last) step — the `now` every lazy latch must deliver.
+  std::uint64_t next_device_tick_ = 0;
+  std::uint64_t device_timing_epoch_ = 0;
+  std::uint64_t step_top_cycles_ = 0;
+  bool device_time_dirty_ = false;  ///< steps ran since the last flush/restore
   std::uint64_t pending_ = 0;  ///< bitmask over 64 vectors; bit i = vector i
   std::uint32_t int_origin_eip_ = 0;
   std::uint8_t int_vector_ = 0;
@@ -261,6 +351,12 @@ class Machine {
   FaultInfo last_fault_;
   std::uint64_t fault_count_ = 0;
   bool in_fault_dispatch_ = false;
+  /// True when the most recent raise_fault() redirected EIP into the fault
+  /// handler.  Load/store/push/pop recovery consults this instead of
+  /// comparing EIP against `next` — an address-based guess that broke when
+  /// the handler happened to live at `next`.  Consumed within the same
+  /// instruction; host-transient, not snapshot state.
+  bool fault_eip_redirected_ = false;
   HaltReason halt_reason_ = HaltReason::kNone;
 
   struct FirmwareEntry {
@@ -272,6 +368,32 @@ class Machine {
   std::uint64_t instructions_ = 0;
   std::uint64_t interrupts_ = 0;
   std::uint64_t fw_invocations_ = 0;
+
+  // Decode cache + cursor (host-only; excluded from snapshots).  Declared
+  // after memory_ so the cache detaches its write watch before memory dies.
+  // The cursor is valid only while cur_gen_ matches dcache_.generation() —
+  // checked before every dereference, since any invalidation (policy epoch,
+  // code write, explicit drop) frees the pointed-to block.
+  DispatchMode dispatch_ = DispatchMode::kCached;
+  DecodeCache dcache_;
+  const DecodeCache::Block* cur_block_ = nullptr;
+  std::size_t cur_idx_ = 0;
+  std::uint64_t cur_gen_ = 0;
+  // Direct-mapped block-head LUT: hot loops chain block-to-block without the
+  // firmware map probe or the hash lookup the cold path pays.  Each entry is
+  // stamped with the generation it was filled under and checked with the
+  // same live() guard as the cursor, so invalidations kill it for free; a
+  // hit is safe to run without the firmware probe because build_block never
+  // caches a block whose head is a firmware entry (register_firmware also
+  // invalidates, which bumps the generation).
+  struct BlockLutEntry {
+    std::uint32_t pc = 0;
+    std::uint64_t gen = 0;  ///< 0 never matches a real generation
+    const DecodeCache::Block* block = nullptr;
+  };
+  static constexpr std::size_t kBlockLutSize = 256;
+  std::array<BlockLutEntry, kBlockLutSize> block_lut_{};
+
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<obs::SampleProfiler> profiler_;
   std::unique_ptr<obs::HeatRecorder> heat_;  ///< see enable_heat()

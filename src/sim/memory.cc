@@ -15,6 +15,7 @@ void PhysicalMemory::write32(std::uint32_t addr, std::uint32_t v) {
   TYTAN_CHECK(in_bounds(addr, 4), "memory write32 out of bounds");
   store_le32(bytes_.data() + addr, v);
   touch(addr, 4);
+  notify_watch(addr, 4);
 }
 
 void PhysicalMemory::write_block(std::uint32_t addr, std::span<const std::uint8_t> data) {
@@ -22,6 +23,7 @@ void PhysicalMemory::write_block(std::uint32_t addr, std::span<const std::uint8_
               "memory write_block out of bounds");
   std::memcpy(bytes_.data() + addr, data.data(), data.size());
   touch(addr, static_cast<std::uint32_t>(data.size()));
+  notify_watch(addr, static_cast<std::uint32_t>(data.size()));
 }
 
 void PhysicalMemory::read_block(std::uint32_t addr, std::span<std::uint8_t> out) const {
@@ -34,6 +36,7 @@ void PhysicalMemory::fill(std::uint32_t addr, std::uint32_t len, std::uint8_t va
   TYTAN_CHECK(in_bounds(addr, len), "memory fill out of bounds");
   std::memset(bytes_.data() + addr, value, len);
   touch(addr, len);
+  notify_watch(addr, len);
 }
 
 std::span<const std::uint8_t> PhysicalMemory::view(std::uint32_t addr, std::uint32_t len) const {

@@ -14,6 +14,16 @@
 
 namespace tytan::sim {
 
+/// Observer of writes landing inside a watched address range (the decode
+/// cache registers itself to catch self-modifying code, loader copies, and
+/// snapshot restores without instrumenting every caller).
+class WriteWatcher {
+ public:
+  virtual ~WriteWatcher() = default;
+  /// A write of `len` bytes at `addr` intersected the watched range.
+  virtual void on_watched_write(std::uint32_t addr, std::uint32_t len) = 0;
+};
+
 class PhysicalMemory {
  public:
   explicit PhysicalMemory(std::uint32_t size = kMemSize)
@@ -30,6 +40,7 @@ class PhysicalMemory {
   void write8(std::uint32_t addr, std::uint8_t v) {
     bytes_.at(addr) = v;
     touch(addr, 1);
+    notify_watch(addr, 1);
   }
   void write32(std::uint32_t addr, std::uint32_t v);
 
@@ -55,7 +66,25 @@ class PhysicalMemory {
     dirty_hi_ = 0;
   }
 
+  // -- write watch (host-side; decode-cache invalidation) --------------------
+  // At most one watcher; [lo, hi) is the union of ranges it cares about.  An
+  // empty range (hi <= lo, the default) keeps every write at two compares —
+  // the same budget as dirty tracking.  Like dirty tracking this is host
+  // bookkeeping: it charges no simulated cycles and is not snapshot state.
+  void set_write_watch(WriteWatcher* watcher, std::uint32_t lo, std::uint32_t hi) {
+    watcher_ = watcher;
+    watch_lo_ = lo;
+    watch_hi_ = hi;
+  }
+  void clear_write_watch() { set_write_watch(nullptr, 0, 0); }
+
  private:
+  void notify_watch(std::uint32_t addr, std::uint32_t len) {
+    if (watcher_ != nullptr && addr < watch_hi_ && addr + len > watch_lo_) {
+      watcher_->on_watched_write(addr, len);
+    }
+  }
+
   void touch(std::uint32_t addr, std::uint32_t len) {
     if (len == 0) {
       return;
@@ -71,6 +100,9 @@ class PhysicalMemory {
   std::vector<std::uint8_t> bytes_;
   std::uint32_t dirty_lo_;
   std::uint32_t dirty_hi_;
+  WriteWatcher* watcher_ = nullptr;
+  std::uint32_t watch_lo_ = 0;
+  std::uint32_t watch_hi_ = 0;
 };
 
 }  // namespace tytan::sim

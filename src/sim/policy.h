@@ -33,6 +33,14 @@ class AccessPolicy {
  public:
   virtual ~AccessPolicy() = default;
 
+  /// Monotonic configuration-change counter.  Implementations bump it on any
+  /// mutation that can change an allows()/allows_transfer()/classify()
+  /// verdict; consumers that memoize verdicts (the decode cache,
+  /// sim/decode_cache.h) compare epochs instead of subscribing to callbacks.
+  /// Non-virtual and inline — the comparison sits on the per-instruction
+  /// fast path.  Starts at 1 so "no policy observed yet" (0) never matches.
+  [[nodiscard]] std::uint64_t config_epoch() const { return config_epoch_; }
+
   /// May code at `exec_ip` perform `access` on `addr`?
   [[nodiscard]] virtual bool allows(std::uint32_t exec_ip, std::uint32_t addr,
                                     Access access) const = 0;
@@ -55,6 +63,12 @@ class AccessPolicy {
     (void)access;
     return kCheckUnclassified;
   }
+
+ protected:
+  void bump_config_epoch() { ++config_epoch_; }
+
+ private:
+  std::uint64_t config_epoch_ = 1;
 };
 
 }  // namespace tytan::sim

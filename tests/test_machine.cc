@@ -343,6 +343,143 @@ TEST(Machine, CycleAccounting) {
   EXPECT_EQ(m.instructions_executed(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Interrupt/fault edge paths — each test pins a bug fixed in the decode-cache
+// PR and fails against the pre-fix machine.
+// ---------------------------------------------------------------------------
+
+TEST(MachineInterrupt, FailedDispatchPreservesPreviousLatches) {
+  // A dispatch that stack-faults mid-frame must leave the identity latches
+  // of the last SUCCESSFUL dispatch intact — the IPC proxy authenticates
+  // senders from them, so a task with a corrupted SP must not be able to
+  // overwrite them with its own origin before the frame push fails.
+  auto object = isa::assemble(R"(
+      int  0x22           ; successful dispatch: latches = (here, 0x22)
+      movi r7, 2          ; wreck SP: the next frame push lands out of bounds
+      int  0x21           ; dispatch aborts on the stack fault
+      hlt
+  handler:
+      iret
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(kVecIpc, kCodeBase + object->symbols.at("handler"));
+  machine.set_idt_entry(kVecSyscall, kCodeBase + object->symbols.at("handler"));
+  // No kVecFault entry: the stack fault double-faults and halts, leaving the
+  // latches exactly as the failed dispatch left them.
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(10'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kDoubleFault);
+  EXPECT_EQ(machine.last_fault().type, FaultType::kStackFault);
+  EXPECT_EQ(machine.int_vector(), kVecIpc);           // NOT 0x21
+  EXPECT_EQ(machine.int_origin_eip(), kCodeBase);     // the first INT
+}
+
+TEST(MachineInterrupt, StackFaultKeepsIrqPending) {
+  // dispatch_pending clears the vector's bit before dispatching.  If the
+  // dispatch stack-faults, the line must stay asserted: the IRQ is a level
+  // signal the device never knew was lost, and the fault handler may repair
+  // SP and expect the interrupt to be delivered afterwards.
+  auto object = isa::assemble(R"(
+  spin:
+      jmp spin
+  fault_handler:
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(9, kCodeBase);  // any non-null handler
+  machine.set_idt_entry(kVecFault,
+                        kCodeBase + object->symbols.at("fault_handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(2);  // frame push will fault
+  machine.raise_irq(9);
+  machine.run(10'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  EXPECT_EQ(machine.last_fault().type, FaultType::kStackFault);
+  EXPECT_TRUE(machine.irq_pending());  // vector 9 re-asserted, not lost
+}
+
+TEST(MachineInterrupt, UnhandledVectorDropsPendingIrq) {
+  // Pinned semantics (referenced from Machine::dispatch_pending): a raised
+  // vector with a null IDT entry is a configuration error — the request is
+  // dropped after the kNoHandler fault, NOT retried, since re-asserting a
+  // vector that can never dispatch would livelock interrupt delivery.
+  auto object = isa::assemble(R"(
+  spin:
+      jmp spin
+  fault_handler:
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  // No IDT entry for vector 9.
+  machine.set_idt_entry(kVecFault,
+                        kCodeBase + object->symbols.at("fault_handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  machine.raise_irq(9);
+  machine.run(10'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  EXPECT_EQ(machine.last_fault().type, FaultType::kNoHandler);
+  EXPECT_FALSE(machine.irq_pending());  // dropped, not re-asserted
+}
+
+TEST(MachineFault, HandlerAtNextInstructionIsNotRewritten) {
+  // The old recovery heuristic rewrote EIP back to the faulting instruction
+  // whenever EIP still equalled `pc + 4` after a failed load — which also
+  // matched a fault handler that happened to live at exactly `pc + 4`,
+  // bouncing execution back into the faulting instruction forever.  The
+  // explicit redirected-EIP flag keeps the handler dispatch intact.
+  auto object = isa::assemble(R"(
+      li   r1, 0x200000   ; beyond physical memory
+      ldw  r2, [r1]       ; bus error; the handler is the NEXT instruction
+  handler:
+      movi r6, 99
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  Machine machine;
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.set_idt_entry(kVecFault, kCodeBase + object->symbols.at("handler"));
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(10'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  EXPECT_EQ(machine.cpu().regs[6], 99u);  // the handler ran exactly once
+  EXPECT_EQ(machine.fault_count(), 1u);
+}
+
+TEST(Machine, MmioByteWriteHitsAddressedLane) {
+  // A byte store to an MMIO register must read-modify-write the addressed
+  // lane of the 32-bit register, not clobber the whole word with the byte
+  // zero-extended into lane 0.
+  Machine machine;
+  auto timer = std::make_shared<TimerDevice>();
+  machine.bus().attach(timer);
+  auto object = isa::assemble(R"(
+      li   r1, 0x100004   ; timer PERIOD register
+      li   r2, 0x11223344
+      stw  r2, [r1]
+      movi r3, 0xAA
+      stb  r3, [r1+1]     ; lane 1 only
+      ldw  r4, [r1]
+      hlt
+  )");
+  ASSERT_TRUE(object.is_ok());
+  machine.memory().write_block(kCodeBase, object->image);
+  machine.cpu().eip = kCodeBase;
+  machine.cpu().set_sp(kStackTop);
+  machine.run(10'000);
+  EXPECT_EQ(machine.halt_reason(), HaltReason::kHltInstruction);
+  EXPECT_EQ(machine.cpu().regs[4], 0x1122AA44u);
+  EXPECT_EQ(timer->read32(TimerDevice::kPeriod), 0x1122AA44u);
+}
+
 TEST(Machine, FirmwareDispatch) {
   Machine machine;
   int calls = 0;

@@ -25,6 +25,10 @@
 //                     splits, indirect edges) and write it to F; inspect with
 //                     `tytan-objdump --heat F` or `tytan-top --heat F`
 //     --heat-folded F write heat blocks as collapsed stacks for flamegraph.pl
+//     --dispatch M    instruction dispatch: "cached" (decoded basic-block
+//                     cache, the default) or "interpreter" (reference path);
+//                     simulated state is bit-identical either way — CI diffs
+//                     the two over the examples corpus
 //
 // Serial output is echoed to stdout; per-task statistics print at exit.
 #include <cstdio>
@@ -53,6 +57,7 @@ constexpr const char kUsageText[] =
     "                 [--fault SPEC] [--fault-seed N]\n"
     "                 [--snapshot-out FILE] [--snapshot-at N]\n"
     "                 [--heat-out FILE] [--heat-folded FILE]\n"
+    "                 [--dispatch interpreter|cached]\n"
     "                 <task.tbf> [more.tbf ...]\n";
 
 int usage() {
@@ -81,6 +86,7 @@ int main(int argc, char** argv) {
   std::uint64_t snapshot_at = 0;
   std::string heat_out;
   std::string heat_folded;
+  sim::DispatchMode dispatch = sim::DispatchMode::kCached;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -147,6 +153,18 @@ int main(int argc, char** argv) {
       heat_folded = next("--heat-folded");
     } else if (arg.rfind("--heat-folded=", 0) == 0) {
       heat_folded = arg.substr(std::strlen("--heat-folded="));
+    } else if (arg == "--dispatch" || arg.rfind("--dispatch=", 0) == 0) {
+      const std::string mode = arg[10] == '='
+                                   ? arg.substr(std::strlen("--dispatch="))
+                                   : std::string(next("--dispatch"));
+      if (mode == "interpreter") {
+        dispatch = sim::DispatchMode::kInterpreter;
+      } else if (mode == "cached") {
+        dispatch = sim::DispatchMode::kCached;
+      } else {
+        std::fprintf(stderr, "tytan-run: --dispatch must be interpreter|cached\n");
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -170,6 +188,7 @@ int main(int argc, char** argv) {
       config.fault_plan.seed = *fault_seed;
     }
   }
+  config.dispatch = dispatch;
   core::Platform platform(config);
   if (trace != 0) {
     platform.machine().enable_trace(trace);
